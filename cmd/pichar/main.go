@@ -1,0 +1,43 @@
+// Command pichar prints the single-inference characterization of hybrid
+// private inference (the paper's §4): per-inference storage (Figure 3),
+// compute latency (Figure 4), communication latency vs bandwidth
+// (Figure 5), protocol annotations (Figure 2) and the Server-Garbler time
+// breakdown (Table 1).
+//
+// Usage:
+//
+//	pichar [-fig 2|3|4|5|t1|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"privinf/internal/figures"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which output to print: 2, 3, 4, 5, t1, or all")
+	flag.Parse()
+
+	outputs := map[string]func() string{
+		"2":  figures.Figure2,
+		"3":  figures.Figure3,
+		"4":  figures.Figure4,
+		"5":  figures.Figure5,
+		"t1": figures.Table1,
+	}
+	if *fig == "all" {
+		for _, k := range []string{"2", "3", "4", "5", "t1"} {
+			fmt.Println(outputs[k]())
+		}
+		return
+	}
+	fn, ok := outputs[*fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pichar: unknown figure %q (want 2, 3, 4, 5, t1, all)\n", *fig)
+		os.Exit(2)
+	}
+	fmt.Println(fn())
+}

@@ -1,0 +1,43 @@
+// Command piopt prints the paper's optimization studies: client storage
+// under Client-Garbler (Figure 8), layer-parallel HE (Figure 9), wireless
+// slot allocation (Figure 11), the future-optimization waterfall
+// (Figure 14) and the client energy analysis (§5.1).
+//
+// Usage:
+//
+//	piopt [-fig 8|9|11|14|energy|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"privinf/internal/figures"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which output to print: 8, 9, 11, 14, energy, schedules, or all")
+	flag.Parse()
+
+	outputs := map[string]func() string{
+		"8":         figures.Figure8,
+		"9":         figures.Figure9,
+		"11":        figures.Figure11,
+		"14":        figures.Figure14,
+		"energy":    figures.EnergyTable,
+		"schedules": figures.ScheduleAblation,
+	}
+	if *fig == "all" {
+		for _, k := range []string{"8", "9", "11", "14", "energy", "schedules"} {
+			fmt.Println(outputs[k]())
+		}
+		return
+	}
+	fn, ok := outputs[*fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "piopt: unknown figure %q (want 8, 9, 11, 14, energy, all)\n", *fig)
+		os.Exit(2)
+	}
+	fmt.Println(fn())
+}

@@ -1,0 +1,72 @@
+// Streaming: private inference under request arrival rates.
+//
+// The paper's central systems insight is that PI pre-computation cannot be
+// assumed free: client storage bounds how many pre-computes can buffer, and
+// at realistic arrival rates the offline phase leaks into request latency.
+// This example simulates a 24-hour Poisson request stream against
+// ResNet-18/TinyImageNet for the baseline Server-Garbler protocol and the
+// paper's proposed protocol (Client-Garbler + LPHE + WSA), both with a
+// 16 GB client.
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"privinf"
+)
+
+func main() {
+	arch, err := privinf.NewArchitecture("ResNet-18", privinf.TinyImageNet)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const clientStorage = 16 * 1e9 // bytes
+
+	baseline := privinf.BaselineScenario(arch)
+	proposed := privinf.ProposedScenario(arch)
+
+	baseB := privinf.Characterize(baseline)
+	propB := privinf.Characterize(proposed)
+
+	fmt.Printf("per-inference costs (%s):\n", arch)
+	fmt.Printf("  baseline Server-Garbler: offline %.0f s, online %.0f s\n", baseB.Offline(), baseB.Online())
+	fmt.Printf("  proposed (CG+LPHE+WSA):  offline %.0f s, online %.0f s\n\n", propB.Offline(), propB.Online())
+
+	baseCap := baseline.BufferCapacity(clientStorage, 0)
+	propCap := proposed.BufferCapacity(clientStorage, 0)
+	fmt.Printf("pre-computes buffering in 16 GB: baseline %d, proposed %d\n\n", baseCap, propCap)
+
+	mkCfg := func(off, on float64, capacity int) privinf.WorkloadConfig {
+		return privinf.WorkloadConfig{
+			OfflineSeconds:         off,
+			OnDemandOfflineSeconds: off,
+			OnlineSeconds:          on,
+			Capacity:               capacity,
+			MaxConcurrent:          1,
+		}
+	}
+	baseCfg := mkCfg(baseB.Offline(), baseB.Online(), baseCap)
+	propCfg := mkCfg(propB.Offline(), propB.Online(), propCap)
+
+	fmt.Println("mean latency (minutes) by arrival rate, 24 h Poisson stream, 10 runs:")
+	fmt.Printf("%-16s %12s %12s\n", "req per minute", "baseline", "proposed")
+	for _, denom := range []float64{100, 54, 36, 28, 22, 18} {
+		baseCfg.ArrivalsPerMinute = 1 / denom
+		propCfg.ArrivalsPerMinute = 1 / denom
+		bs, err := privinf.SimulateWorkload(baseCfg, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ps, err := privinf.SimulateWorkload(propCfg, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("1/%-14.0f %12.1f %12.1f\n", denom, bs.MeanLatency/60, ps.MeanLatency/60)
+	}
+	fmt.Println("\nthe proposed protocol both lowers the latency floor and sustains higher rates,")
+	fmt.Println("because 16 GB buffers a pre-compute only under Client-Garbler storage demands.")
+}

@@ -1,0 +1,245 @@
+package bfv
+
+import (
+	"io"
+	"math/bits"
+
+	"privinf/internal/ringq"
+)
+
+// SecretKey holds the ternary secret s in the NTT domain.
+type SecretKey struct {
+	s []uint64
+}
+
+// PublicKey is the pair (b, a) = (-(a·s + e), a), both in the NTT domain.
+type PublicKey struct {
+	b, a []uint64
+}
+
+// Ciphertext is a degree-1 RLWE ciphertext (c0, c1) kept permanently in the
+// NTT domain; decryption computes c0 + c1·s.
+type Ciphertext struct {
+	c0, c1 []uint64
+}
+
+// Plaintext is an unencrypted ring element. Whether it is in the
+// coefficient or NTT domain depends on how it will be used: operands of
+// MulPlain must be in the NTT domain (see Encoder.EncodeMulNTT), operands
+// of AddPlain in the scaled NTT domain.
+type Plaintext struct {
+	coeffs []uint64
+}
+
+// KeyGen generates a fresh key pair. src may be nil (crypto/rand).
+func KeyGen(p Params, src io.Reader) (SecretKey, PublicKey) {
+	smp := newSampler(src)
+	n := p.N
+
+	s := make([]uint64, n)
+	smp.ternary(s)
+	p.ntt.Forward(s)
+
+	a := make([]uint64, n)
+	smp.uniform(a) // uniform in either domain; treat as NTT-domain
+
+	e := make([]uint64, n)
+	smp.cbd(e)
+	p.ntt.Forward(e)
+
+	// b = -(a*s + e)
+	b := make([]uint64, n)
+	ringq.MulInto(b, a, s)
+	ringq.AddInto(b, b, e)
+	for i := range b {
+		b[i] = ringq.Neg(b[i])
+	}
+	return SecretKey{s: s}, PublicKey{b: b, a: a}
+}
+
+// Encryptor encrypts plaintexts under a public key.
+type Encryptor struct {
+	params Params
+	pk     PublicKey
+	smp    *sampler
+}
+
+// NewEncryptor returns an encryptor. src may be nil (crypto/rand).
+func NewEncryptor(p Params, pk PublicKey, src io.Reader) *Encryptor {
+	return &Encryptor{params: p, pk: pk, smp: newSampler(src)}
+}
+
+// EncryptCoeffs encrypts a message given as raw coefficients in [0, T).
+// len(m) may be at most N; shorter messages are zero-padded.
+func (e *Encryptor) EncryptCoeffs(m []uint64) Ciphertext {
+	p := e.params
+	n := p.N
+	if len(m) > n {
+		panic("bfv: message longer than ring degree")
+	}
+
+	// Scale message by Delta into Z_q, then move to the NTT domain.
+	dm := make([]uint64, n)
+	for i, v := range m {
+		if v >= p.T {
+			panic("bfv: message coefficient out of plaintext range")
+		}
+		dm[i] = ringq.Mul(v, p.delta)
+	}
+	p.ntt.Forward(dm)
+
+	u := make([]uint64, n)
+	e.smp.ternary(u)
+	p.ntt.Forward(u)
+
+	e1 := make([]uint64, n)
+	e.smp.cbd(e1)
+	p.ntt.Forward(e1)
+
+	e2 := make([]uint64, n)
+	e.smp.cbd(e2)
+	p.ntt.Forward(e2)
+
+	c0 := make([]uint64, n)
+	ringq.MulInto(c0, e.pk.b, u)
+	ringq.AddInto(c0, c0, e1)
+	ringq.AddInto(c0, c0, dm)
+
+	c1 := make([]uint64, n)
+	ringq.MulInto(c1, e.pk.a, u)
+	ringq.AddInto(c1, c1, e2)
+
+	return Ciphertext{c0: c0, c1: c1}
+}
+
+// Decryptor decrypts ciphertexts under a secret key.
+type Decryptor struct {
+	params Params
+	sk     SecretKey
+}
+
+// NewDecryptor returns a decryptor for the given secret key.
+func NewDecryptor(p Params, sk SecretKey) *Decryptor {
+	return &Decryptor{params: p, sk: sk}
+}
+
+// DecryptCoeffs returns the message coefficients in [0, T).
+func (d *Decryptor) DecryptCoeffs(ct Ciphertext) []uint64 {
+	p := d.params
+	n := p.N
+
+	phase := make([]uint64, n)
+	ringq.MulInto(phase, ct.c1, d.sk.s)
+	ringq.AddInto(phase, phase, ct.c0)
+	p.ntt.Inverse(phase)
+
+	// m_i = round(T * phase_i / Q) mod T.
+	out := make([]uint64, n)
+	halfQhi, halfQlo := uint64(0), ringq.Q/2
+	for i, c := range phase {
+		hi, lo := bits.Mul64(p.T, c)
+		lo, carry := bits.Add64(lo, halfQlo, 0)
+		hi += halfQhi + carry
+		q, _ := bits.Div64(hi, lo, ringq.Q)
+		out[i] = q % p.T
+	}
+	return out
+}
+
+// NoiseBudget returns the remaining noise budget in bits for a ciphertext
+// known to encrypt message m: log2(q/(2t)) - log2(|noise|). Decryption of a
+// single value fails when this reaches zero. Used by tests and by the
+// protocol layer's self-checks.
+func (d *Decryptor) NoiseBudget(ct Ciphertext, m []uint64) int {
+	p := d.params
+	n := p.N
+
+	phase := make([]uint64, n)
+	ringq.MulInto(phase, ct.c1, d.sk.s)
+	ringq.AddInto(phase, phase, ct.c0)
+	p.ntt.Inverse(phase)
+
+	maxNoise := uint64(0)
+	for i := range phase {
+		var mi uint64
+		if i < len(m) {
+			mi = m[i]
+		}
+		diff := ringq.Sub(phase[i], ringq.Mul(mi, p.delta))
+		// Centered magnitude.
+		if diff > ringq.Q/2 {
+			diff = ringq.Q - diff
+		}
+		if diff > maxNoise {
+			maxNoise = diff
+		}
+	}
+	limit := p.delta / 2
+	if maxNoise >= limit {
+		return 0
+	}
+	return bits.Len64(limit) - bits.Len64(maxNoise)
+}
+
+// AddCt returns a + b.
+func AddCt(p Params, a, b Ciphertext) Ciphertext {
+	out := Ciphertext{c0: make([]uint64, p.N), c1: make([]uint64, p.N)}
+	ringq.AddInto(out.c0, a.c0, b.c0)
+	ringq.AddInto(out.c1, a.c1, b.c1)
+	return out
+}
+
+// AddCtInto accumulates b into a in place.
+func AddCtInto(a *Ciphertext, b Ciphertext) {
+	ringq.AddInto(a.c0, a.c0, b.c0)
+	ringq.AddInto(a.c1, a.c1, b.c1)
+}
+
+// SubCt returns a - b.
+func SubCt(p Params, a, b Ciphertext) Ciphertext {
+	out := Ciphertext{c0: make([]uint64, p.N), c1: make([]uint64, p.N)}
+	ringq.SubInto(out.c0, a.c0, b.c0)
+	ringq.SubInto(out.c1, a.c1, b.c1)
+	return out
+}
+
+// AddPlain returns ct + pt where pt was prepared with EncodeAddNTT
+// (Delta-scaled, NTT domain).
+func AddPlain(p Params, ct Ciphertext, pt Plaintext) Ciphertext {
+	out := Ciphertext{c0: make([]uint64, p.N), c1: append([]uint64(nil), ct.c1...)}
+	ringq.AddInto(out.c0, ct.c0, pt.coeffs)
+	return out
+}
+
+// SubPlain returns ct - pt where pt was prepared with EncodeAddNTT.
+func SubPlain(p Params, ct Ciphertext, pt Plaintext) Ciphertext {
+	out := Ciphertext{c0: make([]uint64, p.N), c1: append([]uint64(nil), ct.c1...)}
+	ringq.SubInto(out.c0, ct.c0, pt.coeffs)
+	return out
+}
+
+// MulPlain returns ct * pt where pt was prepared with EncodeMulNTT
+// (centered lift, NTT domain). The product decrypts to the negacyclic
+// convolution of the two messages mod T. This is the only multiplication
+// the DELPHI offline phase requires.
+func MulPlain(p Params, ct Ciphertext, pt Plaintext) Ciphertext {
+	out := Ciphertext{c0: make([]uint64, p.N), c1: make([]uint64, p.N)}
+	ringq.MulInto(out.c0, ct.c0, pt.coeffs)
+	ringq.MulInto(out.c1, ct.c1, pt.coeffs)
+	return out
+}
+
+// MulPlainAddInto accumulates ct*pt into acc, the fused kernel the packed
+// matvec evaluator spends nearly all its time in.
+func MulPlainAddInto(acc *Ciphertext, ct Ciphertext, pt Plaintext) {
+	for i := range acc.c0 {
+		acc.c0[i] = ringq.Add(acc.c0[i], ringq.Mul(ct.c0[i], pt.coeffs[i]))
+		acc.c1[i] = ringq.Add(acc.c1[i], ringq.Mul(ct.c1[i], pt.coeffs[i]))
+	}
+}
+
+// ZeroCiphertext returns a transparent encryption of zero (no randomness).
+// Used as the accumulator seed in homomorphic sums.
+func ZeroCiphertext(p Params) Ciphertext {
+	return Ciphertext{c0: make([]uint64, p.N), c1: make([]uint64, p.N)}
+}

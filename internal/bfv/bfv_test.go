@@ -1,0 +1,512 @@
+package bfv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"privinf/internal/field"
+)
+
+// testParams uses the P17 field, the default for the real-crypto protocol.
+var testParams = MustParams(DefaultN, field.P17)
+
+// seededReader adapts math/rand to io.Reader for reproducible tests.
+type seededReader struct{ rng *rand.Rand }
+
+func newSeeded(seed int64) *seededReader {
+	return &seededReader{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *seededReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(s.rng.Intn(256))
+	}
+	return len(p), nil
+}
+
+func randomMessage(rng *rand.Rand, p Params, n int) []uint64 {
+	m := make([]uint64, n)
+	for i := range m {
+		m[i] = rng.Uint64() % p.T
+	}
+	return m
+}
+
+func TestNewParamsValidation(t *testing.T) {
+	cases := []struct {
+		n  int
+		t_ uint64
+		ok bool
+	}{
+		{4096, field.P17, true},
+		{4096, field.P20, true},
+		{4096, field.P31, false}, // exceeds single-modulus noise budget
+		{4096, 65536, false},     // not prime-compatible: 65536-1 not ≡ 0 mod 8192
+		{4095, field.P17, false}, // not a power of two
+		{4096, 0, false},
+	}
+	for _, c := range cases {
+		_, err := NewParams(c.n, c.t_)
+		if (err == nil) != c.ok {
+			t.Errorf("NewParams(%d, %d): err=%v, want ok=%v", c.n, c.t_, err, c.ok)
+		}
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	p := testParams
+	rng := rand.New(rand.NewSource(1))
+	sk, pk := KeyGen(p, newSeeded(2))
+	enc := NewEncryptor(p, pk, newSeeded(3))
+	dec := NewDecryptor(p, sk)
+
+	for trial := 0; trial < 5; trial++ {
+		m := randomMessage(rng, p, p.N)
+		got := dec.DecryptCoeffs(enc.EncryptCoeffs(m))
+		for i := range m {
+			if got[i] != m[i] {
+				t.Fatalf("trial %d: coeff %d: got %d want %d", trial, i, got[i], m[i])
+			}
+		}
+	}
+}
+
+func TestFreshNoiseBudget(t *testing.T) {
+	p := testParams
+	sk, pk := KeyGen(p, newSeeded(4))
+	enc := NewEncryptor(p, pk, newSeeded(5))
+	dec := NewDecryptor(p, sk)
+	m := make([]uint64, p.N)
+	budget := dec.NoiseBudget(enc.EncryptCoeffs(m), m)
+	// A fresh ciphertext should have >= 25 bits of headroom with these
+	// parameters (q/2t ~= 2^46, fresh noise ~= 2^14 worst case).
+	if budget < 25 {
+		t.Fatalf("fresh noise budget %d bits, want >= 25", budget)
+	}
+}
+
+func TestHomomorphicAdd(t *testing.T) {
+	p := testParams
+	f := field.New(p.T)
+	rng := rand.New(rand.NewSource(6))
+	sk, pk := KeyGen(p, newSeeded(7))
+	enc := NewEncryptor(p, pk, newSeeded(8))
+	dec := NewDecryptor(p, sk)
+
+	a := randomMessage(rng, p, p.N)
+	b := randomMessage(rng, p, p.N)
+	sum := dec.DecryptCoeffs(AddCt(p, enc.EncryptCoeffs(a), enc.EncryptCoeffs(b)))
+	diff := dec.DecryptCoeffs(SubCt(p, enc.EncryptCoeffs(a), enc.EncryptCoeffs(b)))
+	for i := range a {
+		if sum[i] != f.Add(a[i], b[i]) {
+			t.Fatalf("add coeff %d: got %d want %d", i, sum[i], f.Add(a[i], b[i]))
+		}
+		if diff[i] != f.Sub(a[i], b[i]) {
+			t.Fatalf("sub coeff %d: got %d want %d", i, diff[i], f.Sub(a[i], b[i]))
+		}
+	}
+}
+
+func TestAddSubPlain(t *testing.T) {
+	p := testParams
+	f := field.New(p.T)
+	rng := rand.New(rand.NewSource(9))
+	sk, pk := KeyGen(p, newSeeded(10))
+	enc := NewEncryptor(p, pk, newSeeded(11))
+	dec := NewDecryptor(p, sk)
+	e := NewEncoder(p)
+
+	a := randomMessage(rng, p, p.N)
+	b := randomMessage(rng, p, p.N)
+	pt := e.EncodeAddNTT(b)
+	ct := enc.EncryptCoeffs(a)
+	sum := dec.DecryptCoeffs(AddPlain(p, ct, pt))
+	diff := dec.DecryptCoeffs(SubPlain(p, ct, pt))
+	for i := range a {
+		if sum[i] != f.Add(a[i], b[i]) {
+			t.Fatalf("addplain coeff %d: got %d want %d", i, sum[i], f.Add(a[i], b[i]))
+		}
+		if diff[i] != f.Sub(a[i], b[i]) {
+			t.Fatalf("subplain coeff %d: got %d want %d", i, diff[i], f.Sub(a[i], b[i]))
+		}
+	}
+}
+
+// plainNegacyclicModT computes the negacyclic product of a and b mod t,
+// the reference for MulPlain.
+func plainNegacyclicModT(f field.Field, a, b []uint64) []uint64 {
+	n := len(a)
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		if a[i] == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			k := i + j
+			prod := f.Mul(a[i], b[j])
+			if k < n {
+				out[k] = f.Add(out[k], prod)
+			} else {
+				out[k-n] = f.Sub(out[k-n], prod)
+			}
+		}
+	}
+	return out
+}
+
+func TestMulPlainSparse(t *testing.T) {
+	// Use a small number of nonzero coefficients so the O(N^2) reference
+	// stays fast while still exercising negacyclic wraparound.
+	p := testParams
+	f := field.New(p.T)
+	rng := rand.New(rand.NewSource(12))
+	sk, pk := KeyGen(p, newSeeded(13))
+	enc := NewEncryptor(p, pk, newSeeded(14))
+	dec := NewDecryptor(p, sk)
+	e := NewEncoder(p)
+
+	a := make([]uint64, p.N)
+	b := make([]uint64, p.N)
+	for k := 0; k < 64; k++ {
+		a[rng.Intn(p.N)] = rng.Uint64() % p.T
+		b[rng.Intn(p.N)] = rng.Uint64() % p.T
+	}
+	want := plainNegacyclicModT(f, a, b)
+	got := dec.DecryptCoeffs(MulPlain(p, enc.EncryptCoeffs(a), e.EncodeMulNTT(b)))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mulplain coeff %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMulPlainDenseNoiseBudget(t *testing.T) {
+	// Worst realistic case for the protocol: dense random plaintext. The
+	// result must still decrypt; we check budget stays positive.
+	p := testParams
+	rng := rand.New(rand.NewSource(15))
+	sk, pk := KeyGen(p, newSeeded(16))
+	enc := NewEncryptor(p, pk, newSeeded(17))
+	dec := NewDecryptor(p, sk)
+	e := NewEncoder(p)
+
+	a := randomMessage(rng, p, p.N)
+	b := randomMessage(rng, p, p.N)
+	ct := MulPlain(p, enc.EncryptCoeffs(a), e.EncodeMulNTT(b))
+	f := field.New(p.T)
+	want := plainNegacyclicModT(f, a, b)
+	got := dec.DecryptCoeffs(ct)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dense mulplain coeff %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+	if budget := dec.NoiseBudget(ct, want); budget < 1 {
+		t.Fatalf("post-multiplication budget %d, want >= 1", budget)
+	}
+}
+
+func TestBatchEncoderRoundTrip(t *testing.T) {
+	p := testParams
+	be := NewBatchEncoder(p)
+	rng := rand.New(rand.NewSource(18))
+	slots := randomMessage(rng, p, p.N)
+	got := be.DecodeCoeffs(be.EncodeCoeffs(slots))
+	for i := range slots {
+		if got[i] != slots[i] {
+			t.Fatalf("slot %d: got %d want %d", i, got[i], slots[i])
+		}
+	}
+}
+
+func TestBatchSlotwiseSemantics(t *testing.T) {
+	// Encrypt batched a, multiply by batched plaintext b: slots multiply
+	// pointwise. This validates the SIMD path the ss Beaver-triple
+	// generator uses.
+	p := testParams
+	f := field.New(p.T)
+	be := NewBatchEncoder(p)
+	rng := rand.New(rand.NewSource(19))
+	sk, pk := KeyGen(p, newSeeded(20))
+	enc := NewEncryptor(p, pk, newSeeded(21))
+	dec := NewDecryptor(p, sk)
+	e := NewEncoder(p)
+
+	a := randomMessage(rng, p, p.N)
+	b := randomMessage(rng, p, p.N)
+	ct := enc.EncryptCoeffs(be.EncodeCoeffs(a))
+	pt := e.EncodeMulNTT(be.EncodeCoeffs(b))
+	got := be.DecodeCoeffs(dec.DecryptCoeffs(MulPlain(p, ct, pt)))
+	for i := range a {
+		if got[i] != f.Mul(a[i], b[i]) {
+			t.Fatalf("slot %d: got %d want %d", i, got[i], f.Mul(a[i], b[i]))
+		}
+	}
+}
+
+func TestMatVecMatchesPlain(t *testing.T) {
+	p := testParams
+	f := field.New(p.T)
+	rng := rand.New(rand.NewSource(22))
+	sk, pk := KeyGen(p, newSeeded(23))
+	enc := NewEncryptor(p, pk, newSeeded(24))
+	dec := NewDecryptor(p, sk)
+	e := NewEncoder(p)
+
+	dims := []struct{ out, in int }{
+		{1, 1}, {3, 5}, {16, 64}, {10, 4096}, {7, 5000}, {130, 100},
+	}
+	for _, d := range dims {
+		w := make([][]uint64, d.out)
+		for r := range w {
+			w[r] = make([]uint64, d.in)
+			for c := range w[r] {
+				w[r][c] = rng.Uint64() % 512 // realistic quantized weights
+			}
+		}
+		x := make([]uint64, d.in)
+		for i := range x {
+			x[i] = rng.Uint64() % p.T
+		}
+
+		pl := PlanMatVec(p, d.out, d.in)
+		cts := pl.EncryptVector(enc, x)
+		pts := pl.EncodeMatrix(e, w)
+		res := pl.Apply(pts, cts)
+		decs := make([][]uint64, len(res))
+		for i := range res {
+			decs[i] = dec.DecryptCoeffs(res[i])
+		}
+		got := pl.ExtractResult(decs)
+
+		for r := 0; r < d.out; r++ {
+			want := f.DotProduct(w[r], x)
+			if got[r] != want {
+				t.Fatalf("dims %dx%d row %d: got %d want %d", d.out, d.in, r, got[r], want)
+			}
+		}
+	}
+}
+
+func TestMatVecWithMask(t *testing.T) {
+	// The DELPHI offline pattern: server computes Enc(w·r - s).
+	p := testParams
+	f := field.New(p.T)
+	rng := rand.New(rand.NewSource(25))
+	sk, pk := KeyGen(p, newSeeded(26))
+	enc := NewEncryptor(p, pk, newSeeded(27))
+	dec := NewDecryptor(p, sk)
+	e := NewEncoder(p)
+
+	out, in := 9, 300
+	w := make([][]uint64, out)
+	for r := range w {
+		w[r] = make([]uint64, in)
+		for c := range w[r] {
+			w[r][c] = rng.Uint64() % 256
+		}
+	}
+	x := make([]uint64, in)
+	s := make([]uint64, out)
+	for i := range x {
+		x[i] = rng.Uint64() % p.T
+	}
+	for i := range s {
+		s[i] = rng.Uint64() % p.T
+	}
+
+	pl := PlanMatVec(p, out, in)
+	cts := pl.EncryptVector(enc, x)
+	pts := pl.EncodeMatrix(e, w)
+	res := pl.Apply(pts, cts)
+	for oc := range res {
+		res[oc] = SubPlain(p, res[oc], pl.MaskPlaintext(e, s, oc))
+	}
+	decs := make([][]uint64, len(res))
+	for i := range res {
+		decs[i] = dec.DecryptCoeffs(res[i])
+	}
+	got := pl.ExtractResult(decs)
+	for r := 0; r < out; r++ {
+		want := f.Sub(f.DotProduct(w[r], x), s[r])
+		if got[r] != want {
+			t.Fatalf("row %d: got %d want %d", r, got[r], want)
+		}
+	}
+}
+
+func TestMatVecPlanGeometry(t *testing.T) {
+	p := testParams
+	check := func(out, in uint16) bool {
+		o, i := int(out)%200+1, int(in)%9000+1
+		pl := PlanMatVec(p, o, i)
+		if pl.Chunk < 1 || pl.Chunk > p.N || pl.RowsPer < 1 {
+			return false
+		}
+		if pl.NumInputCts()*pl.Chunk < i {
+			return false
+		}
+		if pl.NumOutputCts()*pl.RowsPer < o {
+			return false
+		}
+		// Every result position must be a valid, distinct coefficient.
+		seen := make(map[[2]int]bool)
+		for r := 0; r < o; r++ {
+			ct, coeff := pl.ResultSlot(r)
+			pos := [2]int{ct, coeff + pl.Chunk - 1}
+			if pos[1] >= p.N || seen[pos] {
+				return false
+			}
+			seen[pos] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCiphertextSerializationRoundTrip(t *testing.T) {
+	p := testParams
+	rng := rand.New(rand.NewSource(28))
+	_, pk := KeyGen(p, newSeeded(29))
+	enc := NewEncryptor(p, pk, newSeeded(30))
+	ct := enc.EncryptCoeffs(randomMessage(rng, p, p.N))
+
+	data, err := ct.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != p.CiphertextBytes() {
+		t.Fatalf("serialized size %d, want %d", len(data), p.CiphertextBytes())
+	}
+	var ct2 Ciphertext
+	if err := ct2.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ct.c0 {
+		if ct.c0[i] != ct2.c0[i] || ct.c1[i] != ct2.c1[i] {
+			t.Fatalf("coeff %d mismatch after round trip", i)
+		}
+	}
+}
+
+func TestPublicKeySerializationRoundTrip(t *testing.T) {
+	p := testParams
+	_, pk := KeyGen(p, newSeeded(31))
+	data, err := pk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pk2 PublicKey
+	if err := pk2.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for i := range pk.a {
+		if pk.a[i] != pk2.a[i] || pk.b[i] != pk2.b[i] {
+			t.Fatalf("coeff %d mismatch after round trip", i)
+		}
+	}
+}
+
+func TestSerializationRejectsGarbage(t *testing.T) {
+	var ct Ciphertext
+	if err := ct.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short buffer should fail")
+	}
+	bad := make([]byte, 8+16)
+	bad[0] = 200 // degree 200 but only one coefficient of data
+	if err := ct.UnmarshalBinary(bad); err == nil {
+		t.Fatal("inconsistent length should fail")
+	}
+	var pk PublicKey
+	if err := pk.UnmarshalBinary(nil); err == nil {
+		t.Fatal("nil public key buffer should fail")
+	}
+}
+
+func TestEncryptRejectsBadMessages(t *testing.T) {
+	p := testParams
+	_, pk := KeyGen(p, newSeeded(32))
+	enc := NewEncryptor(p, pk, newSeeded(33))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("oversized message should panic")
+			}
+		}()
+		enc.EncryptCoeffs(make([]uint64, p.N+1))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("out-of-range coefficient should panic")
+			}
+		}()
+		enc.EncryptCoeffs([]uint64{p.T})
+	}()
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	p := testParams
+	_, pk := KeyGen(p, newSeeded(40))
+	enc := NewEncryptor(p, pk, newSeeded(41))
+	m := make([]uint64, p.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.EncryptCoeffs(m)
+	}
+}
+
+func BenchmarkDecrypt(b *testing.B) {
+	p := testParams
+	sk, pk := KeyGen(p, newSeeded(42))
+	enc := NewEncryptor(p, pk, newSeeded(43))
+	dec := NewDecryptor(p, sk)
+	ct := enc.EncryptCoeffs(make([]uint64, p.N))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.DecryptCoeffs(ct)
+	}
+}
+
+func BenchmarkMulPlain(b *testing.B) {
+	p := testParams
+	_, pk := KeyGen(p, newSeeded(44))
+	enc := NewEncryptor(p, pk, newSeeded(45))
+	e := NewEncoder(p)
+	ct := enc.EncryptCoeffs(make([]uint64, p.N))
+	pt := e.EncodeMulNTT(make([]uint64, p.N))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulPlain(p, ct, pt)
+	}
+}
+
+func BenchmarkBFVMatVec(b *testing.B) {
+	// Ablation target: packed matvec vs the naive one-value-per-ciphertext
+	// approach (which would need `in` ciphertext ops per output).
+	p := testParams
+	rng := rand.New(rand.NewSource(46))
+	_, pk := KeyGen(p, newSeeded(47))
+	enc := NewEncryptor(p, pk, newSeeded(48))
+	e := NewEncoder(p)
+
+	out, in := 64, 1024
+	w := make([][]uint64, out)
+	for r := range w {
+		w[r] = make([]uint64, in)
+		for c := range w[r] {
+			w[r][c] = rng.Uint64() % 256
+		}
+	}
+	x := make([]uint64, in)
+	pl := PlanMatVec(p, out, in)
+	cts := pl.EncryptVector(enc, x)
+	pts := pl.EncodeMatrix(e, w)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pl.Apply(pts, cts)
+	}
+}

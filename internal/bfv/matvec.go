@@ -1,0 +1,153 @@
+package bfv
+
+// Packed matrix-vector products with coefficient packing (the Cheetah/Iron
+// encoding): a dot product of length k appears as coefficient k-1 of the
+// negacyclic product r(X) * rev(w)(X), so a matrix-vector product needs only
+// ct×pt multiplications and additions — no rotation keys. This is how the
+// protocol layer evaluates convolution and fully-connected layers
+// homomorphically in the offline phase (conv layers are lowered to matvec
+// via im2col in the nn package).
+//
+// Layout. The input vector of length `in` is split into chunks of size
+// chunk ≤ N; each chunk is one ciphertext with the chunk at coefficients
+// 0..chunk-1. For each chunk, floor(N/chunk) output rows are packed into one
+// plaintext: row m's reversed weights occupy coefficients
+// [m*chunk, m*chunk + chunk - 1], so row m's partial dot product lands at
+// coefficient m*chunk + chunk - 1. Cross terms fall on unread coefficients
+// or wrap negacyclically past N into coefficients < chunk-1, never onto a
+// read position.
+
+// MatVecPlan precomputes the packing geometry for an out×in matrix.
+type MatVecPlan struct {
+	Params  Params
+	In, Out int
+	Chunk   int // input coefficients per ciphertext
+	RowsPer int // output rows packed per plaintext
+}
+
+// PlanMatVec chooses the packing for an out×in matrix under params p.
+func PlanMatVec(p Params, out, in int) MatVecPlan {
+	chunk := in
+	if chunk > p.N {
+		chunk = p.N
+	}
+	rows := p.N / chunk
+	if rows > out {
+		rows = out
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return MatVecPlan{Params: p, In: in, Out: out, Chunk: chunk, RowsPer: rows}
+}
+
+// NumInputCts returns how many ciphertexts the input vector occupies.
+func (pl MatVecPlan) NumInputCts() int {
+	return (pl.In + pl.Chunk - 1) / pl.Chunk
+}
+
+// NumOutputCts returns how many result ciphertexts the product occupies.
+func (pl MatVecPlan) NumOutputCts() int {
+	return (pl.Out + pl.RowsPer - 1) / pl.RowsPer
+}
+
+// EncryptVector splits x (length In, values mod T) into chunk ciphertexts.
+func (pl MatVecPlan) EncryptVector(enc *Encryptor, x []uint64) []Ciphertext {
+	if len(x) != pl.In {
+		panic("bfv: matvec input length mismatch")
+	}
+	cts := make([]Ciphertext, pl.NumInputCts())
+	for c := range cts {
+		lo := c * pl.Chunk
+		hi := lo + pl.Chunk
+		if hi > pl.In {
+			hi = pl.In
+		}
+		cts[c] = enc.EncryptCoeffs(x[lo:hi])
+	}
+	return cts
+}
+
+// EncodeMatrix packs the weight matrix w (w[r][c], Out rows of In columns,
+// values mod T) into plaintexts indexed [outputCt][inputCt].
+func (pl MatVecPlan) EncodeMatrix(e *Encoder, w [][]uint64) [][]Plaintext {
+	if len(w) != pl.Out {
+		panic("bfv: matvec matrix row count mismatch")
+	}
+	nOut := pl.NumOutputCts()
+	nIn := pl.NumInputCts()
+	pts := make([][]Plaintext, nOut)
+	buf := make([]uint64, pl.Params.N)
+	for oc := 0; oc < nOut; oc++ {
+		pts[oc] = make([]Plaintext, nIn)
+		for ic := 0; ic < nIn; ic++ {
+			for i := range buf {
+				buf[i] = 0
+			}
+			colLo := ic * pl.Chunk
+			colHi := colLo + pl.Chunk
+			if colHi > pl.In {
+				colHi = pl.In
+			}
+			for m := 0; m < pl.RowsPer; m++ {
+				row := oc*pl.RowsPer + m
+				if row >= pl.Out {
+					break
+				}
+				// Reversed row m of this column chunk at offset m*Chunk.
+				for j := colLo; j < colHi; j++ {
+					buf[m*pl.Chunk+(pl.Chunk-1-(j-colLo))] = w[row][j]
+				}
+			}
+			pts[oc][ic] = e.EncodeMulNTT(buf)
+		}
+	}
+	return pts
+}
+
+// Apply computes the encrypted matrix-vector product: for each output
+// ciphertext, sum over input chunks of ct[ic] * pt[oc][ic].
+func (pl MatVecPlan) Apply(pts [][]Plaintext, cts []Ciphertext) []Ciphertext {
+	out := make([]Ciphertext, len(pts))
+	for oc := range pts {
+		acc := ZeroCiphertext(pl.Params)
+		for ic := range pts[oc] {
+			MulPlainAddInto(&acc, cts[ic], pts[oc][ic])
+		}
+		out[oc] = acc
+	}
+	return out
+}
+
+// ExtractResult reads the Out dot products from decrypted coefficient
+// vectors (one per output ciphertext).
+func (pl MatVecPlan) ExtractResult(decrypted [][]uint64) []uint64 {
+	out := make([]uint64, pl.Out)
+	for r := 0; r < pl.Out; r++ {
+		oc := r / pl.RowsPer
+		m := r % pl.RowsPer
+		out[r] = decrypted[oc][m*pl.Chunk+pl.Chunk-1]
+	}
+	return out
+}
+
+// ResultSlot returns the (outputCt, coefficient) position of output row r,
+// used by the protocol layer to inject its additive mask -s at exactly the
+// read positions.
+func (pl MatVecPlan) ResultSlot(r int) (ct, coeff int) {
+	return r / pl.RowsPer, (r % pl.RowsPer) * pl.Chunk
+}
+
+// MaskPlaintext encodes a mask vector s (length Out) for output ciphertext
+// oc, placing s[r] at row r's result coefficient, for AddPlain/SubPlain.
+func (pl MatVecPlan) MaskPlaintext(e *Encoder, s []uint64, oc int) Plaintext {
+	buf := make([]uint64, pl.Params.N)
+	for m := 0; m < pl.RowsPer; m++ {
+		r := oc*pl.RowsPer + m
+		if r >= pl.Out {
+			break
+		}
+		buf[m*pl.Chunk+pl.Chunk-1] = s[r]
+	}
+	return e.EncodeAddNTT(buf)
+}

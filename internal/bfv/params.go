@@ -1,0 +1,85 @@
+// Package bfv implements a BFV-style somewhat-homomorphic encryption scheme
+// over the ring R_q = Z_q[X]/(X^N+1) with the Goldilocks prime
+// q = 2^64 - 2^32 + 1, supporting exactly the operations DELPHI-style hybrid
+// PI protocols need in their offline phase: encryption, decryption,
+// ciphertext-ciphertext addition, plaintext addition, and
+// ciphertext-plaintext multiplication. No relinearization or rotation keys
+// are required: linear layers are computed with Cheetah-style coefficient
+// packing (see matvec.go), which needs only ct×pt products and additions.
+//
+// Noise budget (single 64-bit modulus). Fresh public-key encryption noise is
+// bounded by |e1| + |u·e| + |s·e2| ≤ B + 2·N·B with ternary u, s and errors
+// bounded by B = 2·eta (centered binomial, eta = 2), i.e. about 2^14 for
+// N = 4096. A plaintext multiplication grows noise by at most N·t/2 (t the
+// plaintext modulus, centered). Decryption is correct while noise < q/(2t).
+// With t = 65537 (field.P17) the worst-case headroom is
+// 64 - 17 - 1 - (14 + 12 + 16) = -4 bits worst-case but ~+8 bits in the
+// average case (noise terms are zero-centered and concentrate around
+// sqrt(N)·sigma); with the small quantized weights real networks use
+// (|w| ≤ 2^8) headroom exceeds 20 bits. The protocol layer restricts
+// plaintext multiplications to one level, matching DELPHI.
+//
+// This is a research artifact: parameters target correctness and protocol
+// shape, not a production 128-bit security review.
+package bfv
+
+import (
+	"fmt"
+
+	"privinf/internal/ringq"
+)
+
+// Params fixes the scheme parameters. Construct with NewParams.
+type Params struct {
+	N int    // ring degree, a power of two
+	T uint64 // plaintext modulus, a prime ≡ 1 mod 2N
+
+	ntt   *ringq.NTT
+	delta uint64 // floor(q / t), the plaintext scaling factor
+}
+
+// DefaultN is the ring degree used throughout the protocol layer. It matches
+// the degree GAZELLE/DELPHI use for their packed linear layers.
+const DefaultN = 4096
+
+// NewParams validates and precomputes scheme parameters.
+func NewParams(n int, t uint64) (Params, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return Params{}, fmt.Errorf("bfv: ring degree %d is not a power of two", n)
+	}
+	if t < 2 || t >= ringq.Q {
+		return Params{}, fmt.Errorf("bfv: plaintext modulus %d out of range", t)
+	}
+	if (t-1)%uint64(2*n) != 0 {
+		return Params{}, fmt.Errorf("bfv: plaintext modulus %d is not ≡ 1 mod 2N; batching impossible", t)
+	}
+	if t > 1<<22 {
+		return Params{}, fmt.Errorf("bfv: plaintext modulus %d exceeds the 2^22 noise budget for a single 64-bit ciphertext modulus", t)
+	}
+	return Params{
+		N:     n,
+		T:     t,
+		ntt:   ringq.NewNTT(n),
+		delta: ringq.Q / t,
+	}, nil
+}
+
+// MustParams is NewParams that panics on error, for package-level defaults
+// and tests where the parameters are compile-time constants.
+func MustParams(n int, t uint64) Params {
+	p, err := NewParams(n, t)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Delta returns floor(q/t).
+func (p Params) Delta() uint64 { return p.delta }
+
+// NTT exposes the ring transform (used by the encoders).
+func (p Params) NTT() *ringq.NTT { return p.ntt }
+
+// CiphertextBytes returns the serialized size of one ciphertext:
+// two degree-N polynomials of 8-byte coefficients plus a small header.
+func (p Params) CiphertextBytes() int { return 2*8*p.N + 8 }

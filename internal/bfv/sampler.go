@@ -1,0 +1,97 @@
+package bfv
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"io"
+
+	"privinf/internal/ringq"
+)
+
+// sampler draws the random polynomials the scheme needs from an entropy
+// source. Production callers use crypto/rand; tests inject seeded readers
+// for reproducibility.
+type sampler struct {
+	src io.Reader
+	buf [8]byte
+}
+
+func newSampler(src io.Reader) *sampler {
+	if src == nil {
+		src = rand.Reader
+	}
+	return &sampler{src: src}
+}
+
+func (s *sampler) uint64() uint64 {
+	if _, err := io.ReadFull(s.src, s.buf[:]); err != nil {
+		// Entropy exhaustion is unrecoverable for key material.
+		panic("bfv: entropy source failed: " + err.Error())
+	}
+	return binary.LittleEndian.Uint64(s.buf[:])
+}
+
+// uniform fills out with independent uniform values in [0, Q).
+func (s *sampler) uniform(out []uint64) {
+	for i := range out {
+		// Rejection sampling; Q is close to 2^64 so rejections are rare.
+		for {
+			v := s.uint64()
+			if v < ringq.Q {
+				out[i] = v
+				break
+			}
+		}
+	}
+}
+
+// ternary fills out with values in {-1, 0, 1} mod Q, uniformly.
+func (s *sampler) ternary(out []uint64) {
+	var word uint64
+	var remaining int
+	for i := range out {
+		for {
+			if remaining == 0 {
+				word = s.uint64()
+				remaining = 32
+			}
+			v := word & 3
+			word >>= 2
+			remaining--
+			switch v {
+			case 0:
+				out[i] = 0
+			case 1:
+				out[i] = 1
+			case 2:
+				out[i] = ringq.Q - 1
+			default:
+				continue // reject 3 for uniformity
+			}
+			break
+		}
+	}
+}
+
+// cbdEta is the centered-binomial parameter for error polynomials:
+// e = sum of eta coin pairs, giving |e| ≤ eta with variance eta/2.
+const cbdEta = 2
+
+// cbd fills out with centered-binomial errors mod Q.
+func (s *sampler) cbd(out []uint64) {
+	for i := range out {
+		bits := s.uint64()
+		var e int
+		for j := 0; j < cbdEta; j++ {
+			e += int(bits & 1)
+			bits >>= 1
+			e -= int(bits & 1)
+			bits >>= 1
+		}
+		if e >= 0 {
+			out[i] = uint64(e)
+		} else {
+			out[i] = ringq.Q - uint64(-e)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package bfv
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Serialization uses a fixed little-endian layout so ciphertexts and public
+// keys can cross the client-server transport. The degree is embedded as a
+// sanity check against parameter mismatches between the two parties.
+
+// MarshalBinary encodes the ciphertext.
+func (ct Ciphertext) MarshalBinary() ([]byte, error) {
+	n := len(ct.c0)
+	out := make([]byte, 8+16*n)
+	binary.LittleEndian.PutUint64(out, uint64(n))
+	off := 8
+	for _, v := range ct.c0 {
+		binary.LittleEndian.PutUint64(out[off:], v)
+		off += 8
+	}
+	for _, v := range ct.c1 {
+		binary.LittleEndian.PutUint64(out[off:], v)
+		off += 8
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a ciphertext produced by MarshalBinary.
+func (ct *Ciphertext) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("bfv: ciphertext truncated")
+	}
+	n := int(binary.LittleEndian.Uint64(data))
+	if n <= 0 || len(data) != 8+16*n {
+		return fmt.Errorf("bfv: ciphertext length %d inconsistent with degree %d", len(data), n)
+	}
+	ct.c0 = make([]uint64, n)
+	ct.c1 = make([]uint64, n)
+	off := 8
+	for i := range ct.c0 {
+		ct.c0[i] = binary.LittleEndian.Uint64(data[off:])
+		off += 8
+	}
+	for i := range ct.c1 {
+		ct.c1[i] = binary.LittleEndian.Uint64(data[off:])
+		off += 8
+	}
+	return nil
+}
+
+// MarshalBinary encodes the public key.
+func (pk PublicKey) MarshalBinary() ([]byte, error) {
+	n := len(pk.b)
+	out := make([]byte, 8+16*n)
+	binary.LittleEndian.PutUint64(out, uint64(n))
+	off := 8
+	for _, v := range pk.b {
+		binary.LittleEndian.PutUint64(out[off:], v)
+		off += 8
+	}
+	for _, v := range pk.a {
+		binary.LittleEndian.PutUint64(out[off:], v)
+		off += 8
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a public key produced by MarshalBinary.
+func (pk *PublicKey) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("bfv: public key truncated")
+	}
+	n := int(binary.LittleEndian.Uint64(data))
+	if n <= 0 || len(data) != 8+16*n {
+		return fmt.Errorf("bfv: public key length %d inconsistent with degree %d", len(data), n)
+	}
+	pk.b = make([]uint64, n)
+	pk.a = make([]uint64, n)
+	off := 8
+	for i := range pk.b {
+		pk.b[i] = binary.LittleEndian.Uint64(data[off:])
+		off += 8
+	}
+	for i := range pk.a {
+		pk.a[i] = binary.LittleEndian.Uint64(data[off:])
+		off += 8
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package boolcirc
+
+// Multi-bit arithmetic over wire vectors, least-significant bit first.
+// AND-gate budgets: Add and Sub cost 1 AND per bit, Mux 1 AND per bit,
+// CmpGE 1 AND per bit. The ReLU circuit composes these.
+
+// ConstBits returns wires holding the little-endian bits of v, width w.
+func (b *Builder) ConstBits(v uint64, width int) []int {
+	out := make([]int, width)
+	for i := 0; i < width; i++ {
+		if v>>uint(i)&1 == 1 {
+			out[i] = b.One()
+		} else {
+			out[i] = b.Zero()
+		}
+	}
+	return out
+}
+
+// fullAdder returns (sum, carryOut) for inputs a, b and carry c using
+// one AND gate: sum = a⊕b⊕c, carry = ((a⊕c)∧(b⊕c))⊕c.
+func (b *Builder) fullAdder(a, w, c int) (sum, carry int) {
+	axc := b.Xor(a, c)
+	bxc := b.Xor(w, c)
+	sum = b.Xor(axc, w)
+	carry = b.Xor(b.And(axc, bxc), c)
+	return sum, carry
+}
+
+// Add returns a+b (same width as inputs) and the carry-out wire.
+func (b *Builder) Add(a, w []int) (sum []int, carry int) {
+	if len(a) != len(w) {
+		panic("boolcirc: adder width mismatch")
+	}
+	sum = make([]int, len(a))
+	c := b.Zero()
+	for i := range a {
+		sum[i], c = b.fullAdder(a[i], w[i], c)
+	}
+	return sum, c
+}
+
+// Sub returns a-b (two's complement, same width) and a borrow wire that is
+// 1 iff a < b. Implemented as a + ¬b + 1; borrow = ¬carryOut.
+func (b *Builder) Sub(a, w []int) (diff []int, borrow int) {
+	if len(a) != len(w) {
+		panic("boolcirc: subtractor width mismatch")
+	}
+	diff = make([]int, len(a))
+	c := b.One()
+	for i := range a {
+		diff[i], c = b.fullAdder(a[i], b.Not(w[i]), c)
+	}
+	return diff, b.Not(c)
+}
+
+// Mux returns sel ? a : b bitwise, 1 AND per bit.
+func (b *Builder) Mux(sel int, a, w []int) []int {
+	if len(a) != len(w) {
+		panic("boolcirc: mux width mismatch")
+	}
+	out := make([]int, len(a))
+	for i := range a {
+		out[i] = b.Xor(w[i], b.And(sel, b.Xor(a[i], w[i])))
+	}
+	return out
+}
+
+// MaskBits returns bit ∧ a[i] for each i (zeroes the vector when bit=0).
+func (b *Builder) MaskBits(bit int, a []int) []int {
+	out := make([]int, len(a))
+	for i := range a {
+		out[i] = b.And(bit, a[i])
+	}
+	return out
+}
+
+// CmpGE returns a wire that is 1 iff a >= v for a constant v, by computing
+// the borrow of a - v.
+func (b *Builder) CmpGE(a []int, v uint64) int {
+	_, borrow := b.Sub(a, b.ConstBits(v, len(a)))
+	return b.Not(borrow)
+}
+
+// AddModP returns (a + b) mod p for ℓ-bit inputs known to be < p.
+// Computes s = a+b over ℓ+1 bits, then selects s or s-p.
+func (b *Builder) AddModP(a, w []int, p uint64) []int {
+	width := len(a)
+	// Widen by one bit for the raw sum.
+	aw := append(append([]int(nil), a...), b.Zero())
+	bw := append(append([]int(nil), w...), b.Zero())
+	s, _ := b.Add(aw, bw)
+	sp, borrow := b.Sub(s, b.ConstBits(p, width+1))
+	// borrow=1 means s < p: keep s. Otherwise use s-p.
+	out := b.Mux(borrow, s, sp)
+	return out[:width] // result < p fits in ℓ bits
+}
+
+// SubModP returns (a - b) mod p for ℓ-bit inputs known to be < p.
+func (b *Builder) SubModP(a, w []int, p uint64) []int {
+	d, borrow := b.Sub(a, w)
+	dp, _ := b.Add(d, b.ConstBits(p, len(a)))
+	return b.Mux(borrow, dp, d)
+}
+
+// ShiftRight returns a >> f with zero fill (logical shift). Free: it is
+// pure rewiring.
+func (b *Builder) ShiftRight(a []int, f uint) []int {
+	width := len(a)
+	out := make([]int, width)
+	for i := 0; i < width; i++ {
+		src := i + int(f)
+		if src < width {
+			out[i] = a[src]
+		} else {
+			out[i] = b.Zero()
+		}
+	}
+	return out
+}

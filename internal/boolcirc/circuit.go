@@ -1,0 +1,166 @@
+// Package boolcirc represents Boolean circuits over XOR and AND gates and
+// provides a builder for the arithmetic-over-Z_p circuits that hybrid PI
+// protocols garble: ripple-carry adders, subtractors, comparators,
+// multiplexers, and the DELPHI ReLU circuit
+//
+//	out = (ReLU(a + b mod p) >> f) - r  (mod p)
+//
+// where a and b are the two parties' additive shares of a linear-layer
+// output and r is the fresh mask for the next layer.
+//
+// Restricting gates to XOR and AND keeps garbling maximally cheap: XOR is
+// free (FreeXOR) and AND costs two ciphertexts (half-gates). NOT is
+// expressed as XOR with the constant-one wire, which is input 0 of every
+// circuit and is always assigned the value 1.
+package boolcirc
+
+import "fmt"
+
+// Op is a gate operation.
+type Op uint8
+
+const (
+	// XOR gates are free to garble and evaluate.
+	XOR Op = iota
+	// AND gates cost two ciphertexts each under half-gates.
+	AND
+)
+
+// Gate computes Out = A op B. Wires are identified by dense indices:
+// inputs first, then one wire per gate in topological order.
+type Gate struct {
+	Op   Op
+	A, B int
+	Out  int
+}
+
+// Circuit is an immutable gate list plus input/output metadata.
+//
+// Input 0 is the constant-one wire: whoever garbles or plainly evaluates the
+// circuit must assign it 1. Builders use it to synthesize NOT.
+type Circuit struct {
+	NumInputs int // including the constant-one wire at index 0
+	NumWires  int
+	Gates     []Gate
+	Outputs   []int
+}
+
+// ConstOne is the input index of the constant-one wire.
+const ConstOne = 0
+
+// NumAND returns the number of AND gates (the garbling cost driver).
+func (c *Circuit) NumAND() int {
+	n := 0
+	for _, g := range c.Gates {
+		if g.Op == AND {
+			n++
+		}
+	}
+	return n
+}
+
+// Eval computes the circuit in the clear. inputs must have length
+// NumInputs and inputs[0] must be true (the constant-one wire); Eval
+// enforces the latter rather than trusting the caller.
+func (c *Circuit) Eval(inputs []bool) []bool {
+	if len(inputs) != c.NumInputs {
+		panic(fmt.Sprintf("boolcirc: got %d inputs, want %d", len(inputs), c.NumInputs))
+	}
+	if !inputs[ConstOne] {
+		panic("boolcirc: constant-one wire must be assigned true")
+	}
+	wires := make([]bool, c.NumWires)
+	copy(wires, inputs)
+	for _, g := range c.Gates {
+		switch g.Op {
+		case XOR:
+			wires[g.Out] = wires[g.A] != wires[g.B]
+		case AND:
+			wires[g.Out] = wires[g.A] && wires[g.B]
+		default:
+			panic("boolcirc: unknown gate op")
+		}
+	}
+	out := make([]bool, len(c.Outputs))
+	for i, w := range c.Outputs {
+		out[i] = wires[w]
+	}
+	return out
+}
+
+// Builder constructs circuits incrementally. Create with NewBuilder, wire up
+// logic, then Finish.
+type Builder struct {
+	numInputs int
+	nextWire  int
+	gates     []Gate
+	outputs   []int
+	zeroWire  int // lazily created constant-zero wire, -1 if absent
+}
+
+// NewBuilder returns a builder with numUserInputs user inputs. The total
+// input count is numUserInputs + 1 because of the constant-one wire.
+func NewBuilder(numUserInputs int) *Builder {
+	return &Builder{
+		numInputs: numUserInputs + 1,
+		nextWire:  numUserInputs + 1,
+		zeroWire:  -1,
+	}
+}
+
+// Input returns the wire index of user input i (0-based, skipping the
+// constant wire).
+func (b *Builder) Input(i int) int {
+	if i < 0 || i >= b.numInputs-1 {
+		panic("boolcirc: input index out of range")
+	}
+	return i + 1
+}
+
+// One returns the constant-one wire.
+func (b *Builder) One() int { return ConstOne }
+
+// Zero returns a constant-zero wire (one ⊕ one), allocated on first use.
+func (b *Builder) Zero() int {
+	if b.zeroWire < 0 {
+		b.zeroWire = b.Xor(ConstOne, ConstOne)
+	}
+	return b.zeroWire
+}
+
+func (b *Builder) newGate(op Op, a, w int) int {
+	out := b.nextWire
+	b.nextWire++
+	b.gates = append(b.gates, Gate{Op: op, A: a, B: w, Out: out})
+	return out
+}
+
+// Xor returns a wire computing a ⊕ b.
+func (b *Builder) Xor(a, w int) int { return b.newGate(XOR, a, w) }
+
+// And returns a wire computing a ∧ b.
+func (b *Builder) And(a, w int) int { return b.newGate(AND, a, w) }
+
+// Not returns a wire computing ¬a (as a ⊕ 1).
+func (b *Builder) Not(a int) int { return b.Xor(a, ConstOne) }
+
+// Or returns a wire computing a ∨ b (as ¬(¬a ∧ ¬b) via XOR identities:
+// a ∨ b = (a ⊕ b) ⊕ (a ∧ b)).
+func (b *Builder) Or(a, w int) int {
+	return b.Xor(b.Xor(a, w), b.And(a, w))
+}
+
+// SetOutputs declares the circuit outputs in order.
+func (b *Builder) SetOutputs(wires []int) {
+	b.outputs = append([]int(nil), wires...)
+}
+
+// Finish freezes the builder into a Circuit.
+func (b *Builder) Finish() *Circuit {
+	return &Circuit{
+		NumInputs: b.numInputs,
+		NumWires:  b.nextWire,
+		Gates:     b.gates,
+		Outputs:   b.outputs,
+	}
+}

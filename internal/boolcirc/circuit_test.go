@@ -1,0 +1,293 @@
+package boolcirc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"privinf/internal/field"
+)
+
+// evalUser evaluates a circuit given only user inputs (prepends const-one).
+func evalUser(c *Circuit, user []bool) []bool {
+	in := append([]bool{true}, user...)
+	return c.Eval(in)
+}
+
+func TestBasicGates(t *testing.T) {
+	b := NewBuilder(2)
+	x, y := b.Input(0), b.Input(1)
+	b.SetOutputs([]int{b.Xor(x, y), b.And(x, y), b.Not(x), b.Or(x, y)})
+	c := b.Finish()
+	for _, tc := range []struct {
+		x, y                  bool
+		xor, and, notx, orOut bool
+	}{
+		{false, false, false, false, true, false},
+		{false, true, true, false, true, true},
+		{true, false, true, false, false, true},
+		{true, true, false, true, false, true},
+	} {
+		got := evalUser(c, []bool{tc.x, tc.y})
+		if got[0] != tc.xor || got[1] != tc.and || got[2] != tc.notx || got[3] != tc.orOut {
+			t.Errorf("x=%v y=%v: got %v", tc.x, tc.y, got)
+		}
+	}
+}
+
+func TestConstWires(t *testing.T) {
+	b := NewBuilder(0)
+	b.SetOutputs([]int{b.One(), b.Zero()})
+	c := b.Finish()
+	got := c.Eval([]bool{true})
+	if !got[0] || got[1] {
+		t.Fatalf("const wires: got %v, want [true false]", got)
+	}
+}
+
+func TestEvalEnforcesConstOne(t *testing.T) {
+	b := NewBuilder(1)
+	b.SetOutputs([]int{b.Input(0)})
+	c := b.Finish()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Eval with const-one=false should panic")
+		}
+	}()
+	c.Eval([]bool{false, true})
+}
+
+func TestAdder(t *testing.T) {
+	const width = 8
+	b := NewBuilder(2 * width)
+	a := make([]int, width)
+	bb := make([]int, width)
+	for i := 0; i < width; i++ {
+		a[i], bb[i] = b.Input(i), b.Input(width+i)
+	}
+	sum, carry := b.Add(a, bb)
+	b.SetOutputs(append(sum, carry))
+	c := b.Finish()
+
+	check := func(x, y uint8) bool {
+		in := append(PackBits(uint64(x), width), PackBits(uint64(y), width)...)
+		out := evalUser(c, in)
+		got := UnpackBits(out)
+		want := uint64(x) + uint64(y) // 9 bits incl. carry
+		return got == want
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubtractor(t *testing.T) {
+	const width = 8
+	b := NewBuilder(2 * width)
+	a := make([]int, width)
+	bb := make([]int, width)
+	for i := 0; i < width; i++ {
+		a[i], bb[i] = b.Input(i), b.Input(width+i)
+	}
+	diff, borrow := b.Sub(a, bb)
+	b.SetOutputs(append(diff, borrow))
+	c := b.Finish()
+
+	check := func(x, y uint8) bool {
+		in := append(PackBits(uint64(x), width), PackBits(uint64(y), width)...)
+		out := evalUser(c, in)
+		diffGot := UnpackBits(out[:width])
+		borrowGot := out[width]
+		wantDiff := uint64(uint8(x - y))
+		wantBorrow := x < y
+		return diffGot == wantDiff && borrowGot == wantBorrow
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMux(t *testing.T) {
+	const width = 4
+	b := NewBuilder(2*width + 1)
+	sel := b.Input(0)
+	a := make([]int, width)
+	bb := make([]int, width)
+	for i := 0; i < width; i++ {
+		a[i], bb[i] = b.Input(1+i), b.Input(1+width+i)
+	}
+	b.SetOutputs(b.Mux(sel, a, bb))
+	c := b.Finish()
+
+	check := func(s bool, x, y uint8) bool {
+		xv, yv := uint64(x%16), uint64(y%16)
+		in := append([]bool{s}, append(PackBits(xv, width), PackBits(yv, width)...)...)
+		got := UnpackBits(evalUser(c, in))
+		want := yv
+		if s {
+			want = xv
+		}
+		return got == want
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmpGE(t *testing.T) {
+	const width = 8
+	for _, threshold := range []uint64{0, 1, 100, 255} {
+		b := NewBuilder(width)
+		a := make([]int, width)
+		for i := range a {
+			a[i] = b.Input(i)
+		}
+		b.SetOutputs([]int{b.CmpGE(a, threshold)})
+		c := b.Finish()
+		for x := uint64(0); x < 256; x += 7 {
+			got := evalUser(c, PackBits(x, width))[0]
+			if got != (x >= threshold) {
+				t.Errorf("CmpGE(%d, %d) = %v", x, threshold, got)
+			}
+		}
+	}
+}
+
+func TestAddSubModP(t *testing.T) {
+	const p = 251 // prime < 2^8
+	const width = 8
+	f := field.New(p)
+
+	badd := NewBuilder(2 * width)
+	a := make([]int, width)
+	bb := make([]int, width)
+	for i := 0; i < width; i++ {
+		a[i], bb[i] = badd.Input(i), badd.Input(width+i)
+	}
+	badd.SetOutputs(badd.AddModP(a, bb, p))
+	cadd := badd.Finish()
+
+	bsub := NewBuilder(2 * width)
+	for i := 0; i < width; i++ {
+		a[i], bb[i] = bsub.Input(i), bsub.Input(width+i)
+	}
+	bsub.SetOutputs(bsub.SubModP(a, bb, p))
+	csub := bsub.Finish()
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		x := rng.Uint64() % p
+		y := rng.Uint64() % p
+		in := append(PackBits(x, width), PackBits(y, width)...)
+		if got := UnpackBits(evalUser(cadd, in)); got != f.Add(x, y) {
+			t.Fatalf("AddModP(%d,%d) = %d, want %d", x, y, got, f.Add(x, y))
+		}
+		if got := UnpackBits(evalUser(csub, in)); got != f.Sub(x, y) {
+			t.Fatalf("SubModP(%d,%d) = %d, want %d", x, y, got, f.Sub(x, y))
+		}
+	}
+}
+
+func TestShiftRight(t *testing.T) {
+	const width = 8
+	b := NewBuilder(width)
+	a := make([]int, width)
+	for i := range a {
+		a[i] = b.Input(i)
+	}
+	b.SetOutputs(b.ShiftRight(a, 3))
+	c := b.Finish()
+	check := func(x uint8) bool {
+		got := UnpackBits(evalUser(c, PackBits(uint64(x), width)))
+		return got == uint64(x)>>3
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReLUCircuitMatchesReference(t *testing.T) {
+	for _, spec := range []ReLUSpec{
+		{P: 65537, Frac: 0},
+		{P: 65537, Frac: 4},
+		{P: field.P20, Frac: 6},
+		{P: 251, Frac: 0},
+	} {
+		c := BuildReLU(spec)
+		width := spec.Width()
+		rng := rand.New(rand.NewSource(int64(spec.P)))
+		for trial := 0; trial < 200; trial++ {
+			a := rng.Uint64() % spec.P
+			b := rng.Uint64() % spec.P
+			r := rng.Uint64() % spec.P
+			in := append(append(PackBits(a, width), PackBits(b, width)...), PackBits(r, width)...)
+			got := UnpackBits(evalUser(c, in))
+			want := ReLUReference(spec, a, b, r)
+			if got != want {
+				t.Fatalf("spec %+v: ReLU(a=%d,b=%d,r=%d) = %d, want %d", spec, a, b, r, got, want)
+			}
+		}
+	}
+}
+
+func TestReLUReferenceSemantics(t *testing.T) {
+	spec := ReLUSpec{P: 65537, Frac: 0}
+	f := field.New(spec.P)
+	// Positive value passes through, negative clamps to zero.
+	pos := f.FromInt64(100)
+	neg := f.FromInt64(-100)
+	if got := ReLUReference(spec, pos, 0, 0); got != 100 {
+		t.Fatalf("ReLU(+100) = %d", got)
+	}
+	if got := ReLUReference(spec, neg, 0, 0); got != 0 {
+		t.Fatalf("ReLU(-100) = %d", got)
+	}
+	// Shares that reconstruct to a negative value.
+	a := f.FromInt64(-250)
+	b := f.FromInt64(150) // a+b = -100
+	if got := ReLUReference(spec, a, b, 0); got != 0 {
+		t.Fatalf("ReLU(shares of -100) = %d", got)
+	}
+}
+
+func TestReLUGateBudget(t *testing.T) {
+	// The AND count drives GC size and time; keep it within the budget the
+	// cost model assumes (≈ 8–10 ANDs per bit).
+	spec := ReLUSpec{P: field.P20, Frac: 6}
+	c := BuildReLU(spec)
+	width := spec.Width()
+	ands := c.NumAND()
+	if ands > 10*width+10 {
+		t.Fatalf("ReLU circuit uses %d AND gates for width %d; budget exceeded", ands, width)
+	}
+	if ands < width {
+		t.Fatalf("suspiciously few AND gates: %d", ands)
+	}
+}
+
+func TestPackUnpackBits(t *testing.T) {
+	check := func(v uint64) bool {
+		return UnpackBits(PackBits(v, 64)) == v
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuildReLU(b *testing.B) {
+	spec := ReLUSpec{P: field.P20, Frac: 6}
+	for i := 0; i < b.N; i++ {
+		BuildReLU(spec)
+	}
+}
+
+func BenchmarkEvalReLUPlain(b *testing.B) {
+	spec := ReLUSpec{P: field.P20, Frac: 6}
+	c := BuildReLU(spec)
+	width := spec.Width()
+	in := append([]bool{true}, make([]bool, 3*width)...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Eval(in)
+	}
+}

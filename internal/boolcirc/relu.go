@@ -1,0 +1,92 @@
+package boolcirc
+
+import "math/bits"
+
+// ReLUSpec describes one garbled ReLU instance over Z_p.
+type ReLUSpec struct {
+	P    uint64 // plaintext field prime
+	Frac uint   // fixed-point fractional bits to truncate after ReLU
+}
+
+// Width returns the wire width ℓ = ceil(log2 p) of one field element.
+func (s ReLUSpec) Width() int { return bits.Len64(s.P - 1) }
+
+// Input layout of the ReLU circuit, as user-input offsets. In the
+// Server-Garbler protocol the garbler supplies A (its share) and the
+// evaluator supplies B and R via OT; in the Client-Garbler protocol the
+// garbler supplies B and R and the evaluator obtains A via OT. Same circuit
+// either way — only the label-delivery mechanism differs.
+const (
+	// ReLUInputA is the offset of the server share ⟨y⟩s.
+	ReLUInputA = 0
+	// ReLUInputB is the offset of the client share ⟨y⟩c (= w·r - s).
+	ReLUInputB = 1
+	// ReLUInputR is the offset of the next-layer mask r'.
+	ReLUInputR = 2
+)
+
+// BuildReLU constructs the DELPHI ReLU circuit:
+//
+//	y   = a + b mod p            // reconstruct the linear output
+//	neg = y >= ceil(p/2)+? ...   // centered sign test: y > p/2
+//	v   = neg ? 0 : (y >> Frac)  // ReLU then fixed-point rescale
+//	out = v - r mod p            // re-mask for the next layer
+//
+// Inputs (user order): a[0..ℓ), b[0..ℓ), r[0..ℓ). Outputs: out[0..ℓ).
+func BuildReLU(spec ReLUSpec) *Circuit {
+	width := spec.Width()
+	b := NewBuilder(3 * width)
+
+	a := make([]int, width)
+	sh := make([]int, width)
+	r := make([]int, width)
+	for i := 0; i < width; i++ {
+		a[i] = b.Input(ReLUInputA*width + i)
+		sh[i] = b.Input(ReLUInputB*width + i)
+		r[i] = b.Input(ReLUInputR*width + i)
+	}
+
+	y := b.AddModP(a, sh, spec.P)
+
+	// Centered sign: negative iff y > p/2, i.e. y >= p/2 + 1.
+	neg := b.CmpGE(y, spec.P/2+1)
+
+	relu := b.MaskBits(b.Not(neg), y)
+	v := b.ShiftRight(relu, spec.Frac)
+
+	out := b.SubModP(v, r, spec.P)
+	b.SetOutputs(out)
+	return b.Finish()
+}
+
+// ReLUReference computes the same function in the clear, the test oracle
+// for BuildReLU and for protocol end-to-end checks.
+func ReLUReference(spec ReLUSpec, a, b, r uint64) uint64 {
+	p := spec.P
+	y := (a + b) % p
+	var v uint64
+	if y <= p/2 { // non-negative in centered representation
+		v = y >> spec.Frac
+	}
+	return (v + p - r%p) % p
+}
+
+// PackBits returns the little-endian width-bit decomposition of v as bools.
+func PackBits(v uint64, width int) []bool {
+	out := make([]bool, width)
+	for i := 0; i < width; i++ {
+		out[i] = v>>uint(i)&1 == 1
+	}
+	return out
+}
+
+// UnpackBits reassembles a little-endian bit vector into a uint64.
+func UnpackBits(bits []bool) uint64 {
+	var v uint64
+	for i, bit := range bits {
+		if bit {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}

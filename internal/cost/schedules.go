@@ -1,0 +1,79 @@
+package cost
+
+import "privinf/internal/calib"
+
+// Hybrid offline scheduling — the combination §5.2 anticipates ("it is
+// likely that the two approaches will be combined and adapt to the
+// available storage"): k pre-compute pipelines run concurrently, each
+// garbling on garblerCores/k cores and running its HE jobs LPT-scheduled on
+// serverCores/k cores. k = 1 degenerates to LPHE; k = cores degenerates to
+// RLP.
+
+// HybridBreakdown returns the per-pipeline offline costs with `pipelines`
+// concurrent pre-computes.
+func (s Scenario) HybridBreakdown(pipelines int) Breakdown {
+	s = s.norm()
+	if pipelines < 1 {
+		pipelines = 1
+	}
+	b := s.Compute()
+
+	heCores := s.Server.Cores / pipelines
+	if heCores < 1 {
+		heCores = 1
+	}
+	jobs := calib.HELayerSeconds(s.Arch)
+	b.OffHE = lptMakespan(jobs, heCores) / (s.Server.HESpeed * s.HESpeedup)
+
+	re := int64(s.EffectiveReLUs())
+	garbler := s.Server
+	if s.Proto == ClientGarbler {
+		garbler = s.Client
+	}
+	gCores := garbler.Cores / pipelines
+	if gCores < 1 {
+		gCores = 1
+	}
+	b.OffGarble = garbler.GarbleSeconds(re, gCores) / s.GCSpeedup
+	return b
+}
+
+// HybridPlan is a chosen pipeline count with its per-pipeline offline
+// latency and aggregate throughput.
+type HybridPlan struct {
+	Pipelines      int
+	OfflineSeconds float64
+	// PrecomputesPerHour is the steady-state production rate.
+	PrecomputesPerHour float64
+}
+
+// BestHybridPlan picks the pipeline count (1..maxPipelines, additionally
+// bounded by buffer slots) that maximizes pre-compute throughput, breaking
+// ties toward fewer pipelines (lower per-inference latency when a request
+// catches the system empty).
+func (s Scenario) BestHybridPlan(bufferSlots int) HybridPlan {
+	s = s.norm()
+	garbler := s.Server
+	if s.Proto == ClientGarbler {
+		garbler = s.Client
+	}
+	maxPipes := garbler.Cores
+	if s.Server.Cores > maxPipes {
+		maxPipes = s.Server.Cores
+	}
+	if bufferSlots > 0 && bufferSlots < maxPipes {
+		maxPipes = bufferSlots
+	}
+	if maxPipes < 1 {
+		maxPipes = 1
+	}
+	best := HybridPlan{Pipelines: 1}
+	for k := 1; k <= maxPipes; k++ {
+		off := s.HybridBreakdown(k).Offline()
+		rate := float64(k) / off * 3600
+		if rate > best.PrecomputesPerHour*1.0001 {
+			best = HybridPlan{Pipelines: k, OfflineSeconds: off, PrecomputesPerHour: rate}
+		}
+	}
+	return best
+}

@@ -1,0 +1,72 @@
+package cost
+
+import (
+	"testing"
+)
+
+func TestHybridDegeneratesToLPHE(t *testing.T) {
+	s := proposedCG()
+	one := s.HybridBreakdown(1)
+	lphe := s.Compute()
+	within(t, "hybrid(1) HE", one.OffHE, lphe.OffHE, 1e-9)
+	within(t, "hybrid(1) garble", one.OffGarble, lphe.OffGarble, 1e-9)
+}
+
+func TestHybridApproachesRLPPerPipeline(t *testing.T) {
+	s := proposedCG()
+	// With one core per pipeline on the garbler (4 Atom cores -> 4
+	// pipelines), garbling matches RLP's single-core pipelines. HE still
+	// has 32/4 = 8 server cores per pipeline, so it sits between LPHE and
+	// RLP.
+	h := s.HybridBreakdown(4)
+	rlp := s.RLPBreakdown()
+	within(t, "hybrid(4) garble", h.OffGarble, rlp.OffGarble, 1e-9)
+	if h.OffHE < s.Compute().OffHE || h.OffHE > rlp.OffHE {
+		t.Errorf("hybrid(4) HE %.0f should lie between LPHE %.0f and RLP %.0f",
+			h.OffHE, s.Compute().OffHE, rlp.OffHE)
+	}
+}
+
+func TestHybridThroughputBeatsBothExtremes(t *testing.T) {
+	// The point of the combination: at intermediate storage (e.g. 3
+	// slots), some k in between yields strictly more throughput than
+	// either pure schedule.
+	s := proposedCG()
+	lpheRate := 1.0 / s.Compute().Offline()
+	rlpRate := float64(3) / s.RLPBreakdown().Offline() // 3 single-core pipelines
+
+	best := s.BestHybridPlan(3)
+	bestRate := best.PrecomputesPerHour / 3600
+	if bestRate < lpheRate || bestRate < rlpRate {
+		t.Errorf("hybrid best rate %.6f should be >= LPHE %.6f and RLP-3 %.6f",
+			bestRate, lpheRate, rlpRate)
+	}
+	if best.Pipelines < 1 || best.Pipelines > 3 {
+		t.Errorf("pipelines %d out of [1,3]", best.Pipelines)
+	}
+}
+
+func TestBestHybridPlanRespectsSlots(t *testing.T) {
+	s := proposedCG()
+	p := s.BestHybridPlan(1)
+	if p.Pipelines != 1 {
+		t.Errorf("one slot forces one pipeline, got %d", p.Pipelines)
+	}
+	if p.OfflineSeconds != s.HybridBreakdown(1).Offline() {
+		t.Error("plan latency should match HybridBreakdown(1)")
+	}
+}
+
+func TestHybridMonotoneLatency(t *testing.T) {
+	// Per-pipeline offline latency never improves with more pipelines
+	// (each gets fewer cores).
+	s := proposedCG()
+	prev := 0.0
+	for k := 1; k <= 8; k++ {
+		off := s.HybridBreakdown(k).Offline()
+		if off < prev-1e-9 {
+			t.Errorf("offline latency fell from %.1f to %.1f at k=%d", prev, off, k)
+		}
+		prev = off
+	}
+}

@@ -1,0 +1,92 @@
+package cost
+
+import (
+	"privinf/internal/calib"
+	"privinf/internal/nn"
+)
+
+// Storage accounting (§4.1.1, §5.1): what each party must hold per buffered
+// pre-compute, and how many pre-computes a given client storage budget
+// admits — the quantity that decides whether the offline phase can run at
+// all under arrival rates.
+
+// maskShareBytes is the storage for the client's random vectors r_i and HE
+// shares c_i: one field element (8 B) per linear-layer input and output.
+func maskShareBytes(a nn.Arch) int64 {
+	var vals int64
+	for _, j := range a.HELinearJobs() {
+		vals += int64(j.InVec) + int64(j.OutVec)
+	}
+	return vals * 8
+}
+
+// ClientPrecomputeBytes returns the client storage one pre-compute pins
+// until its inference runs.
+func (s Scenario) ClientPrecomputeBytes() int64 {
+	s = s.norm()
+	re := s.EffectiveReLUs()
+	switch s.Proto {
+	case ServerGarbler:
+		// Tables + decode, the OT-delivered input labels, masks and shares.
+		return int64(re*(calib.GCBytesPerReLU+calib.GarblerKnownLabelBytesPerReLU)) +
+			maskShareBytes(s.Arch)
+	default: // ClientGarbler
+		// Only the garbler's encoding information, masks and shares.
+		return int64(re*calib.EncodingBytesPerReLU) + maskShareBytes(s.Arch)
+	}
+}
+
+// ServerPrecomputeBytes returns the server-side storage per pre-compute.
+func (s Scenario) ServerPrecomputeBytes() int64 {
+	s = s.norm()
+	re := s.EffectiveReLUs()
+	switch s.Proto {
+	case ServerGarbler:
+		return int64(re*calib.EncodingBytesPerReLU) + maskShareBytes(s.Arch)
+	default: // ClientGarbler
+		return int64(re*(calib.GCBytesPerReLU+calib.GarblerKnownLabelBytesPerReLU)) +
+			maskShareBytes(s.Arch)
+	}
+}
+
+// BufferCapacity returns how many pre-computes fit in clientStorageBytes
+// (and serverStorageBytes if > 0, which is rarely binding: the paper
+// provisions the server with 10 TB).
+func (s Scenario) BufferCapacity(clientStorageBytes, serverStorageBytes int64) int {
+	per := s.ClientPrecomputeBytes()
+	if per <= 0 {
+		return 0
+	}
+	n := int(clientStorageBytes / per)
+	if serverStorageBytes > 0 {
+		if sn := int(serverStorageBytes / s.ServerPrecomputeBytes()); sn < n {
+			n = sn
+		}
+	}
+	return n
+}
+
+// ClientEnergyJoules returns the client's GC energy per inference (§5.1):
+// evaluation under Server-Garbler, garbling under Client-Garbler (1.8x).
+func (s Scenario) ClientEnergyJoules() float64 {
+	s = s.norm()
+	re := s.EffectiveReLUs()
+	if s.Proto == ClientGarbler {
+		return re * calib.GarbleJoulesPerReLU
+	}
+	return re * calib.EvalJoulesPerReLU
+}
+
+// Figure3ClientStorageGB returns the per-inference client storage (GB) of
+// the baseline Server-Garbler protocol for an architecture — Figure 3.
+// The paper's bars count garbled tables only.
+func Figure3ClientStorageGB(a nn.Arch) float64 {
+	return float64(calib.GCStorageBytes(a)) / GB
+}
+
+// Figure8StorageGB returns (Server-Garbler, Client-Garbler) client storage
+// in GB for an architecture — Figure 8.
+func Figure8StorageGB(a nn.Arch) (sg, cg float64) {
+	return float64(calib.GCStorageBytes(a)) / GB,
+		float64(calib.EncodingStorageBytes(a)) / GB
+}

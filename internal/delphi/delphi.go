@@ -1,0 +1,145 @@
+// Package delphi implements the end-to-end hybrid private-inference
+// protocol the paper characterizes (§2.2, Figure 2): homomorphic encryption
+// generates additive shares of every linear layer in an input-independent
+// offline phase; the online phase evaluates linear layers on secret shares
+// and ReLU layers with garbled circuits, whose input labels move either
+// directly (garbler's own share) or by oblivious transfer.
+//
+// Both protocol variants are provided:
+//
+//   - ServerGarbler — the DELPHI baseline: the server garbles ReLUs offline,
+//     the client stores the circuits (18.2 KB/ReLU of client storage) and
+//     evaluates them online, label OTs run offline.
+//   - ClientGarbler — the paper's first optimization (§5.1, Figure 6): roles
+//     reverse, garbled circuits live on the server, the powerful server
+//     evaluates online, and the server's input labels move by OT online.
+//
+// The implementation is functional end-to-end: a Client/Server pair
+// connected by a transport.Conn produces inference outputs bit-exact with
+// nn.Lowered.Forward, with the server never seeing x and the client never
+// seeing the weights.
+package delphi
+
+import (
+	"fmt"
+	"time"
+
+	"privinf/internal/bfv"
+	"privinf/internal/field"
+	"privinf/internal/nn"
+)
+
+// Variant selects which party garbles the ReLU circuits.
+type Variant int
+
+const (
+	// ServerGarbler is the baseline protocol.
+	ServerGarbler Variant = iota
+	// ClientGarbler is the storage-optimized protocol.
+	ClientGarbler
+)
+
+func (v Variant) String() string {
+	if v == ClientGarbler {
+		return "Client-Garbler"
+	}
+	return "Server-Garbler"
+}
+
+// LayerDim is the public shape of one linear layer.
+type LayerDim struct {
+	In, Out int
+}
+
+// ModelMeta is the public model description both parties share: dimensions,
+// field, and fixed-point truncation amounts. Weights stay on the server.
+type ModelMeta struct {
+	P      uint64
+	Frac   uint
+	Dims   []LayerDim
+	Shifts []uint
+}
+
+// MetaOf extracts the public metadata from a lowered model.
+func MetaOf(m *nn.Lowered) ModelMeta {
+	dims := make([]LayerDim, len(m.Linear))
+	for i, l := range m.Linear {
+		dims[i] = LayerDim{In: l.In(), Out: l.Out()}
+	}
+	return ModelMeta{
+		P:      m.F.P(),
+		Frac:   m.Frac,
+		Dims:   dims,
+		Shifts: append([]uint(nil), m.Shifts...),
+	}
+}
+
+// Validate checks structural consistency.
+func (m ModelMeta) Validate() error {
+	if len(m.Dims) == 0 {
+		return fmt.Errorf("delphi: model has no linear layers")
+	}
+	if len(m.Shifts) != len(m.Dims)-1 {
+		return fmt.Errorf("delphi: %d shifts for %d linear layers", len(m.Shifts), len(m.Dims))
+	}
+	for i := 1; i < len(m.Dims); i++ {
+		if m.Dims[i].In != m.Dims[i-1].Out {
+			return fmt.Errorf("delphi: layer %d in=%d != layer %d out=%d",
+				i, m.Dims[i].In, i-1, m.Dims[i-1].Out)
+		}
+	}
+	return nil
+}
+
+// NumReLULayers returns the number of garbled activation layers.
+func (m ModelMeta) NumReLULayers() int { return len(m.Dims) - 1 }
+
+// TotalReLUs returns the total garbled circuit instances per inference.
+func (m ModelMeta) TotalReLUs() int {
+	n := 0
+	for i := 0; i < len(m.Dims)-1; i++ {
+		n += m.Dims[i].Out
+	}
+	return n
+}
+
+// Config fixes the cryptographic parameters of a session.
+type Config struct {
+	Variant Variant
+	// HEParams must use the model's field as plaintext modulus.
+	HEParams bfv.Params
+	// LPHEWorkers bounds concurrent offline HE layer jobs. 0 or 1 runs
+	// layers sequentially (the baseline); len(Dims) gives full
+	// layer-parallel HE (§5.2).
+	LPHEWorkers int
+}
+
+// DefaultConfig returns a Server-Garbler session over the model's field.
+func DefaultConfig(meta ModelMeta) (Config, error) {
+	params, err := bfv.NewParams(bfv.DefaultN, meta.P)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{Variant: ServerGarbler, HEParams: params}, nil
+}
+
+// OfflineReport summarizes one offline (pre-compute) phase.
+type OfflineReport struct {
+	Duration     time.Duration
+	HEDuration   time.Duration
+	GCDuration   time.Duration // garbling or receiving+storing, per role
+	OTDuration   time.Duration
+	BytesSent    uint64
+	BytesRecv    uint64
+	GCStoreBytes uint64 // garbled tables this party must hold until online
+}
+
+// OnlineReport summarizes one online inference.
+type OnlineReport struct {
+	Duration  time.Duration
+	BytesSent uint64
+	BytesRecv uint64
+}
+
+// fieldOf returns the shared arithmetic field.
+func (m ModelMeta) fieldOf() field.Field { return field.New(m.P) }

@@ -1,0 +1,428 @@
+package delphi
+
+import (
+	"math/rand"
+	"testing"
+
+	"privinf/internal/bfv"
+	"privinf/internal/field"
+	"privinf/internal/nn"
+	"privinf/internal/transport"
+)
+
+type seededReader struct{ rng *rand.Rand }
+
+func newSeeded(seed int64) *seededReader {
+	return &seededReader{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *seededReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(s.rng.Intn(256))
+	}
+	return len(p), nil
+}
+
+// session wires a client and server over an in-process pipe.
+type session struct {
+	client *Client
+	server *Server
+	model  *nn.Lowered
+}
+
+func newSession(t *testing.T, variant Variant, model *nn.Lowered, lpheWorkers int) *session {
+	t.Helper()
+	params, err := bfv.NewParams(bfv.DefaultN, model.F.P())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Variant: variant, HEParams: params, LPHEWorkers: lpheWorkers}
+	cc, sc := transport.Pipe()
+	server, err := NewServer(sc, cfg, model, newSeeded(1001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(cc, cfg, MetaOf(model), newSeeded(2002))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.Setup() }()
+	if err := client.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	return &session{client: client, server: server, model: model}
+}
+
+// inferPrivately runs one offline+online round and returns output + reports.
+func (s *session) inferPrivately(t *testing.T, x []uint64) ([]uint64, OfflineReport, OfflineReport, OnlineReport, OnlineReport) {
+	t.Helper()
+	type offRes struct {
+		rep OfflineReport
+		err error
+	}
+	offCh := make(chan offRes, 1)
+	go func() {
+		rep, err := s.server.RunOffline()
+		offCh <- offRes{rep, err}
+	}()
+	cliOff, err := s.client.RunOffline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	so := <-offCh
+	if so.err != nil {
+		t.Fatal(so.err)
+	}
+
+	type onRes struct {
+		rep OnlineReport
+		err error
+	}
+	onCh := make(chan onRes, 1)
+	go func() {
+		rep, err := s.server.RunOnline()
+		onCh <- onRes{rep, err}
+	}()
+	out, cliOn, err := s.client.RunOnline(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := <-onCh
+	if sn.err != nil {
+		t.Fatal(sn.err)
+	}
+	return out, cliOff, so.rep, cliOn, sn.rep
+}
+
+func randomInput(f field.Field, n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]uint64, n)
+	for i := range x {
+		// Small positive activations, like quantized image pixels.
+		x[i] = uint64(rng.Intn(16))
+	}
+	return x
+}
+
+func TestServerGarblerMatchesPlaintext(t *testing.T) {
+	f := field.New(field.P20)
+	model, err := nn.DemoMLP(f, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(t, ServerGarbler, model, 0)
+	x := randomInput(f, model.InputLen(), 3)
+	got, _, _, _, _ := s.inferPrivately(t, x)
+	want := model.Forward(x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output %d: private %d, plaintext %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestClientGarblerMatchesPlaintext(t *testing.T) {
+	f := field.New(field.P20)
+	model, err := nn.DemoMLP(f, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(t, ClientGarbler, model, 0)
+	x := randomInput(f, model.InputLen(), 4)
+	got, _, _, _, _ := s.inferPrivately(t, x)
+	want := model.Forward(x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output %d: private %d, plaintext %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCNNBothVariants(t *testing.T) {
+	f := field.New(field.P20)
+	model, err := nn.DemoCNN(f, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []Variant{ServerGarbler, ClientGarbler} {
+		s := newSession(t, variant, model, 3)
+		x := randomInput(f, model.InputLen(), 5)
+		got, _, _, _, _ := s.inferPrivately(t, x)
+		want := model.Forward(x)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v output %d: private %d, plaintext %d", variant, i, got[i], want[i])
+			}
+		}
+		if nn.Argmax(f, got) != nn.Argmax(f, want) {
+			t.Fatalf("%v: predicted class differs", variant)
+		}
+	}
+}
+
+func TestMultipleInferencesPerSession(t *testing.T) {
+	// Base-OT setup and weight encoding amortize; each inference consumes
+	// one pre-compute.
+	f := field.New(field.P20)
+	model, err := nn.DemoMLP(f, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(t, ServerGarbler, model, 0)
+	for round := 0; round < 3; round++ {
+		x := randomInput(f, model.InputLen(), int64(100+round))
+		got, _, _, _, _ := s.inferPrivately(t, x)
+		want := model.Forward(x)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d output %d: private %d, plaintext %d", round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStorageShiftsToServer(t *testing.T) {
+	// The Client-Garbler protocol's whole point (§5.1): GC storage moves
+	// from client to server.
+	f := field.New(field.P20)
+	model, err := nn.DemoMLP(f, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sg := newSession(t, ServerGarbler, model, 0)
+	xin := randomInput(f, model.InputLen(), 8)
+	_, sgCliOff, sgSrvOff, _, _ := sg.inferPrivately(t, xin)
+
+	cg := newSession(t, ClientGarbler, model, 0)
+	_, cgCliOff, cgSrvOff, _, _ := cg.inferPrivately(t, xin)
+
+	if sgCliOff.GCStoreBytes == 0 {
+		t.Error("SG: client must store garbled circuits")
+	}
+	if sgSrvOff.GCStoreBytes != 0 {
+		t.Error("SG: server should not store garbled tables")
+	}
+	if cgSrvOff.GCStoreBytes == 0 {
+		t.Error("CG: server must store garbled circuits")
+	}
+	if cgCliOff.GCStoreBytes != 0 {
+		t.Error("CG: client should not store garbled tables")
+	}
+	// CG moves at least the table bytes across.
+	if cgSrvOff.GCStoreBytes < sgCliOff.GCStoreBytes {
+		t.Errorf("CG server stores %d < SG client %d", cgSrvOff.GCStoreBytes, sgCliOff.GCStoreBytes)
+	}
+}
+
+func TestCommunicationAsymmetry(t *testing.T) {
+	// SG offline is download-heavy for the client (GCs arrive); CG offline
+	// is upload-heavy (GCs leave) — the asymmetry WSA exploits (§5.3).
+	f := field.New(field.P20)
+	model, err := nn.DemoMLP(f, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg := newSession(t, ServerGarbler, model, 0)
+	x := randomInput(f, model.InputLen(), 12)
+	_, sgCliOff, _, _, _ := sg.inferPrivately(t, x)
+	if sgCliOff.BytesRecv <= sgCliOff.BytesSent {
+		t.Errorf("SG offline: client recv %d should exceed sent %d", sgCliOff.BytesRecv, sgCliOff.BytesSent)
+	}
+
+	cg := newSession(t, ClientGarbler, model, 0)
+	_, cgCliOff, _, _, _ := cg.inferPrivately(t, x)
+	if cgCliOff.BytesSent <= cgCliOff.BytesRecv {
+		t.Errorf("CG offline: client sent %d should exceed recv %d", cgCliOff.BytesSent, cgCliOff.BytesRecv)
+	}
+}
+
+func TestOnlineCommunicationGrowsUnderCG(t *testing.T) {
+	// §6.1: "Client-Garbler increases online communication latency due to
+	// OT (27.1 seconds to 101 seconds)" — the online OT (one correction
+	// matrix row plus two masked labels per share bit) outweighs SG's
+	// plain label download. The win comes from server-side evaluation,
+	// not from online bytes.
+	f := field.New(field.P20)
+	model, err := nn.DemoMLP(f, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg := newSession(t, ServerGarbler, model, 0)
+	x := randomInput(f, model.InputLen(), 14)
+	_, _, _, sgCliOn, _ := sg.inferPrivately(t, x)
+
+	cg := newSession(t, ClientGarbler, model, 0)
+	_, _, _, cgCliOn, _ := cg.inferPrivately(t, x)
+
+	sgTotal := sgCliOn.BytesSent + sgCliOn.BytesRecv
+	cgTotal := cgCliOn.BytesSent + cgCliOn.BytesRecv
+	if cgTotal <= sgTotal {
+		t.Errorf("CG online total %d should exceed SG %d (online OT cost)", cgTotal, sgTotal)
+	}
+	// And the garbler-side upload dominates CG's online traffic: the
+	// client ships two masked labels per OT.
+	if cgCliOn.BytesSent <= cgCliOn.BytesRecv {
+		t.Errorf("CG client online sent %d should exceed recv %d", cgCliOn.BytesSent, cgCliOn.BytesRecv)
+	}
+}
+
+func TestMetaValidation(t *testing.T) {
+	bad := ModelMeta{P: field.P17, Dims: []LayerDim{{In: 4, Out: 3}, {In: 5, Out: 2}}, Shifts: []uint{1}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mismatched dims must be rejected")
+	}
+	empty := ModelMeta{P: field.P17}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty meta must be rejected")
+	}
+}
+
+func TestConfigFieldMismatch(t *testing.T) {
+	f := field.New(field.P20)
+	model, err := nn.DemoMLP(f, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := bfv.MustParams(bfv.DefaultN, field.P17) // wrong field
+	cfg := Config{Variant: ServerGarbler, HEParams: params}
+	cc, sc := transport.Pipe()
+	if _, err := NewServer(sc, cfg, model, nil); err == nil {
+		t.Error("server must reject mismatched HE field")
+	}
+	if _, err := NewClient(cc, cfg, MetaOf(model), nil); err == nil {
+		t.Error("client must reject mismatched HE field")
+	}
+}
+
+func TestOnlineRejectsWrongInputLength(t *testing.T) {
+	f := field.New(field.P20)
+	model, err := nn.DemoMLP(f, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(t, ServerGarbler, model, 0)
+	// Run offline legitimately first.
+	offCh := make(chan error, 1)
+	go func() {
+		_, err := s.server.RunOffline()
+		offCh <- err
+	}()
+	if _, err := s.client.RunOffline(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-offCh; err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.client.RunOnline(make([]uint64, 3)); err == nil {
+		t.Fatal("wrong input length must be rejected")
+	}
+}
+
+func BenchmarkDelphiOfflineMLP(b *testing.B) {
+	f := field.New(field.P20)
+	model, err := nn.DemoMLP(f, 31)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := bfv.MustParams(bfv.DefaultN, f.P())
+	cfg := Config{Variant: ServerGarbler, HEParams: params}
+	cc, sc := transport.Pipe()
+	server, _ := NewServer(sc, cfg, model, newSeeded(41))
+	client, _ := NewClient(cc, cfg, MetaOf(model), newSeeded(42))
+	done := make(chan error, 1)
+	go func() { done <- server.Setup() }()
+	if err := client.Setup(); err != nil {
+		b.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch := make(chan error, 1)
+		go func() {
+			_, err := server.RunOffline()
+			ch <- err
+		}()
+		if _, err := client.RunOffline(); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-ch; err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		// Consume the pre-compute so the next offline starts clean.
+		onCh := make(chan error, 1)
+		go func() {
+			_, err := server.RunOnline()
+			onCh <- err
+		}()
+		x := make([]uint64, model.InputLen())
+		if _, _, err := client.RunOnline(x); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-onCh; err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+func BenchmarkDelphiOnlineMLP(b *testing.B) {
+	f := field.New(field.P20)
+	model, err := nn.DemoMLP(f, 37)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := bfv.MustParams(bfv.DefaultN, f.P())
+	for _, variant := range []Variant{ServerGarbler, ClientGarbler} {
+		b.Run(variant.String(), func(b *testing.B) {
+			cfg := Config{Variant: variant, HEParams: params}
+			cc, sc := transport.Pipe()
+			server, _ := NewServer(sc, cfg, model, newSeeded(51))
+			client, _ := NewClient(cc, cfg, MetaOf(model), newSeeded(52))
+			done := make(chan error, 1)
+			go func() { done <- server.Setup() }()
+			if err := client.Setup(); err != nil {
+				b.Fatal(err)
+			}
+			if err := <-done; err != nil {
+				b.Fatal(err)
+			}
+			x := make([]uint64, model.InputLen())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				offCh := make(chan error, 1)
+				go func() {
+					_, err := server.RunOffline()
+					offCh <- err
+				}()
+				if _, err := client.RunOffline(); err != nil {
+					b.Fatal(err)
+				}
+				if err := <-offCh; err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				onCh := make(chan error, 1)
+				go func() {
+					_, err := server.RunOnline()
+					onCh <- err
+				}()
+				if _, _, err := client.RunOnline(x); err != nil {
+					b.Fatal(err)
+				}
+				if err := <-onCh; err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,229 @@
+package delphi
+
+import (
+	"strings"
+	"testing"
+
+	"privinf/internal/bfv"
+	"privinf/internal/field"
+	"privinf/internal/garble"
+	"privinf/internal/nn"
+	"privinf/internal/transport"
+)
+
+// TestOverTCP runs a full private inference across real loopback sockets
+// rather than in-process pipes.
+func TestOverTCP(t *testing.T) {
+	f := field.New(field.P20)
+	model, err := nn.DemoMLP(f, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := bfv.MustParams(bfv.DefaultN, f.P())
+	cfg := Config{Variant: ClientGarbler, HEParams: params}
+
+	cliConn, srvConn, cleanup, err := transport.TCPPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+
+	server, err := NewServer(srvConn, cfg, model, newSeeded(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(cliConn, cfg, MetaOf(model), newSeeded(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.Setup() }()
+	if err := client.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+
+	offCh := make(chan error, 1)
+	go func() {
+		_, err := server.RunOffline()
+		offCh <- err
+	}()
+	if _, err := client.RunOffline(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-offCh; err != nil {
+		t.Fatal(err)
+	}
+
+	onCh := make(chan error, 1)
+	go func() {
+		_, err := server.RunOnline()
+		onCh <- err
+	}()
+	x := make([]uint64, model.InputLen())
+	for i := range x {
+		x[i] = uint64(i % 7)
+	}
+	out, _, err := client.RunOnline(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-onCh; err != nil {
+		t.Fatal(err)
+	}
+
+	want := model.Forward(x)
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("TCP inference output %d: %d != %d", i, out[i], want[i])
+		}
+	}
+}
+
+// TestClientRejectsMalformedGCPayload injects a wrong-length garbled
+// circuit message.
+func TestClientRejectsMalformedGCPayload(t *testing.T) {
+	f := field.New(field.P20)
+	model, err := nn.DemoMLP(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := bfv.MustParams(bfv.DefaultN, f.P())
+	cfg := Config{Variant: ServerGarbler, HEParams: params}
+	cliConn, atkConn := transport.Pipe()
+	client, err := NewClient(cliConn, cfg, MetaOf(model), newSeeded(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := atkConn.Send([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	err = client.offlineReceiveGC(&clientPre{})
+	if err == nil || !strings.Contains(err.Error(), "payload") {
+		t.Fatalf("want payload-size error, got %v", err)
+	}
+}
+
+// TestServerRejectsMalformedGCPayload mirrors the check for the
+// Client-Garbler storing path.
+func TestServerRejectsMalformedGCPayload(t *testing.T) {
+	f := field.New(field.P20)
+	model, err := nn.DemoMLP(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := bfv.MustParams(bfv.DefaultN, f.P())
+	cfg := Config{Variant: ClientGarbler, HEParams: params}
+	srvConn, atkConn := transport.Pipe()
+	server, err := NewServer(srvConn, cfg, model, newSeeded(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := atkConn.Send(make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.offlineReceiveGC(&serverPre{}); err == nil {
+		t.Fatal("want payload-size error")
+	}
+}
+
+// TestOfflineHERejectsGarbageCiphertext injects a corrupt ciphertext into
+// the server's HE receive path.
+func TestOfflineHERejectsGarbageCiphertext(t *testing.T) {
+	f := field.New(field.P20)
+	model, err := nn.DemoMLP(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := bfv.MustParams(bfv.DefaultN, f.P())
+	cfg := Config{Variant: ServerGarbler, HEParams: params}
+	srvConn, atkConn := transport.Pipe()
+	server, err := NewServer(srvConn, cfg, model, newSeeded(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := atkConn.Send([]byte("not a ciphertext")); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.offlineHE(&serverPre{}); err == nil {
+		t.Fatal("corrupt ciphertext must be rejected")
+	}
+}
+
+// Wire-encoding round trips and validation.
+func TestWireEncodings(t *testing.T) {
+	v := []uint64{0, 1, 1 << 62, 42}
+	got, err := decodeVec(encodeVec(v), len(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("vec round trip at %d", i)
+		}
+	}
+	if _, err := decodeVec(encodeVec(v), 3); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+
+	bits := []bool{true, false, true, true, false, false, false, true, true}
+	gotBits, err := decodeBits(encodeBits(bits), len(bits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bits {
+		if gotBits[i] != bits[i] {
+			t.Fatalf("bit round trip at %d", i)
+		}
+	}
+	if _, err := decodeBits(encodeBits(bits), 100); err == nil {
+		t.Fatal("bit length mismatch must error")
+	}
+
+	labels := make([]garble.Label, 3)
+	labels[1][0] = 0xAB
+	gotLabels, err := decodeLabels(encodeLabels(labels), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotLabels[1] != labels[1] {
+		t.Fatal("label round trip")
+	}
+	if _, err := decodeLabels(encodeLabels(labels), 2); err == nil {
+		t.Fatal("label length mismatch must error")
+	}
+}
+
+func TestGateBaseUniqueness(t *testing.T) {
+	seen := map[uint64]bool{}
+	for layer := 0; layer < 8; layer++ {
+		for unit := 0; unit < 300; unit++ {
+			b := gateBase(layer, unit)
+			if seen[b] {
+				t.Fatalf("gateBase collision at layer %d unit %d", layer, unit)
+			}
+			seen[b] = true
+		}
+	}
+	// Tweak ranges of adjacent units must not overlap for realistic
+	// circuit sizes (< 2^21 hash calls per unit).
+	if gateBase(0, 1)-gateBase(0, 0) < 1<<21 {
+		t.Fatal("unit tweak spacing too small")
+	}
+}
+
+func TestValueBits(t *testing.T) {
+	bits := valueBits([]uint64{5, 2}, 4)
+	want := []bool{true, false, true, false, false, true, false, false}
+	if len(bits) != len(want) {
+		t.Fatalf("length %d, want %d", len(bits), len(want))
+	}
+	for i := range want {
+		if bits[i] != want[i] {
+			t.Fatalf("bit %d", i)
+		}
+	}
+}

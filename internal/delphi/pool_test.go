@@ -1,0 +1,83 @@
+package delphi
+
+import (
+	"testing"
+
+	"privinf/internal/field"
+	"privinf/internal/nn"
+)
+
+// TestPrecomputeBuffering exercises the paper's core scenario: several
+// offline phases run ahead of time (filling the pre-compute buffer), then
+// online inferences consume them FIFO. Each online must use a distinct
+// pre-compute and still be bit-exact.
+func TestPrecomputeBuffering(t *testing.T) {
+	f := field.New(field.P20)
+	model, err := nn.DemoMLP(f, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []Variant{ServerGarbler, ClientGarbler} {
+		s := newSession(t, variant, model, 0)
+
+		const k = 3
+		for i := 0; i < k; i++ {
+			offCh := make(chan error, 1)
+			go func() {
+				_, err := s.server.RunOffline()
+				offCh <- err
+			}()
+			if _, err := s.client.RunOffline(); err != nil {
+				t.Fatal(err)
+			}
+			if err := <-offCh; err != nil {
+				t.Fatal(err)
+			}
+		}
+		if s.client.Buffered() != k || s.server.Buffered() != k {
+			t.Fatalf("%v: buffered %d/%d, want %d", variant, s.client.Buffered(), s.server.Buffered(), k)
+		}
+
+		for i := 0; i < k; i++ {
+			x := randomInput(f, model.InputLen(), int64(500+i))
+			onCh := make(chan error, 1)
+			go func() {
+				_, err := s.server.RunOnline()
+				onCh <- err
+			}()
+			got, _, err := s.client.RunOnline(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := <-onCh; err != nil {
+				t.Fatal(err)
+			}
+			want := model.Forward(x)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("%v inference %d output %d: %d != %d", variant, i, j, got[j], want[j])
+				}
+			}
+			if s.client.Buffered() != k-1-i {
+				t.Fatalf("%v: buffer not consumed: %d left after %d inferences", variant, s.client.Buffered(), i+1)
+			}
+		}
+	}
+}
+
+// TestOnlineWithoutPrecomputeFails: consuming an empty buffer is an error,
+// not a hang or a silent wrong answer.
+func TestOnlineWithoutPrecomputeFails(t *testing.T) {
+	f := field.New(field.P20)
+	model, err := nn.DemoMLP(f, 56)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(t, ServerGarbler, model, 0)
+	if _, _, err := s.client.RunOnline(make([]uint64, model.InputLen())); err == nil {
+		t.Fatal("client online without pre-compute must fail")
+	}
+	if _, err := s.server.RunOnline(); err == nil {
+		t.Fatal("server online without pre-compute must fail")
+	}
+}

@@ -1,0 +1,107 @@
+package delphi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"privinf/internal/boolcirc"
+	"privinf/internal/garble"
+	"privinf/internal/ot"
+)
+
+// Wire encodings for protocol messages: field vectors as 8-byte words,
+// labels as raw 16-byte blocks, bit vectors packed 8 per byte.
+
+func encodeVec(v []uint64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], x)
+	}
+	return out
+}
+
+func decodeVec(data []byte, want int) ([]uint64, error) {
+	if len(data) != 8*want {
+		return nil, fmt.Errorf("delphi: vector payload %d bytes, want %d", len(data), 8*want)
+	}
+	out := make([]uint64, want)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(data[8*i:])
+	}
+	return out, nil
+}
+
+func encodeLabels(ls []garble.Label) []byte {
+	out := make([]byte, 0, garble.LabelSize*len(ls))
+	for _, l := range ls {
+		out = append(out, l[:]...)
+	}
+	return out
+}
+
+func decodeLabels(data []byte, want int) ([]garble.Label, error) {
+	if len(data) != garble.LabelSize*want {
+		return nil, fmt.Errorf("delphi: label payload %d bytes, want %d", len(data), garble.LabelSize*want)
+	}
+	out := make([]garble.Label, want)
+	for i := range out {
+		copy(out[i][:], data[i*garble.LabelSize:])
+	}
+	return out, nil
+}
+
+func encodeBits(bits []bool) []byte {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b {
+			out[i/8] |= 1 << (uint(i) % 8)
+		}
+	}
+	return out
+}
+
+func decodeBits(data []byte, want int) ([]bool, error) {
+	if len(data) != (want+7)/8 {
+		return nil, fmt.Errorf("delphi: bit payload %d bytes, want %d", len(data), (want+7)/8)
+	}
+	out := make([]bool, want)
+	for i := range out {
+		out[i] = data[i/8]>>(uint(i)%8)&1 == 1
+	}
+	return out, nil
+}
+
+// labelsToOT converts garbled label pairs to OT messages (same 16-byte
+// representation).
+func labelsToOT(pairs [][2]garble.Label) [][2]ot.Message {
+	out := make([][2]ot.Message, len(pairs))
+	for i, p := range pairs {
+		out[i][0] = ot.Message(p[0])
+		out[i][1] = ot.Message(p[1])
+	}
+	return out
+}
+
+func otToLabels(ms []ot.Message) []garble.Label {
+	out := make([]garble.Label, len(ms))
+	for i, m := range ms {
+		out[i] = garble.Label(m)
+	}
+	return out
+}
+
+// gateBase returns the hash-tweak base for a ReLU unit, unique per
+// (layer, unit) and identical on both parties.
+func gateBase(layer, unit int) uint64 {
+	return uint64(layer)<<44 | uint64(unit)<<22
+}
+
+// valueBits returns the little-endian width-bit decomposition of each
+// element of v, concatenated.
+func valueBits(v []uint64, width int) []bool {
+	out := make([]bool, 0, len(v)*width)
+	for _, x := range v {
+		out = append(out, boolcirc.PackBits(x, width)...)
+	}
+	return out
+}

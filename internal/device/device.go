@@ -1,0 +1,112 @@
+// Package device models the client and server machines of the paper's
+// methodology (§3, §5.5): an Intel Atom Z8350 embedded client and an AMD
+// EPYC 7502 server, plus the scaled variants of the sensitivity study
+// (i5 and 2x-i5 clients; 2x and 4x servers).
+package device
+
+import "privinf/internal/calib"
+
+// Device describes one machine's compute capability for the PI primitives.
+type Device struct {
+	Name  string
+	Cores int
+	// Per-ReLU, per-core garble/eval seconds.
+	GarbleSecPerReLUCore float64
+	EvalSecPerReLUCore   float64
+	// HESpeed scales HE layer latencies relative to a single baseline
+	// EPYC core (1.0 = baseline).
+	HESpeed float64
+	// SSSpeed scales secret-share linear evaluation (1.0 = baseline EPYC).
+	SSSpeed float64
+}
+
+// GarbleSeconds returns the wall-clock time to garble n ReLUs using up to
+// maxCores cores (0 means all cores).
+func (d Device) GarbleSeconds(n int64, maxCores int) float64 {
+	return d.parallelSeconds(float64(n)*d.GarbleSecPerReLUCore, maxCores)
+}
+
+// EvalSeconds returns the wall-clock time to evaluate n garbled ReLUs.
+func (d Device) EvalSeconds(n int64, maxCores int) float64 {
+	return d.parallelSeconds(float64(n)*d.EvalSecPerReLUCore, maxCores)
+}
+
+func (d Device) parallelSeconds(coreSeconds float64, maxCores int) float64 {
+	cores := d.Cores
+	if maxCores > 0 && maxCores < cores {
+		cores = maxCores
+	}
+	if cores < 1 {
+		cores = 1
+	}
+	return coreSeconds / float64(cores)
+}
+
+// Baseline and scaled devices. Per-core constants come from calib, which
+// back-derives them from the paper's measured machine-level times.
+var (
+	// Atom is the baseline client: Intel Atom Z8350, 1.92 GHz, 4 cores.
+	Atom = Device{
+		Name: "Atom", Cores: 4,
+		GarbleSecPerReLUCore: calib.GarbleSecPerReLUCoreAtom,
+		EvalSecPerReLUCore:   calib.EvalSecPerReLUCoreAtom,
+		HESpeed:              0, // clients do not run HE in this protocol
+		SSSpeed:              0,
+	}
+	// I5 is the faster client of §5.5 (garbling 382.6 s -> 107.2 s).
+	I5 = Device{
+		Name: "i5", Cores: 4,
+		GarbleSecPerReLUCore: calib.GarbleSecPerReLUCoreI5,
+		EvalSecPerReLUCore:   calib.EvalSecPerReLUCoreI5,
+	}
+	// I5x2 is a client with twice the i5's compute (garbling 53.8 s).
+	I5x2 = Device{
+		Name: "i5 (2x)", Cores: 4,
+		GarbleSecPerReLUCore: calib.GarbleSecPerReLUCoreI5 / 2,
+		EvalSecPerReLUCore:   calib.EvalSecPerReLUCoreI5 / 2,
+	}
+	// EPYC is the baseline server: AMD EPYC 7502, 2.5 GHz, 32 cores.
+	EPYC = Device{
+		Name: "EPYC", Cores: 32,
+		GarbleSecPerReLUCore: calib.GarbleSecPerReLUCoreEPYC,
+		EvalSecPerReLUCore:   calib.EvalSecPerReLUCoreEPYC,
+		HESpeed:              1,
+		SSSpeed:              1,
+	}
+)
+
+// ScaleServer returns a server with k-times the compute of d (the paper's
+// "AMD Server (2x)"/"(4x)" configurations).
+func ScaleServer(d Device, k float64) Device {
+	out := d
+	if k != 1 {
+		out.Name = d.Name + " (" + trimFloat(k) + "x)"
+	}
+	out.GarbleSecPerReLUCore /= k
+	out.EvalSecPerReLUCore /= k
+	out.HESpeed *= k
+	out.SSSpeed *= k
+	return out
+}
+
+func trimFloat(k float64) string {
+	if k == float64(int64(k)) {
+		return itoa(int64(k))
+	}
+	// Only integer scalings are used; fall back to a simple format.
+	return itoa(int64(k + 0.5))
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,59 @@
+package device
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Errorf("%s: got %f, want %f", name, got, want)
+	}
+}
+
+func TestMachineLevelTimes(t *testing.T) {
+	const re = 2228224
+	approx(t, "EPYC garble", EPYC.GarbleSeconds(re, 0), 25.1)
+	approx(t, "Atom garble", Atom.GarbleSeconds(re, 0), 382.6)
+	approx(t, "i5 garble", I5.GarbleSeconds(re, 0), 107.2)
+	approx(t, "i5x2 garble", I5x2.GarbleSeconds(re, 0), 53.6)
+	approx(t, "EPYC eval", EPYC.EvalSeconds(re, 0), 11.1)
+	approx(t, "Atom eval", Atom.EvalSeconds(re, 0), 200)
+}
+
+func TestSingleCoreTimes(t *testing.T) {
+	const re = 2228224
+	// RLP pins one core: 4x the Atom's machine-level garble time.
+	approx(t, "Atom 1-core garble", Atom.GarbleSeconds(re, 1), 4*382.6)
+	approx(t, "EPYC 1-core garble", EPYC.GarbleSeconds(re, 1), 32*25.1)
+	// Requesting more cores than the device has is capped.
+	approx(t, "Atom 99-core", Atom.GarbleSeconds(re, 99), 382.6)
+}
+
+func TestScaleServer(t *testing.T) {
+	s2 := ScaleServer(EPYC, 2)
+	if s2.Name != "EPYC (2x)" {
+		t.Errorf("name %q", s2.Name)
+	}
+	const re = 1000000
+	approx(t, "2x garble", s2.GarbleSeconds(re, 0), EPYC.GarbleSeconds(re, 0)/2)
+	if s2.HESpeed != 2 || s2.SSSpeed != 2 {
+		t.Errorf("HE/SS speeds %f/%f, want 2/2", s2.HESpeed, s2.SSSpeed)
+	}
+	// Scaling by 1 keeps the name.
+	if ScaleServer(EPYC, 1).Name != "EPYC" {
+		t.Error("1x scaling should not rename")
+	}
+	// Original untouched.
+	if EPYC.HESpeed != 1 {
+		t.Error("ScaleServer mutated the baseline device")
+	}
+}
+
+func TestZeroCoreGuard(t *testing.T) {
+	d := Device{Name: "degenerate", Cores: 0, GarbleSecPerReLUCore: 1}
+	if got := d.GarbleSeconds(10, 0); got != 10 {
+		t.Errorf("zero-core device should act single-core: %f", got)
+	}
+}

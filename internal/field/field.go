@@ -1,0 +1,147 @@
+// Package field implements the prime field Z_p that hybrid PI protocols
+// compute in: linear layers are evaluated as secret shares mod p, and the
+// ReLU garbled circuit operates on the bit decomposition of values mod p.
+//
+// Every supplied prime satisfies p ≡ 1 (mod 2N) for ring degree N = 4096,
+// which is required for BFV batching in the he substrate. Values are held in
+// [0, p); signed quantities use the centered representation where
+// v > p/2 encodes v - p.
+package field
+
+import "math/bits"
+
+// Standard primes. All are ≡ 1 mod 8192 so they batch into degree-4096 BFV.
+const (
+	// P17 = 2^16 + 1, the Fermat prime F4. Smallest demo field.
+	P17 uint64 = 65537
+	// P20 = 3*2^18 + 1. Comfortable for small quantized CNNs.
+	P20 uint64 = 786433
+	// P31 = 15*2^27 + 1. Headroom for deeper accumulations.
+	P31 uint64 = 2013265921
+	// P41 = 15*2^37 + 1, the 41-bit DELPHI plaintext modulus.
+	P41 uint64 = 2061584302081
+)
+
+// Field is a prime field Z_p with p < 2^62. The zero value is unusable;
+// construct with New.
+type Field struct {
+	p    uint64
+	bits int
+}
+
+// New returns the field Z_p. p must be an odd prime < 2^62 (primality is the
+// caller's contract; the standard P* constants satisfy it).
+func New(p uint64) Field {
+	if p < 3 || p&1 == 0 || p >= 1<<62 {
+		panic("field: modulus must be an odd prime below 2^62")
+	}
+	return Field{p: p, bits: bits.Len64(p - 1)}
+}
+
+// P returns the modulus.
+func (f Field) P() uint64 { return f.p }
+
+// Bits returns the number of bits needed to represent field elements,
+// i.e. ceil(log2(p)). This is the GC wire width for one field value.
+func (f Field) Bits() int { return f.bits }
+
+// Reduce maps an arbitrary uint64 into [0, p).
+func (f Field) Reduce(a uint64) uint64 { return a % f.p }
+
+// Add returns (a+b) mod p for a, b in [0, p).
+func (f Field) Add(a, b uint64) uint64 {
+	s := a + b // p < 2^62 so no overflow
+	if s >= f.p {
+		s -= f.p
+	}
+	return s
+}
+
+// Sub returns (a-b) mod p for a, b in [0, p).
+func (f Field) Sub(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return a + f.p - b
+}
+
+// Neg returns -a mod p.
+func (f Field) Neg(a uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return f.p - a
+}
+
+// Mul returns (a*b) mod p.
+func (f Field) Mul(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi, lo, f.p)
+	return rem
+}
+
+// Exp returns a^e mod p.
+func (f Field) Exp(a, e uint64) uint64 {
+	result := uint64(1)
+	base := f.Reduce(a)
+	for e > 0 {
+		if e&1 == 1 {
+			result = f.Mul(result, base)
+		}
+		base = f.Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns a^-1 mod p. Panics on zero: a zero divisor is a caller bug.
+func (f Field) Inv(a uint64) uint64 {
+	if a == 0 {
+		panic("field: inverse of zero")
+	}
+	return f.Exp(a, f.p-2)
+}
+
+// FromInt64 maps a signed integer (|v| < p/2) to its field representative.
+func (f Field) FromInt64(v int64) uint64 {
+	if v >= 0 {
+		return uint64(v) % f.p
+	}
+	return f.p - (uint64(-v) % f.p)
+}
+
+// ToInt64 maps a field element to its centered signed representative in
+// (-p/2, p/2].
+func (f Field) ToInt64(a uint64) int64 {
+	if a > f.p/2 {
+		return -int64(f.p - a)
+	}
+	return int64(a)
+}
+
+// IsNegative reports whether a encodes a negative value under the centered
+// representation. This is the sign test the ReLU garbled circuit performs.
+func (f Field) IsNegative(a uint64) bool { return a > f.p/2 }
+
+// AddVec sets out[i] = a[i] + b[i] mod p.
+func (f Field) AddVec(out, a, b []uint64) {
+	for i := range out {
+		out[i] = f.Add(a[i], b[i])
+	}
+}
+
+// SubVec sets out[i] = a[i] - b[i] mod p.
+func (f Field) SubVec(out, a, b []uint64) {
+	for i := range out {
+		out[i] = f.Sub(a[i], b[i])
+	}
+}
+
+// DotProduct returns sum_i a[i]*b[i] mod p.
+func (f Field) DotProduct(a, b []uint64) uint64 {
+	var acc uint64
+	for i := range a {
+		acc = f.Add(acc, f.Mul(a[i], b[i]))
+	}
+	return acc
+}

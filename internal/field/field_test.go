@@ -1,0 +1,168 @@
+package field
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var allPrimes = []uint64{P17, P20, P31, P41}
+
+func TestPrimesAreActuallyPrime(t *testing.T) {
+	for _, p := range allPrimes {
+		if !new(big.Int).SetUint64(p).ProbablyPrime(64) {
+			t.Errorf("%d is not prime", p)
+		}
+	}
+}
+
+func TestPrimesBatchCompatible(t *testing.T) {
+	// p ≡ 1 mod 2N for N = 4096 is required by the BFV batch encoder.
+	for _, p := range allPrimes {
+		if (p-1)%8192 != 0 {
+			t.Errorf("%d is not ≡ 1 mod 8192", p)
+		}
+	}
+}
+
+func TestFieldOpsMatchBig(t *testing.T) {
+	for _, p := range allPrimes {
+		f := New(p)
+		bp := new(big.Int).SetUint64(p)
+		check := func(a, b uint64) bool {
+			a, b = a%p, b%p
+			ba := new(big.Int).SetUint64(a)
+			bb := new(big.Int).SetUint64(b)
+			add := new(big.Int).Mod(new(big.Int).Add(ba, bb), bp).Uint64()
+			sub := new(big.Int).Mod(new(big.Int).Sub(ba, bb), bp)
+			if sub.Sign() < 0 {
+				sub.Add(sub, bp)
+			}
+			mul := new(big.Int).Mod(new(big.Int).Mul(ba, bb), bp).Uint64()
+			return f.Add(a, b) == add && f.Sub(a, b) == sub.Uint64() && f.Mul(a, b) == mul
+		}
+		if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestInvAndExp(t *testing.T) {
+	f := New(P41)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		a := rng.Uint64()%(P41-1) + 1
+		if f.Mul(a, f.Inv(a)) != 1 {
+			t.Fatalf("inv failed for %d", a)
+		}
+	}
+	if f.Exp(3, 4) != 81 {
+		t.Fatal("Exp(3,4) != 81")
+	}
+}
+
+func TestSignedRoundTrip(t *testing.T) {
+	f := New(P20)
+	check := func(v int32) bool {
+		x := int64(v) % int64(P20/2)
+		return f.ToInt64(f.FromInt64(x)) == x
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsNegative(t *testing.T) {
+	f := New(P17)
+	if f.IsNegative(f.FromInt64(5)) {
+		t.Fatal("5 should not be negative")
+	}
+	if !f.IsNegative(f.FromInt64(-5)) {
+		t.Fatal("-5 should be negative")
+	}
+	if f.IsNegative(0) {
+		t.Fatal("0 should not be negative")
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	f := New(P20)
+	a := []uint64{1, 2, f.P() - 1}
+	b := []uint64{5, f.P() - 1, 2}
+	sum := make([]uint64, 3)
+	diff := make([]uint64, 3)
+	f.AddVec(sum, a, b)
+	f.SubVec(diff, a, b)
+	want := []uint64{6, 1, 1}
+	for i := range want {
+		if sum[i] != want[i] {
+			t.Fatalf("AddVec[%d] = %d, want %d", i, sum[i], want[i])
+		}
+	}
+	if diff[0] != f.FromInt64(-4) {
+		t.Fatalf("SubVec[0] = %d", diff[0])
+	}
+}
+
+func TestDotProduct(t *testing.T) {
+	f := New(P17)
+	a := []uint64{1, 2, 3}
+	b := []uint64{4, 5, 6}
+	if got := f.DotProduct(a, b); got != 32 {
+		t.Fatalf("dot = %d, want 32", got)
+	}
+	// With negative values.
+	c := []uint64{f.FromInt64(-1), 2}
+	d := []uint64{3, f.FromInt64(-4)}
+	if got := f.ToInt64(f.DotProduct(c, d)); got != -11 {
+		t.Fatalf("signed dot = %d, want -11", got)
+	}
+}
+
+func TestNewRejectsBadModulus(t *testing.T) {
+	for _, p := range []uint64{0, 1, 2, 4, 1 << 63} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) should panic", p)
+				}
+			}()
+			New(p)
+		}()
+	}
+}
+
+func TestFixedPointRoundTrip(t *testing.T) {
+	q := FixedPoint{F: New(P41), Frac: 12}
+	for _, x := range []float64{0, 1, -1, 3.14159, -2.71828, 100.5, -0.000244140625} {
+		got := q.Decode(q.Encode(x))
+		if diff := got - x; diff > 1.0/4096 || diff < -1.0/4096 {
+			t.Errorf("round trip %v -> %v", x, got)
+		}
+	}
+}
+
+func TestFixedPointTruncate(t *testing.T) {
+	q := FixedPoint{F: New(P41), Frac: 8}
+	// (a*2^8) truncated by 8 bits returns a for positive and negative a.
+	for _, v := range []int64{0, 1, -1, 1000, -1000} {
+		enc := q.F.FromInt64(v << 8)
+		if got := q.F.ToInt64(q.Truncate(enc)); got != v {
+			t.Errorf("Truncate(%d<<8) = %d, want %d", v, got, v)
+		}
+	}
+	// Truncation rounds toward negative infinity.
+	if got := q.F.ToInt64(q.Truncate(q.F.FromInt64(-1))); got != -1 {
+		t.Errorf("Truncate(-1) = %d, want -1 (floor division)", got)
+	}
+}
+
+func TestBits(t *testing.T) {
+	if New(P17).Bits() != 17 {
+		t.Errorf("P17 bits = %d, want 17", New(P17).Bits())
+	}
+	if New(P41).Bits() != 41 {
+		t.Errorf("P41 bits = %d, want 41", New(P41).Bits())
+	}
+}

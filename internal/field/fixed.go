@@ -1,0 +1,33 @@
+package field
+
+// FixedPoint encodes real numbers as field elements with a power-of-two
+// scale, the quantization DELPHI-style protocols use. A real x maps to
+// round(x * 2^Frac) mod p; products carry scale 2^(2*Frac) and must be
+// truncated by Frac bits, which the protocol performs inside the ReLU
+// garbled circuit (see boolcirc.ReLUCircuit).
+type FixedPoint struct {
+	F    Field
+	Frac uint // number of fractional bits
+}
+
+// Encode maps a real value to its fixed-point field representative.
+func (q FixedPoint) Encode(x float64) uint64 {
+	scaled := x * float64(int64(1)<<q.Frac)
+	// Round half away from zero, matching the quantizers in nn.
+	if scaled >= 0 {
+		return q.F.FromInt64(int64(scaled + 0.5))
+	}
+	return q.F.FromInt64(int64(scaled - 0.5))
+}
+
+// Decode maps a fixed-point field element back to a real value.
+func (q FixedPoint) Decode(a uint64) float64 {
+	return float64(q.F.ToInt64(a)) / float64(int64(1)<<q.Frac)
+}
+
+// Truncate divides a (centered) field element by 2^Frac, rounding toward
+// negative infinity. This is the plaintext reference for the in-GC shift.
+func (q FixedPoint) Truncate(a uint64) uint64 {
+	v := q.F.ToInt64(a)
+	return q.F.FromInt64(v >> q.Frac)
+}

@@ -1,0 +1,183 @@
+package garble
+
+import (
+	"fmt"
+	"io"
+
+	"privinf/internal/boolcirc"
+)
+
+// Garbled holds everything the garbler produces for one circuit instance.
+// The evaluator receives Tables and DecodeBits (via Garbled.Transferable);
+// Encoding stays with the garbler for input encoding and OT.
+type Garbled struct {
+	// Tables holds two ciphertexts per AND gate, in gate order.
+	Tables []Label
+	// DecodeBits holds the color bit of each output wire's false label;
+	// the evaluator XORs it with the active label's color to decode.
+	DecodeBits []byte
+	// Encoding holds the garbler-private input encoding.
+	Encoding Encoding
+}
+
+// Encoding is the garbler's secret input-encoding information: the false
+// label of every input wire plus the global FreeXOR offset R.
+// Storage cost per ReLU of keeping these is the 3.5 KB/ReLU the paper
+// charges the garbler (§4.1.1).
+type Encoding struct {
+	Inputs []Label // false labels, one per circuit input (incl. const-one)
+	R      Label   // global offset; label(true) = label(false) ⊕ R
+}
+
+// EncodeInput returns the active label for input wire i carrying bit v.
+func (e Encoding) EncodeInput(i int, v bool) Label {
+	if v {
+		return e.Inputs[i].xor(e.R)
+	}
+	return e.Inputs[i]
+}
+
+// LabelPair returns (false, true) labels for input i, the sender inputs
+// for oblivious transfer of the evaluator's choice bits.
+func (e Encoding) LabelPair(i int) (Label, Label) {
+	return e.Inputs[i], e.Inputs[i].xor(e.R)
+}
+
+// Garble garbles the circuit. src supplies label randomness (nil means
+// crypto/rand). gateIndexBase offsets the hash tweak so that multiple
+// circuit instances garbled under one session never reuse a tweak.
+func Garble(c *boolcirc.Circuit, src io.Reader, gateIndexBase uint64) *Garbled {
+	h := newHasher()
+
+	// Global offset with color bit forced to 1 (point-and-permute).
+	r := randomLabel(src)
+	r[0] |= 1
+
+	false0 := make([]Label, c.NumWires)
+	for i := 0; i < c.NumInputs; i++ {
+		false0[i] = randomLabel(src)
+	}
+
+	tables := make([]Label, 0, 2*c.NumAND())
+	gateIndex := gateIndexBase
+
+	for _, g := range c.Gates {
+		switch g.Op {
+		case boolcirc.XOR:
+			false0[g.Out] = false0[g.A].xor(false0[g.B])
+		case boolcirc.AND:
+			a0 := false0[g.A]
+			b0 := false0[g.B]
+			pa := a0.color()
+			pb := b0.color()
+			j0 := gateIndex
+			j1 := gateIndex + 1
+			gateIndex += 2
+
+			a1 := a0.xor(r)
+			b1 := b0.xor(r)
+
+			// Generator half gate.
+			tg := h.hash(a0, j0).xor(h.hash(a1, j0))
+			if pb == 1 {
+				tg = tg.xor(r)
+			}
+			wg := h.hash(a0, j0)
+			if pa == 1 {
+				wg = wg.xor(tg)
+			}
+
+			// Evaluator half gate.
+			te := h.hash(b0, j1).xor(h.hash(b1, j1)).xor(a0)
+			we := h.hash(b0, j1)
+			if pb == 1 {
+				we = we.xor(te.xor(a0))
+			}
+
+			false0[g.Out] = wg.xor(we)
+			tables = append(tables, tg, te)
+		default:
+			panic("garble: unknown gate op")
+		}
+	}
+
+	decode := make([]byte, len(c.Outputs))
+	for i, w := range c.Outputs {
+		decode[i] = false0[w].color()
+	}
+
+	return &Garbled{
+		Tables:     tables,
+		DecodeBits: decode,
+		Encoding: Encoding{
+			Inputs: false0[:c.NumInputs:c.NumInputs],
+			R:      r,
+		},
+	}
+}
+
+// Eval evaluates the garbled circuit given active labels for every input
+// (including the constant-one wire, whose true label the garbler always
+// supplies). It returns the decoded output bits.
+func Eval(c *boolcirc.Circuit, tables []Label, decode []byte, inputs []Label, gateIndexBase uint64) ([]bool, error) {
+	if len(inputs) != c.NumInputs {
+		return nil, fmt.Errorf("garble: got %d input labels, want %d", len(inputs), c.NumInputs)
+	}
+	if len(tables) != 2*c.NumAND() {
+		return nil, fmt.Errorf("garble: got %d table entries, want %d", len(tables), 2*c.NumAND())
+	}
+	h := newHasher()
+
+	active := make([]Label, c.NumWires)
+	copy(active, inputs)
+
+	ti := 0
+	gateIndex := gateIndexBase
+	for _, g := range c.Gates {
+		switch g.Op {
+		case boolcirc.XOR:
+			active[g.Out] = active[g.A].xor(active[g.B])
+		case boolcirc.AND:
+			a := active[g.A]
+			b := active[g.B]
+			sa := a.color()
+			sb := b.color()
+			tg := tables[ti]
+			te := tables[ti+1]
+			ti += 2
+			j0 := gateIndex
+			j1 := gateIndex + 1
+			gateIndex += 2
+
+			wg := h.hash(a, j0)
+			if sa == 1 {
+				wg = wg.xor(tg)
+			}
+			we := h.hash(b, j1)
+			if sb == 1 {
+				we = we.xor(te.xor(a))
+			}
+			active[g.Out] = wg.xor(we)
+		}
+	}
+
+	out := make([]bool, len(c.Outputs))
+	for i, w := range c.Outputs {
+		out[i] = active[w].color()^decode[i] == 1
+	}
+	return out, nil
+}
+
+// TableBytes returns the size in bytes of the garbled tables for c — what
+// the garbler must transmit and the evaluator store, per instance. This is
+// the quantity behind the paper's 18.2 KB/ReLU storage figure.
+func TableBytes(c *boolcirc.Circuit) int {
+	return 2 * LabelSize * c.NumAND()
+}
+
+// NaiveTableBytes returns the table size under classic 4-row Yao garbling
+// (4 ciphertexts per gate, XOR not free) — the ablation baseline for
+// BenchmarkGarbleTableSize.
+func NaiveTableBytes(c *boolcirc.Circuit) int {
+	return 4 * LabelSize * len(c.Gates)
+}

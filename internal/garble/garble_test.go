@@ -1,0 +1,246 @@
+package garble
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"privinf/internal/boolcirc"
+	"privinf/internal/field"
+)
+
+type seededReader struct{ rng *rand.Rand }
+
+func newSeeded(seed int64) *seededReader {
+	return &seededReader{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *seededReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(s.rng.Intn(256))
+	}
+	return len(p), nil
+}
+
+// garbleAndEval garbles c, encodes the given user inputs directly (as if
+// all labels were delivered), evaluates, and returns decoded outputs.
+func garbleAndEval(t *testing.T, c *boolcirc.Circuit, user []bool, seed int64) []bool {
+	t.Helper()
+	g := Garble(c, newSeeded(seed), 0)
+	inputs := make([]Label, c.NumInputs)
+	inputs[boolcirc.ConstOne] = g.Encoding.EncodeInput(boolcirc.ConstOne, true)
+	for i, v := range user {
+		inputs[i+1] = g.Encoding.EncodeInput(i+1, v)
+	}
+	out, err := Eval(c, g.Tables, g.DecodeBits, inputs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestGarbledGatesMatchPlain(t *testing.T) {
+	b := boolcirc.NewBuilder(2)
+	x, y := b.Input(0), b.Input(1)
+	b.SetOutputs([]int{b.Xor(x, y), b.And(x, y), b.Or(x, y), b.Not(x)})
+	c := b.Finish()
+
+	for _, tc := range [][2]bool{{false, false}, {false, true}, {true, false}, {true, true}} {
+		want := c.Eval(append([]bool{true}, tc[:]...))
+		got := garbleAndEval(t, c, tc[:], 42)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("inputs %v output %d: garbled %v, plain %v", tc, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGarbledAdderProperty(t *testing.T) {
+	const width = 16
+	b := boolcirc.NewBuilder(2 * width)
+	a := make([]int, width)
+	bb := make([]int, width)
+	for i := 0; i < width; i++ {
+		a[i], bb[i] = b.Input(i), b.Input(width+i)
+	}
+	sum, carry := b.Add(a, bb)
+	b.SetOutputs(append(sum, carry))
+	c := b.Finish()
+
+	seed := int64(0)
+	check := func(x, y uint16) bool {
+		seed++
+		user := append(boolcirc.PackBits(uint64(x), width), boolcirc.PackBits(uint64(y), width)...)
+		got := boolcirc.UnpackBits(garbleAndEval(t, c, user, seed))
+		return got == uint64(x)+uint64(y)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGarbledReLU(t *testing.T) {
+	spec := boolcirc.ReLUSpec{P: field.P17, Frac: 2}
+	c := boolcirc.BuildReLU(spec)
+	width := spec.Width()
+	rng := rand.New(rand.NewSource(9))
+
+	for trial := 0; trial < 25; trial++ {
+		a := rng.Uint64() % spec.P
+		bsh := rng.Uint64() % spec.P
+		r := rng.Uint64() % spec.P
+		user := append(append(
+			boolcirc.PackBits(a, width),
+			boolcirc.PackBits(bsh, width)...),
+			boolcirc.PackBits(r, width)...)
+		got := boolcirc.UnpackBits(garbleAndEval(t, c, user, int64(trial+100)))
+		want := boolcirc.ReLUReference(spec, a, bsh, r)
+		if got != want {
+			t.Fatalf("trial %d: garbled ReLU = %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestFreeXOROffsetInvariant(t *testing.T) {
+	// For every wire the true label must equal false label ⊕ R; spot-check
+	// on inputs, which Encoding exposes.
+	b := boolcirc.NewBuilder(3)
+	b.SetOutputs([]int{b.And(b.Input(0), b.Xor(b.Input(1), b.Input(2)))})
+	c := b.Finish()
+	g := Garble(c, newSeeded(5), 0)
+	for i := 0; i < c.NumInputs; i++ {
+		f, tr := g.Encoding.LabelPair(i)
+		if f.xor(g.Encoding.R) != tr {
+			t.Fatalf("input %d: label pair not related by R", i)
+		}
+		if f.color() == tr.color() {
+			t.Fatalf("input %d: color bits must differ (R color=1)", i)
+		}
+	}
+}
+
+func TestTableSizes(t *testing.T) {
+	spec := boolcirc.ReLUSpec{P: field.P17, Frac: 0}
+	c := boolcirc.BuildReLU(spec)
+	g := Garble(c, newSeeded(6), 0)
+	if got := len(g.Tables) * LabelSize; got != TableBytes(c) {
+		t.Fatalf("TableBytes = %d but actual tables are %d bytes", TableBytes(c), got)
+	}
+	// Half-gates must beat naive 4-row garbling by well over 2x on this
+	// XOR-heavy circuit.
+	if TableBytes(c)*2 >= NaiveTableBytes(c) {
+		t.Fatalf("half-gates %d B vs naive %d B: expected > 2x saving", TableBytes(c), NaiveTableBytes(c))
+	}
+}
+
+func TestEvalInputValidation(t *testing.T) {
+	b := boolcirc.NewBuilder(1)
+	b.SetOutputs([]int{b.And(b.Input(0), b.One())})
+	c := b.Finish()
+	g := Garble(c, newSeeded(7), 0)
+	if _, err := Eval(c, g.Tables, g.DecodeBits, make([]Label, 1), 0); err == nil {
+		t.Fatal("short input labels should error")
+	}
+	if _, err := Eval(c, g.Tables[:0], g.DecodeBits, make([]Label, c.NumInputs), 0); err == nil {
+		t.Fatal("short tables should error")
+	}
+}
+
+func TestWrongLabelGivesWrongOutput(t *testing.T) {
+	// Flipping an input label to its complement flips the computed AND
+	// input — the circuit must decode to the other value, demonstrating
+	// labels actually carry the semantics.
+	b := boolcirc.NewBuilder(2)
+	b.SetOutputs([]int{b.And(b.Input(0), b.Input(1))})
+	c := b.Finish()
+	g := Garble(c, newSeeded(8), 0)
+
+	inputs := make([]Label, c.NumInputs)
+	inputs[boolcirc.ConstOne] = g.Encoding.EncodeInput(boolcirc.ConstOne, true)
+	inputs[1] = g.Encoding.EncodeInput(1, true)
+	inputs[2] = g.Encoding.EncodeInput(2, true)
+	out1, err := Eval(c, g.Tables, g.DecodeBits, inputs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs[2] = g.Encoding.EncodeInput(2, false)
+	out2, err := Eval(c, g.Tables, g.DecodeBits, inputs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1[0] != true || out2[0] != false {
+		t.Fatalf("AND(true,true)=%v AND(true,false)=%v", out1[0], out2[0])
+	}
+}
+
+func TestGateIndexBaseIsolation(t *testing.T) {
+	// Two instances with different tweak bases must both evaluate
+	// correctly (tweaks only need to be consistent garbler/evaluator).
+	b := boolcirc.NewBuilder(2)
+	b.SetOutputs([]int{b.And(b.Input(0), b.Input(1))})
+	c := b.Finish()
+	for _, base := range []uint64{0, 1 << 20, 1 << 40} {
+		g := Garble(c, newSeeded(11), base)
+		inputs := make([]Label, c.NumInputs)
+		inputs[boolcirc.ConstOne] = g.Encoding.EncodeInput(boolcirc.ConstOne, true)
+		inputs[1] = g.Encoding.EncodeInput(1, true)
+		inputs[2] = g.Encoding.EncodeInput(2, true)
+		out, err := Eval(c, g.Tables, g.DecodeBits, inputs, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out[0] {
+			t.Fatalf("base %d: AND(true,true) = false", base)
+		}
+	}
+}
+
+func TestDoubleLinear(t *testing.T) {
+	// σ(x ⊕ y) = σ(x) ⊕ σ(y): linearity required by the half-gates hash.
+	check := func(xb, yb [16]byte) bool {
+		x, y := Label(xb), Label(yb)
+		return x.xor(y).double() == x.double().xor(y.double())
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGarbleReLU(b *testing.B) {
+	spec := boolcirc.ReLUSpec{P: field.P20, Frac: 6}
+	c := boolcirc.BuildReLU(spec)
+	src := newSeeded(12)
+	b.ReportMetric(float64(c.NumAND()), "ANDgates")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Garble(c, src, 0)
+	}
+}
+
+func BenchmarkEvalReLU(b *testing.B) {
+	spec := boolcirc.ReLUSpec{P: field.P20, Frac: 6}
+	c := boolcirc.BuildReLU(spec)
+	g := Garble(c, newSeeded(13), 0)
+	inputs := make([]Label, c.NumInputs)
+	for i := range inputs {
+		inputs[i] = g.Encoding.EncodeInput(i, i == 0)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Eval(c, g.Tables, g.DecodeBits, inputs, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGarbleTableSize(b *testing.B) {
+	// Ablation: half-gates vs naive table bytes for the ReLU circuit.
+	spec := boolcirc.ReLUSpec{P: field.P20, Frac: 6}
+	c := boolcirc.BuildReLU(spec)
+	b.ReportMetric(float64(TableBytes(c)), "halfgate-bytes")
+	b.ReportMetric(float64(NaiveTableBytes(c)), "naive-bytes")
+	for i := 0; i < b.N; i++ {
+		_ = TableBytes(c)
+	}
+}

@@ -1,0 +1,94 @@
+// Package garble implements Yao garbled circuits for boolcirc circuits with
+// the two standard optimizations the paper's protocol uses (§2.1.3):
+// FreeXOR (XOR gates cost nothing) and half-gates (two 128-bit ciphertexts
+// per AND gate). Labels are 128 bits; the hash is a correlation-robust
+// construction from fixed-key AES (crypto/aes), H(x, i) = π(σ(x) ⊕ i) ⊕
+// σ(x) ⊕ i with σ a linear doubling in GF(2^128).
+package garble
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"encoding/binary"
+	"io"
+)
+
+// LabelSize is the wire-label size in bytes (the security parameter / 8).
+const LabelSize = 16
+
+// Label is a 128-bit wire label. The least-significant bit of byte 0 is the
+// point-and-permute color bit.
+type Label [LabelSize]byte
+
+// xor returns a ⊕ b.
+func (a Label) xor(b Label) Label {
+	var out Label
+	for i := range a {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}
+
+// color returns the point-and-permute bit.
+func (a Label) color() byte { return a[0] & 1 }
+
+// double computes σ(x) = 2·x in GF(2^128) with the standard x^128 + x^7 +
+// x^2 + x + 1 reduction, interpreting the label as a big-endian field
+// element (as in CMAC subkey derivation). σ is linear, which the
+// half-gates security proof requires of the hash's input mixing.
+func (a Label) double() Label {
+	var out Label
+	var carry byte
+	for i := LabelSize - 1; i >= 0; i-- {
+		out[i] = a[i]<<1 | carry
+		carry = a[i] >> 7
+	}
+	if carry == 1 {
+		out[LabelSize-1] ^= 0x87
+	}
+	return out
+}
+
+// hasher is the fixed-key-AES correlation-robust hash.
+type hasher struct {
+	block cipher.Block
+}
+
+// fixedKey is the public fixed AES key. Any fixed constant works; this is
+// the SHA-256 prefix of "privinf garbling v1" truncated to 16 bytes.
+var fixedKey = [16]byte{
+	0x5f, 0x1c, 0x9a, 0x3e, 0x27, 0xb4, 0x60, 0xd8,
+	0x44, 0x0b, 0x8f, 0x72, 0xe1, 0x95, 0x3a, 0xc6,
+}
+
+func newHasher() hasher {
+	block, err := aes.NewCipher(fixedKey[:])
+	if err != nil {
+		panic("garble: aes init failed: " + err.Error())
+	}
+	return hasher{block: block}
+}
+
+// hash computes H(x, index) = π(σ(x) ⊕ i) ⊕ σ(x) ⊕ i.
+func (h hasher) hash(x Label, index uint64) Label {
+	t := x.double()
+	var idx [LabelSize]byte
+	binary.LittleEndian.PutUint64(idx[:8], index)
+	in := t.xor(idx)
+	var out Label
+	h.block.Encrypt(out[:], in[:])
+	return out.xor(in)
+}
+
+// randomLabel draws a fresh uniform label from src (crypto/rand if nil).
+func randomLabel(src io.Reader) Label {
+	if src == nil {
+		src = rand.Reader
+	}
+	var l Label
+	if _, err := io.ReadFull(src, l[:]); err != nil {
+		panic("garble: entropy source failed: " + err.Error())
+	}
+	return l
+}

@@ -1,0 +1,173 @@
+// Package nn provides the neural-network substrate for private inference:
+//
+//   - Architecture descriptors (arch.go, zoo.go): exact layer shapes for the
+//     paper's networks — ResNet-32, ResNet-18, VGG-16 on CIFAR-100,
+//     TinyImageNet and ImageNet — yielding the ReLU and linear-layer
+//     inventories every cost figure in the evaluation derives from.
+//   - Executable lowered networks (lowered.go, build.go): small quantized
+//     models expressed as dense linear layers + ReLU/truncate steps, the
+//     form the real cryptographic protocol consumes, with a bit-exact
+//     plaintext reference.
+package nn
+
+import "fmt"
+
+// LayerKind classifies architecture layers.
+type LayerKind int
+
+const (
+	// Conv is a 2-D convolution (stride 1; downsampling is performed by
+	// average pooling per the paper's methodology §3).
+	Conv LayerKind = iota
+	// FC is a fully-connected layer.
+	FC
+	// ReLULayer is a ReLU activation (the GC-evaluated nonlinearity).
+	ReLULayer
+	// AvgPool is 2x2 average pooling (halves each spatial dimension).
+	AvgPool
+	// GlobalPool averages over all spatial positions.
+	GlobalPool
+)
+
+func (k LayerKind) String() string {
+	switch k {
+	case Conv:
+		return "conv"
+	case FC:
+		return "fc"
+	case ReLULayer:
+		return "relu"
+	case AvgPool:
+		return "avgpool"
+	case GlobalPool:
+		return "globalpool"
+	}
+	return "unknown"
+}
+
+// ArchLayer is one layer of an architecture descriptor.
+type ArchLayer struct {
+	Kind LayerKind
+	// Conv fields: input channels/spatial, output channels, kernel size.
+	Cin, Cout int
+	H, W      int // input spatial dims
+	K         int // kernel size (KxK)
+	// FC fields.
+	In, Out int
+	// ReLU field: number of activations.
+	Units int
+}
+
+// MACs returns multiply-accumulate operations for linear layers, 0 otherwise.
+func (l ArchLayer) MACs() int64 {
+	switch l.Kind {
+	case Conv:
+		return int64(l.Cout) * int64(l.Cin) * int64(l.H) * int64(l.W) * int64(l.K) * int64(l.K)
+	case FC:
+		return int64(l.In) * int64(l.Out)
+	}
+	return 0
+}
+
+// Arch is a network architecture bound to an input resolution.
+type Arch struct {
+	Name    string
+	Dataset string
+	Classes int
+	Layers  []ArchLayer
+}
+
+// String returns "name/dataset".
+func (a Arch) String() string { return a.Name + "/" + a.Dataset }
+
+// TotalReLUs returns the network's ReLU count — the single number that
+// drives GC storage, GC compute, and GC communication in the cost model.
+func (a Arch) TotalReLUs() int64 {
+	var n int64
+	for _, l := range a.Layers {
+		if l.Kind == ReLULayer {
+			n += int64(l.Units)
+		}
+	}
+	return n
+}
+
+// TotalMACs returns the plaintext multiply-accumulate count.
+func (a Arch) TotalMACs() int64 {
+	var n int64
+	for _, l := range a.Layers {
+		n += l.MACs()
+	}
+	return n
+}
+
+// TotalParams returns the weight count of linear layers.
+func (a Arch) TotalParams() int64 {
+	var n int64
+	for _, l := range a.Layers {
+		switch l.Kind {
+		case Conv:
+			n += int64(l.Cout) * int64(l.Cin) * int64(l.K) * int64(l.K)
+		case FC:
+			n += int64(l.In) * int64(l.Out)
+		}
+	}
+	return n
+}
+
+// HEJob describes one linear layer's homomorphic workload in the offline
+// phase: the dimensions of the equivalent matrix-vector product
+// (out = Cout*H*W rows by in = Cin*K*K columns per output pixel for convs).
+type HEJob struct {
+	Label string
+	// InVec is the layer input length (Cin*H*W or FC in).
+	InVec int
+	// OutVec is the layer output length (Cout*H*W or FC out).
+	OutVec int
+	// KernelElems is Cin*K*K for convs (the per-output dot-product length),
+	// or In for FC layers.
+	KernelElems int
+	// OutPixels is H*W for convs, 1 for FC.
+	OutPixels int
+}
+
+// HELinearJobs returns one homomorphic job per linear layer. Following the
+// paper's accounting ("there are 17 linear layers in ResNet18"), a final FC
+// layer that directly follows the last conv stage is merged into the
+// preceding job: its cost is <0.1% of any conv layer's and DELPHI's
+// implementation schedules it with the final stage.
+func (a Arch) HELinearJobs() []HEJob {
+	var jobs []HEJob
+	for i, l := range a.Layers {
+		switch l.Kind {
+		case Conv:
+			jobs = append(jobs, HEJob{
+				Label:       fmt.Sprintf("conv%d %dx%dx%d->%d k%d", i, l.Cin, l.H, l.W, l.Cout, l.K),
+				InVec:       l.Cin * l.H * l.W,
+				OutVec:      l.Cout * l.H * l.W,
+				KernelElems: l.Cin * l.K * l.K,
+				OutPixels:   l.H * l.W,
+			})
+		case FC:
+			job := HEJob{
+				Label:       fmt.Sprintf("fc%d %d->%d", i, l.In, l.Out),
+				InVec:       l.In,
+				OutVec:      l.Out,
+				KernelElems: l.In,
+				OutPixels:   1,
+			}
+			if len(jobs) > 0 && i == len(a.Layers)-1 {
+				// Merge the classifier into the last job.
+				jobs[len(jobs)-1].Label += "+fc"
+				jobs[len(jobs)-1].OutVec += job.OutVec
+			} else {
+				jobs = append(jobs, job)
+			}
+		}
+	}
+	return jobs
+}
+
+// NumLinear returns the number of independent HE jobs (the LPHE parallelism
+// degree).
+func (a Arch) NumLinear() int { return len(a.HELinearJobs()) }

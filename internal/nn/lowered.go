@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"fmt"
+
+	"privinf/internal/field"
+)
+
+// LinearSpec is one dense linear layer of a lowered network: y = W·x + B
+// over the field, with W holding centered-encoded quantized weights.
+type LinearSpec struct {
+	W [][]uint64 // Out rows of In columns
+	B []uint64   // Out biases (at product scale 2^(2*Frac))
+}
+
+// Out returns the output dimension.
+func (l LinearSpec) Out() int { return len(l.W) }
+
+// In returns the input dimension.
+func (l LinearSpec) In() int {
+	if len(l.W) == 0 {
+		return 0
+	}
+	return len(l.W[0])
+}
+
+// Lowered is a network in the exact form the DELPHI protocol evaluates:
+// alternating dense linear layers and ReLU-with-truncation steps. Convs and
+// pools are pre-composed into the dense matrices (see build.go), so the
+// protocol only ever sees matvec + ReLU. Fixed-point scale is 2^Frac
+// throughout; each ReLU truncates Shifts[i] bits (Frac plus pooling
+// compensation).
+type Lowered struct {
+	F      field.Field
+	Frac   uint
+	Linear []LinearSpec
+	Shifts []uint // len(Linear)-1 entries, one per ReLU layer
+}
+
+// Validate checks internal consistency; protocol code calls this before
+// engaging the offline phase.
+func (m *Lowered) Validate() error {
+	if len(m.Linear) == 0 {
+		return fmt.Errorf("nn: lowered model has no layers")
+	}
+	if len(m.Shifts) != len(m.Linear)-1 {
+		return fmt.Errorf("nn: %d shifts for %d linear layers", len(m.Shifts), len(m.Linear))
+	}
+	for i := 1; i < len(m.Linear); i++ {
+		if m.Linear[i].In() != m.Linear[i-1].Out() {
+			return fmt.Errorf("nn: layer %d input %d != layer %d output %d",
+				i, m.Linear[i].In(), i-1, m.Linear[i-1].Out())
+		}
+	}
+	return nil
+}
+
+// InputLen returns the expected input vector length.
+func (m *Lowered) InputLen() int { return m.Linear[0].In() }
+
+// OutputLen returns the output vector length.
+func (m *Lowered) OutputLen() int { return m.Linear[len(m.Linear)-1].Out() }
+
+// NumReLUs returns the total ReLU instances across all activation layers.
+func (m *Lowered) NumReLUs() int {
+	n := 0
+	for i := 0; i < len(m.Linear)-1; i++ {
+		n += m.Linear[i].Out()
+	}
+	return n
+}
+
+// MatVec computes W·x + B over the field.
+func (l LinearSpec) MatVec(f field.Field, x []uint64) []uint64 {
+	if len(x) != l.In() {
+		panic(fmt.Sprintf("nn: matvec input %d, want %d", len(x), l.In()))
+	}
+	out := make([]uint64, l.Out())
+	for r := range l.W {
+		acc := l.B[r]
+		row := l.W[r]
+		for c, xv := range x {
+			acc = f.Add(acc, f.Mul(row[c], xv))
+		}
+		out[r] = acc
+	}
+	return out
+}
+
+// reluTrunc is the plaintext twin of the garbled ReLU circuit: zero for
+// centered-negative values, logical right shift otherwise.
+func reluTrunc(f field.Field, v uint64, shift uint) uint64 {
+	if f.IsNegative(v) {
+		return 0
+	}
+	return v >> shift
+}
+
+// Forward runs bit-exact plaintext inference: the reference the private
+// protocol's output is asserted against.
+func (m *Lowered) Forward(x []uint64) []uint64 {
+	cur := x
+	for i, lin := range m.Linear {
+		y := lin.MatVec(m.F, cur)
+		if i == len(m.Linear)-1 {
+			return y
+		}
+		next := make([]uint64, len(y))
+		for j, v := range y {
+			next[j] = reluTrunc(m.F, v, m.Shifts[i])
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Argmax returns the index of the largest output under the centered
+// interpretation — the predicted class.
+func Argmax(f field.Field, out []uint64) int {
+	best := 0
+	bestVal := f.ToInt64(out[0])
+	for i, v := range out[1:] {
+		if sv := f.ToInt64(v); sv > bestVal {
+			bestVal = sv
+			best = i + 1
+		}
+	}
+	return best
+}

@@ -1,0 +1,289 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"privinf/internal/field"
+)
+
+// TestReLUCountsMatchPaper pins the exact activation counts behind every
+// storage/compute figure. These reproduce Figure 3 via 18.2 KB/ReLU:
+// e.g. ResNet-18/TinyImageNet = 2,228,224 ReLUs = 40.6 GB ≈ the paper's 41.
+func TestReLUCountsMatchPaper(t *testing.T) {
+	want := map[string]int64{
+		"ResNet-18/CIFAR-100":    557056,
+		"ResNet-18/TinyImageNet": 2228224,
+		"ResNet-18/ImageNet":     27295744,
+		"ResNet-32/CIFAR-100":    303104,
+		"ResNet-32/TinyImageNet": 1212416,
+		"ResNet-32/ImageNet":     14852096,
+		"VGG-16/CIFAR-100":       284672,
+		"VGG-16/TinyImageNet":    1114112,
+		"VGG-16/ImageNet":        13555712,
+	}
+	for _, a := range AllArchs() {
+		w, ok := want[a.String()]
+		if !ok {
+			t.Errorf("unexpected arch %s", a)
+			continue
+		}
+		if got := a.TotalReLUs(); got != w {
+			t.Errorf("%s: %d ReLUs, want %d", a, got, w)
+		}
+	}
+}
+
+// TestLinearLayerCounts pins the LPHE parallelism degrees; the paper states
+// ResNet-18 has 17 linear layers (§5.2, Figure 10).
+func TestLinearLayerCounts(t *testing.T) {
+	want := map[string]int{
+		"ResNet-18": 17,
+		"ResNet-32": 31,
+		"VGG-16":    15,
+	}
+	for _, a := range AllArchs() {
+		if got := a.NumLinear(); got != want[a.Name] {
+			t.Errorf("%s: %d linear jobs, want %d", a, got, want[a.Name])
+		}
+	}
+}
+
+func TestArchOrdering(t *testing.T) {
+	// Figure 3 ordering: VGG-16 < ResNet-32 < ResNet-18 in ReLUs (storage
+	// bars 5 < 6 < 10 GB on CIFAR-100), and ResNet-32 is the smallest in
+	// parameters.
+	d := TinyImageNet
+	r32, v16, r18 := NewResNet32(d), NewVGG16(d), NewResNet18(d)
+	if !(v16.TotalReLUs() < r32.TotalReLUs() && r32.TotalReLUs() < r18.TotalReLUs()) {
+		t.Errorf("ReLU ordering violated: VGG=%d, R32=%d, R18=%d",
+			v16.TotalReLUs(), r32.TotalReLUs(), r18.TotalReLUs())
+	}
+	if !(r32.TotalParams() < v16.TotalParams() && r32.TotalParams() < r18.TotalParams()) {
+		t.Errorf("ResNet-32 should have the fewest parameters: R32=%d VGG=%d R18=%d",
+			r32.TotalParams(), v16.TotalParams(), r18.TotalParams())
+	}
+}
+
+func TestHEJobGeometry(t *testing.T) {
+	for _, a := range AllArchs() {
+		for _, j := range a.HELinearJobs() {
+			if j.InVec <= 0 || j.OutVec <= 0 || j.KernelElems <= 0 || j.OutPixels <= 0 {
+				t.Errorf("%s job %q has non-positive dimension: %+v", a, j.Label, j)
+			}
+		}
+	}
+}
+
+func TestDatasetScaling(t *testing.T) {
+	// Tiny = 4x CIFAR pixels, ImageNet = 49x: conv ReLUs scale linearly.
+	r18c := NewResNet18(CIFAR100).TotalReLUs()
+	r18t := NewResNet18(TinyImageNet).TotalReLUs()
+	r18i := NewResNet18(ImageNet).TotalReLUs()
+	if r18t != 4*r18c {
+		t.Errorf("Tiny = %d, want 4x CIFAR = %d", r18t, 4*r18c)
+	}
+	if r18i != 49*r18c {
+		t.Errorf("ImageNet = %d, want 49x CIFAR = %d", r18i, 49*r18c)
+	}
+}
+
+func TestNewArchUnknown(t *testing.T) {
+	if _, err := NewArch("AlexNet", CIFAR100); err == nil {
+		t.Fatal("unknown arch must error")
+	}
+}
+
+// directConv is the straightforward convolution loop, the oracle for the
+// im2col lowering.
+func directConv(f field.Field, x []uint64, kernel [][][][]int64, cin, h, w, k int) []uint64 {
+	cout := len(kernel)
+	pad := k / 2
+	out := make([]uint64, cout*h*w)
+	for co := 0; co < cout; co++ {
+		for y := 0; y < h; y++ {
+			for xx := 0; xx < w; xx++ {
+				var acc uint64
+				for ci := 0; ci < cin; ci++ {
+					for ky := 0; ky < k; ky++ {
+						iy := y + ky - pad
+						if iy < 0 || iy >= h {
+							continue
+						}
+						for kx := 0; kx < k; kx++ {
+							ix := xx + kx - pad
+							if ix < 0 || ix >= w {
+								continue
+							}
+							wv := f.FromInt64(kernel[co][ci][ky][kx])
+							acc = f.Add(acc, f.Mul(wv, x[ci*h*w+iy*w+ix]))
+						}
+					}
+				}
+				out[co*h*w+y*w+xx] = acc
+			}
+		}
+	}
+	return out
+}
+
+func TestConvLoweringMatchesDirect(t *testing.T) {
+	f := field.New(field.P20)
+	rng := rand.New(rand.NewSource(7))
+	const cin, h, w, cout, k = 2, 6, 6, 3, 3
+
+	// Build a conv-only model; capture the sampled kernel by replaying the
+	// same seed through an identical sampling sequence.
+	kernelRng := rand.New(rand.NewSource(99))
+	b := NewModelBuilder(f, 4, cin, h)
+	b.AddConv(cout, k, rand.New(rand.NewSource(99)), 3)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kernel := make([][][][]int64, cout)
+	for co := range kernel {
+		kernel[co] = make([][][]int64, cin)
+		for ci := range kernel[co] {
+			kernel[co][ci] = make([][]int64, k)
+			for ky := range kernel[co][ci] {
+				kernel[co][ci][ky] = make([]int64, k)
+				for kx := range kernel[co][ci][ky] {
+					kernel[co][ci][ky][kx] = kernelRng.Int63n(7) - 3
+				}
+			}
+		}
+	}
+
+	x := make([]uint64, cin*h*w)
+	for i := range x {
+		x[i] = rng.Uint64() % 64
+	}
+	got := m.Linear[0].MatVec(f, x)
+	want := directConv(f, x, kernel, cin, h, w, k)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDemoCNNShape(t *testing.T) {
+	f := field.New(field.P20)
+	m, err := DemoCNN(f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.InputLen() != 64 {
+		t.Errorf("input len %d, want 64", m.InputLen())
+	}
+	if m.OutputLen() != 10 {
+		t.Errorf("output len %d, want 10", m.OutputLen())
+	}
+	if len(m.Linear) != 3 || len(m.Shifts) != 2 {
+		t.Errorf("layers %d shifts %d, want 3/2", len(m.Linear), len(m.Shifts))
+	}
+	// Pooling folds +2 bits into the following ReLU truncation.
+	if m.Shifts[0] != m.Frac || m.Shifts[1] != m.Frac+2 {
+		t.Errorf("shifts %v, want [%d %d]", m.Shifts, m.Frac, m.Frac+2)
+	}
+	if got := m.NumReLUs(); got != 4*8*8+8*4*4 {
+		t.Errorf("NumReLUs = %d, want %d", got, 4*8*8+8*4*4)
+	}
+}
+
+func TestDemoCNNDeterministic(t *testing.T) {
+	f := field.New(field.P20)
+	m1, err := DemoCNN(f, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := DemoCNN(f, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]uint64, m1.InputLen())
+	for i := range x {
+		x[i] = uint64(i % 16)
+	}
+	o1, o2 := m1.Forward(x), m2.Forward(x)
+	for i := range o1 {
+		if o1[i] != o2[i] {
+			t.Fatal("same seed must give identical models")
+		}
+	}
+}
+
+func TestForwardReLUSemantics(t *testing.T) {
+	// Hand-built 2-layer model: y = x, relu truncates 1 bit, out = y.
+	f := field.New(field.P17)
+	id := LinearSpec{W: [][]uint64{{1}}, B: []uint64{0}}
+	m := &Lowered{F: f, Frac: 1, Linear: []LinearSpec{id, id}, Shifts: []uint{1}}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Forward([]uint64{6})[0]; got != 3 {
+		t.Errorf("ReLU(6)>>1 = %d, want 3", got)
+	}
+	if got := m.Forward([]uint64{f.FromInt64(-6)})[0]; got != 0 {
+		t.Errorf("ReLU(-6) = %d, want 0", got)
+	}
+}
+
+func TestValidateCatchesMismatch(t *testing.T) {
+	f := field.New(field.P17)
+	bad := &Lowered{
+		F: f, Frac: 1,
+		Linear: []LinearSpec{
+			{W: [][]uint64{{1, 2}}, B: []uint64{0}}, // 1x2
+			{W: [][]uint64{{1, 2}}, B: []uint64{0}}, // 1x2 but prev out=1
+		},
+		Shifts: []uint{1},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("dimension mismatch must be caught")
+	}
+	empty := &Lowered{F: f}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty model must be rejected")
+	}
+}
+
+func TestQuantizeInput(t *testing.T) {
+	f := field.New(field.P20)
+	x, err := QuantizeInput(f, 4, []float64{0, 0.5, 1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 0 || x[1] != 8 || x[2] != 16 || f.ToInt64(x[3]) != -16 {
+		t.Errorf("quantized %v", x)
+	}
+	if _, err := QuantizeInput(f, 4, []float64{2}); err == nil {
+		t.Fatal("out-of-range input must error")
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	f := field.New(field.P17)
+	out := []uint64{f.FromInt64(-5), f.FromInt64(10), f.FromInt64(3)}
+	if got := Argmax(f, out); got != 1 {
+		t.Errorf("argmax = %d, want 1", got)
+	}
+}
+
+func TestDemoMLP(t *testing.T) {
+	f := field.New(field.P20)
+	m, err := DemoMLP(f, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.InputLen() != 64 || m.OutputLen() != 10 {
+		t.Errorf("MLP dims %d->%d, want 64->10", m.InputLen(), m.OutputLen())
+	}
+	x := make([]uint64, 64)
+	out := m.Forward(x)
+	if len(out) != 10 {
+		t.Fatalf("forward returned %d outputs", len(out))
+	}
+}

@@ -1,0 +1,232 @@
+package ot
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"privinf/internal/transport"
+)
+
+// kappa is the computational security parameter: the number of base OTs and
+// the IKNP matrix width.
+const kappa = 128
+
+// ExtSender is the sender side of IKNP OT extension. One public-key base-OT
+// setup (where it plays base *receiver*) amortizes over any number of
+// Send batches; the per-OT cost is symmetric crypto only. In the PI
+// protocol the garbler is the extension sender: it transfers the label pair
+// for each of the evaluator's input bits.
+type ExtSender struct {
+	conn    *transport.Conn
+	s       [kappa]bool // secret correlation bits
+	sBlock  Message     // s packed into 16 bytes
+	streams [kappa]cipher.Stream
+	otIndex uint64 // global OT counter for hash-tweak uniqueness
+}
+
+// NewExtSender runs base-OT setup over conn. The peer must concurrently run
+// NewExtReceiver. src may be nil (crypto/rand).
+func NewExtSender(conn *transport.Conn, src io.Reader) (*ExtSender, error) {
+	s := &ExtSender{conn: conn}
+	if src == nil {
+		src = rand.Reader
+	}
+	var sb [kappa / 8]byte
+	if _, err := io.ReadFull(src, sb[:]); err != nil {
+		return nil, fmt.Errorf("ot: entropy: %w", err)
+	}
+	copy(s.sBlock[:], sb[:])
+	choices := make([]bool, kappa)
+	for i := range choices {
+		choices[i] = sb[i/8]>>(uint(i)%8)&1 == 1
+		s.s[i] = choices[i]
+	}
+	seeds, err := BaseReceive(conn, choices, src)
+	if err != nil {
+		return nil, fmt.Errorf("ot: extension sender base OT: %w", err)
+	}
+	for i, seed := range seeds {
+		s.streams[i] = newPRG(seed)
+	}
+	return s, nil
+}
+
+// Send transfers pairs[j][bit] for the receiver's j-th choice bit.
+func (s *ExtSender) Send(pairs [][2]Message) error {
+	m := len(pairs)
+	if m == 0 {
+		return nil
+	}
+	mBytes := (m + 7) / 8
+
+	// Receive the correction matrix u (kappa rows of m bits).
+	uRaw, err := s.conn.Recv()
+	if err != nil {
+		return err
+	}
+	if len(uRaw) != kappa*mBytes {
+		return fmt.Errorf("ot: correction matrix is %d bytes, want %d", len(uRaw), kappa*mBytes)
+	}
+
+	// q_i = PRG(k_i) ⊕ s_i * u_i  (rows), then transpose to per-OT rows.
+	qRows := make([][]byte, kappa)
+	for i := 0; i < kappa; i++ {
+		row := make([]byte, mBytes)
+		s.streams[i].XORKeyStream(row, row)
+		if s.s[i] {
+			u := uRaw[i*mBytes : (i+1)*mBytes]
+			for b := range row {
+				row[b] ^= u[b]
+			}
+		}
+		qRows[i] = row
+	}
+	q := transposeToBlocks(qRows, m)
+
+	out := make([]byte, 0, 2*KeySize*m)
+	for j := 0; j < m; j++ {
+		y0 := xorMsg(pairs[j][0], crHash(s.otIndex+uint64(j), q[j]))
+		y1 := xorMsg(pairs[j][1], crHash(s.otIndex+uint64(j), xorMsg(q[j], s.sBlock)))
+		out = append(out, y0[:]...)
+		out = append(out, y1[:]...)
+	}
+	s.otIndex += uint64(m)
+	return s.conn.Send(out)
+}
+
+// ExtReceiver is the receiver side of IKNP OT extension; it plays base
+// *sender* during setup.
+type ExtReceiver struct {
+	conn     *transport.Conn
+	streams0 [kappa]cipher.Stream
+	streams1 [kappa]cipher.Stream
+	otIndex  uint64
+}
+
+// NewExtReceiver runs base-OT setup over conn. The peer must concurrently
+// run NewExtSender. src may be nil (crypto/rand).
+func NewExtReceiver(conn *transport.Conn, src io.Reader) (*ExtReceiver, error) {
+	r := &ExtReceiver{conn: conn}
+	if src == nil {
+		src = rand.Reader
+	}
+	var pairs [kappa][2]Message
+	for i := range pairs {
+		if _, err := io.ReadFull(src, pairs[i][0][:]); err != nil {
+			return nil, fmt.Errorf("ot: entropy: %w", err)
+		}
+		if _, err := io.ReadFull(src, pairs[i][1][:]); err != nil {
+			return nil, fmt.Errorf("ot: entropy: %w", err)
+		}
+	}
+	if err := BaseSend(conn, pairs[:], src); err != nil {
+		return nil, fmt.Errorf("ot: extension receiver base OT: %w", err)
+	}
+	for i := range pairs {
+		r.streams0[i] = newPRG(pairs[i][0])
+		r.streams1[i] = newPRG(pairs[i][1])
+	}
+	return r, nil
+}
+
+// Receive obtains the message selected by each choice bit.
+func (r *ExtReceiver) Receive(choices []bool) ([]Message, error) {
+	m := len(choices)
+	if m == 0 {
+		return nil, nil
+	}
+	mBytes := (m + 7) / 8
+
+	rBits := make([]byte, mBytes)
+	for j, c := range choices {
+		if c {
+			rBits[j/8] |= 1 << (uint(j) % 8)
+		}
+	}
+
+	// t_i = PRG(k_i^0); u_i = t_i ⊕ PRG(k_i^1) ⊕ r.
+	tRows := make([][]byte, kappa)
+	uOut := make([]byte, 0, kappa*mBytes)
+	for i := 0; i < kappa; i++ {
+		t := make([]byte, mBytes)
+		r.streams0[i].XORKeyStream(t, t)
+		u := make([]byte, mBytes)
+		r.streams1[i].XORKeyStream(u, u)
+		for b := range u {
+			u[b] ^= t[b] ^ rBits[b]
+		}
+		tRows[i] = t
+		uOut = append(uOut, u...)
+	}
+	if err := r.conn.Send(uOut); err != nil {
+		return nil, err
+	}
+	tBlocks := transposeToBlocks(tRows, m)
+
+	enc, err := r.conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if len(enc) != 2*KeySize*m {
+		return nil, fmt.Errorf("ot: sender sent %d bytes, want %d", len(enc), 2*KeySize*m)
+	}
+
+	out := make([]Message, m)
+	for j, c := range choices {
+		off := j * 2 * KeySize
+		if c {
+			off += KeySize
+		}
+		var y Message
+		copy(y[:], enc[off:off+KeySize])
+		out[j] = xorMsg(y, crHash(r.otIndex+uint64(j), tBlocks[j]))
+	}
+	r.otIndex += uint64(m)
+	return out, nil
+}
+
+// newPRG builds an AES-CTR stream from a 16-byte seed. Streams are stateful
+// so successive Extend batches consume fresh pseudorandomness.
+func newPRG(seed Message) cipher.Stream {
+	block, err := aes.NewCipher(seed[:])
+	if err != nil {
+		panic("ot: aes init: " + err.Error())
+	}
+	var iv [aes.BlockSize]byte
+	return cipher.NewCTR(block, iv[:])
+}
+
+// crHash is the correlation-robust hash applied to matrix rows:
+// SHA-256(index || row) truncated to a message.
+func crHash(index uint64, row Message) Message {
+	h := sha256.New()
+	var idx [8]byte
+	binary.LittleEndian.PutUint64(idx[:], index)
+	h.Write(idx[:])
+	h.Write(row[:])
+	var out Message
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// transposeToBlocks converts kappa rows of m bits into m 16-byte rows
+// (row j holds bit j of every input row).
+func transposeToBlocks(rows [][]byte, m int) []Message {
+	out := make([]Message, m)
+	for i := 0; i < kappa; i++ {
+		row := rows[i]
+		byteIdx := i / 8
+		bit := byte(1) << (uint(i) % 8)
+		for j := 0; j < m; j++ {
+			if row[j/8]>>(uint(j)%8)&1 == 1 {
+				out[j][byteIdx] |= bit
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,320 @@
+package ot
+
+import (
+	"math/rand"
+	"testing"
+
+	"privinf/internal/transport"
+)
+
+type seededReader struct{ rng *rand.Rand }
+
+func newSeeded(seed int64) *seededReader {
+	return &seededReader{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (s *seededReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = byte(s.rng.Intn(256))
+	}
+	return len(p), nil
+}
+
+func randomPairs(rng *rand.Rand, n int) [][2]Message {
+	pairs := make([][2]Message, n)
+	for i := range pairs {
+		rng.Read(pairs[i][0][:])
+		rng.Read(pairs[i][1][:])
+	}
+	return pairs
+}
+
+func randomChoices(rng *rand.Rand, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = rng.Intn(2) == 1
+	}
+	return out
+}
+
+func checkTransfer(t *testing.T, pairs [][2]Message, choices []bool, got []Message) {
+	t.Helper()
+	if len(got) != len(choices) {
+		t.Fatalf("got %d messages, want %d", len(got), len(choices))
+	}
+	for i, c := range choices {
+		want := pairs[i][0]
+		if c {
+			want = pairs[i][1]
+		}
+		if got[i] != want {
+			t.Fatalf("OT %d (choice %v): wrong message", i, c)
+		}
+		other := pairs[i][1]
+		if c {
+			other = pairs[i][0]
+		}
+		if got[i] == other && pairs[i][0] != pairs[i][1] {
+			t.Fatalf("OT %d: received the unchosen message", i)
+		}
+	}
+}
+
+func TestBaseOT(t *testing.T) {
+	a, b := transport.Pipe()
+	rng := rand.New(rand.NewSource(1))
+	pairs := randomPairs(rng, 16)
+	choices := randomChoices(rng, 16)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- BaseSend(a, pairs, newSeeded(2)) }()
+	got, err := BaseReceive(b, choices, newSeeded(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	checkTransfer(t, pairs, choices, got)
+}
+
+func TestBaseOTAllChoicePatterns(t *testing.T) {
+	for _, pattern := range [][]bool{
+		{false, false, false},
+		{true, true, true},
+		{true, false, true},
+	} {
+		a, b := transport.Pipe()
+		rng := rand.New(rand.NewSource(4))
+		pairs := randomPairs(rng, len(pattern))
+		errCh := make(chan error, 1)
+		go func() { errCh <- BaseSend(a, pairs, newSeeded(5)) }()
+		got, err := BaseReceive(b, pattern, newSeeded(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+		checkTransfer(t, pairs, pattern, got)
+	}
+}
+
+func setupExtension(t *testing.T) (*ExtSender, *ExtReceiver) {
+	t.Helper()
+	a, b := transport.Pipe()
+	sCh := make(chan *ExtSender, 1)
+	eCh := make(chan error, 1)
+	go func() {
+		s, err := NewExtSender(a, newSeeded(7))
+		sCh <- s
+		eCh <- err
+	}()
+	r, err := NewExtReceiver(b, newSeeded(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := <-sCh
+	if err := <-eCh; err != nil {
+		t.Fatal(err)
+	}
+	return s, r
+}
+
+func TestExtensionSmall(t *testing.T) {
+	s, r := setupExtension(t)
+	rng := rand.New(rand.NewSource(9))
+	pairs := randomPairs(rng, 10)
+	choices := randomChoices(rng, 10)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Send(pairs) }()
+	got, err := r.Receive(choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	checkTransfer(t, pairs, choices, got)
+}
+
+func TestExtensionLargeBatch(t *testing.T) {
+	s, r := setupExtension(t)
+	rng := rand.New(rand.NewSource(10))
+	const n = 5000
+	pairs := randomPairs(rng, n)
+	choices := randomChoices(rng, n)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Send(pairs) }()
+	got, err := r.Receive(choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	checkTransfer(t, pairs, choices, got)
+}
+
+func TestExtensionMultipleBatches(t *testing.T) {
+	// One base-OT setup must amortize over several extension rounds; the
+	// PI protocol extends once per inference.
+	s, r := setupExtension(t)
+	rng := rand.New(rand.NewSource(11))
+	for batch := 0; batch < 4; batch++ {
+		n := 100 + batch*37 // deliberately not byte-aligned
+		pairs := randomPairs(rng, n)
+		choices := randomChoices(rng, n)
+		errCh := make(chan error, 1)
+		go func() { errCh <- s.Send(pairs) }()
+		got, err := r.Receive(choices)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if err := <-errCh; err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		checkTransfer(t, pairs, choices, got)
+	}
+}
+
+func TestExtensionEmptyBatch(t *testing.T) {
+	s, r := setupExtension(t)
+	if err := s.Send(nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Receive(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("empty batch should return no messages")
+	}
+}
+
+func TestExtensionCommunicationVolume(t *testing.T) {
+	// Per OT, the receiver uploads kappa bits (16 B) and the sender sends
+	// two masked messages (32 B); this grounds the calib constants.
+	a, b := transport.Pipe()
+	sCh := make(chan *ExtSender, 1)
+	eCh := make(chan error, 1)
+	go func() {
+		s, err := NewExtSender(a, newSeeded(12))
+		sCh <- s
+		eCh <- err
+	}()
+	r, err := NewExtReceiver(b, newSeeded(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := <-sCh
+	if err := <-eCh; err != nil {
+		t.Fatal(err)
+	}
+	a.ResetCounters()
+	b.ResetCounters()
+
+	const n = 4096
+	rng := rand.New(rand.NewSource(14))
+	pairs := randomPairs(rng, n)
+	choices := randomChoices(rng, n)
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.Send(pairs) }()
+	if _, err := r.Receive(choices); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+
+	perOTUp := float64(b.SentBytes()) / n   // receiver -> sender
+	perOTDown := float64(a.SentBytes()) / n // sender -> receiver
+	if perOTUp < 15.9 || perOTUp > 16.5 {
+		t.Errorf("receiver upload %.2f B/OT, want ~16", perOTUp)
+	}
+	if perOTDown < 31.9 || perOTDown > 32.5 {
+		t.Errorf("sender download %.2f B/OT, want ~32", perOTDown)
+	}
+}
+
+func TestTransposeToBlocks(t *testing.T) {
+	rows := make([][]byte, kappa)
+	for i := range rows {
+		rows[i] = make([]byte, 2) // 16 columns
+	}
+	// Set bit (row 5, col 3) and (row 127, col 15).
+	rows[5][0] = 1 << 3
+	rows[127][1] = 1 << 7
+	blocks := transposeToBlocks(rows, 16)
+	if blocks[3][0]&(1<<5) == 0 {
+		t.Error("bit (5,3) not transposed")
+	}
+	if blocks[15][15]&(1<<7) == 0 {
+		t.Error("bit (127,15) not transposed")
+	}
+	var set int
+	for _, b := range blocks {
+		for _, v := range b {
+			for ; v != 0; v &= v - 1 {
+				set++
+			}
+		}
+	}
+	if set != 2 {
+		t.Errorf("transpose produced %d set bits, want 2", set)
+	}
+}
+
+func BenchmarkOTExtension(b *testing.B) {
+	a, c := transport.Pipe()
+	sCh := make(chan *ExtSender, 1)
+	go func() {
+		s, err := NewExtSender(a, newSeeded(15))
+		if err != nil {
+			panic(err)
+		}
+		sCh <- s
+	}()
+	r, err := NewExtReceiver(c, newSeeded(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := <-sCh
+
+	rng := rand.New(rand.NewSource(17))
+	const n = 1024
+	pairs := randomPairs(rng, n)
+	choices := randomChoices(rng, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		errCh := make(chan error, 1)
+		go func() { errCh <- s.Send(pairs) }()
+		if _, err := r.Receive(choices); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-errCh; err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n), "OTs/op")
+}
+
+func BenchmarkBaseOT(b *testing.B) {
+	rng := rand.New(rand.NewSource(18))
+	pairs := randomPairs(rng, kappa)
+	choices := randomChoices(rng, kappa)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, y := transport.Pipe()
+		errCh := make(chan error, 1)
+		go func() { errCh <- BaseSend(x, pairs, newSeeded(19)) }()
+		if _, err := BaseReceive(y, choices, newSeeded(20)); err != nil {
+			b.Fatal(err)
+		}
+		if err := <-errCh; err != nil {
+			b.Fatal(err)
+		}
+	}
+}

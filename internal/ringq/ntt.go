@@ -1,0 +1,102 @@
+package ringq
+
+import "math/bits"
+
+// NTT performs negacyclic number-theoretic transforms of a fixed power-of-two
+// size N. Forward and inverse transforms map between coefficient and
+// evaluation ("NTT") domains of R_q = Z_q[X]/(X^N+1). A value in the NTT
+// domain supports pointwise multiplication, which corresponds to negacyclic
+// convolution in the coefficient domain.
+type NTT struct {
+	n       int
+	logN    int
+	psiFwd  []uint64 // powers of psi in bit-reversed order
+	psiInv  []uint64 // powers of psi^-1 in bit-reversed order
+	nInv    uint64   // N^-1 mod Q
+	psi     uint64   // primitive 2N-th root of unity
+	psiIinv uint64
+}
+
+// NewNTT constructs transform tables for ring degree n (a power of two).
+func NewNTT(n int) *NTT {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("ringq: NTT size must be a positive power of two")
+	}
+	psi := PrimitiveRoot(uint64(2 * n))
+	psiInv := Inv(psi)
+
+	t := &NTT{
+		n:       n,
+		logN:    bits.TrailingZeros(uint(n)),
+		psiFwd:  make([]uint64, n),
+		psiInv:  make([]uint64, n),
+		nInv:    Inv(uint64(n)),
+		psi:     psi,
+		psiIinv: psiInv,
+	}
+
+	fwd, inv := uint64(1), uint64(1)
+	for i := 0; i < n; i++ {
+		r := bitReverse(uint32(i), t.logN)
+		t.psiFwd[r] = fwd
+		t.psiInv[r] = inv
+		fwd = Mul(fwd, psi)
+		inv = Mul(inv, psiInv)
+	}
+	return t
+}
+
+// N returns the transform size.
+func (t *NTT) N() int { return t.n }
+
+func bitReverse(v uint32, bitLen int) uint32 {
+	return bits.Reverse32(v) >> (32 - bitLen)
+}
+
+// Forward transforms coefficients in place into the NTT domain.
+// len(a) must equal N.
+func (t *NTT) Forward(a []uint64) {
+	if len(a) != t.n {
+		panic("ringq: NTT input length mismatch")
+	}
+	// Cooley-Tukey, decimation in time, merged with the psi twist so the
+	// transform is negacyclic (Longa-Naehrig style).
+	half := t.n >> 1
+	for m := 1; m <= half; m <<= 1 {
+		step := t.n / (2 * m)
+		for i := 0; i < m; i++ {
+			w := t.psiFwd[m+i]
+			base := 2 * i * step
+			for j := base; j < base+step; j++ {
+				u := a[j]
+				v := Mul(a[j+step], w)
+				a[j] = Add(u, v)
+				a[j+step] = Sub(u, v)
+			}
+		}
+	}
+}
+
+// Inverse transforms NTT-domain values in place back to coefficients.
+func (t *NTT) Inverse(a []uint64) {
+	if len(a) != t.n {
+		panic("ringq: NTT input length mismatch")
+	}
+	// Gentleman-Sande, decimation in frequency, with the inverse psi twist.
+	for m := t.n >> 1; m >= 1; m >>= 1 {
+		step := t.n / (2 * m)
+		for i := 0; i < m; i++ {
+			w := t.psiInv[m+i]
+			base := 2 * i * step
+			for j := base; j < base+step; j++ {
+				u := a[j]
+				v := a[j+step]
+				a[j] = Add(u, v)
+				a[j+step] = Mul(Sub(u, v), w)
+			}
+		}
+	}
+	for i := range a {
+		a[i] = Mul(a[i], t.nInv)
+	}
+}

@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"testing"
+
+	"privinf/internal/cost"
+	"privinf/internal/device"
+)
+
+func mcBase() MultiClientConfig {
+	s := proposedScenario()
+	rlp := s.RLPBreakdown()
+	return MultiClientConfig{
+		Clients:                    9,
+		PerClientCapacity:          1, // 16 GB each
+		OfflineSeconds:             rlp.Offline(),
+		ServerConcurrent:           device.EPYC.Cores,
+		OnlineSeconds:              s.Compute().Online(),
+		ArrivalsPerMinutePerClient: 1.0 / 360,
+		Seed:                       5,
+	}
+}
+
+func TestMultiClientValidation(t *testing.T) {
+	bad := mcBase()
+	bad.Clients = 0
+	if _, err := RunMultiClient(bad); err == nil {
+		t.Error("zero clients must be rejected")
+	}
+	bad = mcBase()
+	bad.ServerConcurrent = 0
+	if _, err := RunMultiClient(bad); err == nil {
+		t.Error("zero server pipelines must be rejected")
+	}
+	bad = mcBase()
+	bad.OfflineSeconds = 0
+	if _, err := RunMultiClient(bad); err == nil {
+		t.Error("zero offline must be rejected")
+	}
+}
+
+func TestMultiClientLowRate(t *testing.T) {
+	cfg := mcBase()
+	st, err := RunManyMultiClient(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests == 0 {
+		t.Fatal("no requests")
+	}
+	// At one request per six hours per client, buffers usually refill
+	// between same-client requests; Poisson clustering still exposes the
+	// ~3000 s single-core pipeline on ~13%% of requests, so the mean sits
+	// a few multiples above the online floor.
+	if st.MeanLatency > cfg.OnlineSeconds*5 {
+		t.Errorf("low-rate multi-client latency %.0f, want near %.0f", st.MeanLatency, cfg.OnlineSeconds)
+	}
+}
+
+// TestMultiClientMatchesPaperClaim checks §5.2's discussion: 9 clients with
+// 16 GB each let the server exploit RLP and sustain roughly the aggregate
+// throughput of the 144 GB single-client case, while each client's latency
+// stays similar to the single-client 16 GB (capacity 1) experience.
+func TestMultiClientMatchesPaperClaim(t *testing.T) {
+	s := proposedScenario()
+	rlpOffline := s.RLPBreakdown().Offline()
+	online := s.Compute().Online()
+
+	perClientRate := 1.0 / 90 // each client: one request every 90 min
+	mc := mcBase()
+	mc.ArrivalsPerMinutePerClient = perClientRate
+	mcStats, err := RunManyMultiClient(mc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Aggregate arrival rate = 9/90 per minute = one per 10 min, beyond
+	// what a single 16 GB client (one LPHE pipeline, one per ~15.6 min)
+	// sustains — yet the shared-server system absorbs it because nine RLP
+	// pipelines run concurrently.
+	aggregate := float64(mc.Clients) * perClientRate
+	production := float64(mc.Clients) / rlpOffline * 60 // pre-computes per minute
+	if production < aggregate {
+		t.Fatalf("test premise broken: production %.3f/min < arrivals %.3f/min", production, aggregate)
+	}
+	if online*aggregate/60 > 1 {
+		t.Fatalf("test premise broken: online service saturated")
+	}
+	// Mean latency should stay bounded (not queue-exploded): at worst an
+	// online phase plus a pipeline's worth of offline wait.
+	if mcStats.MeanLatency > rlpOffline+2*online {
+		t.Errorf("multi-client latency %.0f s exploded (pipeline %.0f s)", mcStats.MeanLatency, rlpOffline)
+	}
+
+	// A single 16 GB client under the SAME aggregate rate collapses:
+	// its lone pipeline cannot keep up.
+	single := FromScenario(s, 16*int64(cost.GB), LPHE, device.Atom)
+	single.ArrivalsPerMinute = aggregate
+	single.Seed = 5
+	sStats, err := RunMany(single, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sStats.MeanLatency < 5*mcStats.MeanLatency {
+		t.Errorf("single client at aggregate rate %.0f s should be far above multi-client %.0f s",
+			sStats.MeanLatency, mcStats.MeanLatency)
+	}
+}
+
+func TestMultiClientDeterministic(t *testing.T) {
+	cfg := mcBase()
+	a, err := RunMultiClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMultiClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same seed must reproduce")
+	}
+}
+
+func TestMultiClientFairRefill(t *testing.T) {
+	// With fewer server slots than clients, production must still reach
+	// every client eventually: run at moderate rate and confirm requests
+	// from all clients complete.
+	cfg := mcBase()
+	cfg.Clients = 6
+	cfg.ServerConcurrent = 2
+	cfg.ArrivalsPerMinutePerClient = 1.0 / 240
+	st, err := RunMultiClient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests < cfg.Clients {
+		t.Errorf("only %d requests completed across %d clients", st.Requests, cfg.Clients)
+	}
+}

@@ -1,0 +1,284 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"privinf/internal/cost"
+	"privinf/internal/device"
+)
+
+// Mode selects the offline scheduling strategy (§5.2).
+type Mode int
+
+const (
+	// LPHE runs one pre-compute at a time, parallelizing its HE jobs
+	// across server cores (layer-parallel HE).
+	LPHE Mode = iota
+	// RLP runs independent pre-computes concurrently, one core each
+	// (request-level parallelism).
+	RLP
+)
+
+func (m Mode) String() string {
+	if m == RLP {
+		return "RLP"
+	}
+	return "LPHE"
+}
+
+// Config is one workload simulation.
+type Config struct {
+	// OfflineSeconds is the duration of one background pre-compute.
+	OfflineSeconds float64
+	// OnDemandOfflineSeconds is the offline cost paid inline when the
+	// client cannot buffer any pre-compute (Capacity == 0).
+	OnDemandOfflineSeconds float64
+	// OnlineSeconds is the online-phase duration.
+	OnlineSeconds float64
+	// Capacity is the pre-compute buffer size in units of inferences
+	// (0 = the offline phase cannot be engaged).
+	Capacity int
+	// MaxConcurrent bounds simultaneous background pre-computes
+	// (1 for LPHE; min(storage slots, garbler cores) for RLP).
+	MaxConcurrent int
+	// ArrivalsPerMinute is the Poisson arrival rate.
+	ArrivalsPerMinute float64
+	// HorizonSeconds is how long requests keep arriving (24 h default).
+	HorizonSeconds float64
+	Seed           int64
+}
+
+// DefaultHorizon is the paper's 24-hour simulation window.
+const DefaultHorizon = 24 * 3600.0
+
+// Validate rejects configurations the simulator cannot run.
+func (c Config) Validate() error {
+	if c.OnlineSeconds <= 0 {
+		return fmt.Errorf("sim: online duration must be positive")
+	}
+	if c.Capacity > 0 && c.OfflineSeconds <= 0 {
+		return fmt.Errorf("sim: offline duration must be positive when buffering")
+	}
+	if c.Capacity == 0 && c.OnDemandOfflineSeconds <= 0 {
+		return fmt.Errorf("sim: on-demand offline duration must be positive when capacity is 0")
+	}
+	if c.ArrivalsPerMinute <= 0 {
+		return fmt.Errorf("sim: arrival rate must be positive")
+	}
+	return nil
+}
+
+// Stats aggregates one run (or the mean over several runs).
+type Stats struct {
+	Requests      int
+	MeanLatency   float64 // arrival -> completion, seconds
+	MeanQueueWait float64 // waiting behind earlier inferences
+	MeanOffline   float64 // waiting for / running the offline phase
+	MeanOnline    float64 // online phase (constant per config)
+}
+
+type request struct {
+	arrived  float64
+	eligible float64 // reached the head of the queue with server free
+	started  float64 // online phase start
+}
+
+type piState struct {
+	eng *Engine
+	cfg Config
+
+	ready    int // buffered pre-computes
+	inflight int // background pre-computes in progress
+	queue    []*request
+	serving  bool
+
+	latencies []float64
+	qwaits    []float64
+	offwaits  []float64
+}
+
+// Run executes one simulation and returns its statistics.
+func Run(cfg Config) (Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return Stats{}, err
+	}
+	if cfg.HorizonSeconds <= 0 {
+		cfg.HorizonSeconds = DefaultHorizon
+	}
+	if cfg.MaxConcurrent < 1 {
+		cfg.MaxConcurrent = 1
+	}
+	st := &piState{eng: &Engine{}, cfg: cfg}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Pre-schedule the Poisson arrival process across the horizon.
+	meanGap := 60.0 / cfg.ArrivalsPerMinute
+	for t := rng.ExpFloat64() * meanGap; t < cfg.HorizonSeconds; t += rng.ExpFloat64() * meanGap {
+		at := t
+		st.eng.Schedule(at, func() { st.arrive() })
+	}
+
+	st.refill()
+	st.eng.Run()
+
+	n := len(st.latencies)
+	out := Stats{Requests: n, MeanOnline: cfg.OnlineSeconds}
+	if n == 0 {
+		return out, nil
+	}
+	out.MeanLatency = mean(st.latencies)
+	out.MeanQueueWait = mean(st.qwaits)
+	out.MeanOffline = mean(st.offwaits)
+	return out, nil
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// refill starts background pre-computes while buffer space and pipeline
+// slots remain. The buffer slot is reserved at start (the client must hold
+// the GCs as they stream in).
+func (s *piState) refill() {
+	if s.cfg.Capacity == 0 {
+		return
+	}
+	for s.inflight < s.cfg.MaxConcurrent && s.ready+s.inflight < s.cfg.Capacity {
+		s.inflight++
+		s.eng.Schedule(s.cfg.OfflineSeconds, func() {
+			s.inflight--
+			s.ready++
+			s.refill()
+			s.serve()
+		})
+	}
+}
+
+func (s *piState) arrive() {
+	r := &request{arrived: s.eng.Now(), eligible: -1}
+	s.queue = append(s.queue, r)
+	s.serve()
+}
+
+// serve advances the FIFO head if the server is free.
+func (s *piState) serve() {
+	if s.serving || len(s.queue) == 0 {
+		return
+	}
+	r := s.queue[0]
+	if r.eligible < 0 {
+		r.eligible = s.eng.Now()
+	}
+
+	if s.cfg.Capacity == 0 {
+		// No buffering: the full offline phase runs inline.
+		s.queue = s.queue[1:]
+		s.serving = true
+		r.started = s.eng.Now() + s.cfg.OnDemandOfflineSeconds
+		s.eng.Schedule(s.cfg.OnDemandOfflineSeconds+s.cfg.OnlineSeconds, func() { s.complete(r) })
+		return
+	}
+	if s.ready == 0 {
+		// Wait for an in-flight pre-compute; its completion re-enters
+		// serve(). refill guarantees at least one is running.
+		return
+	}
+	s.ready--
+	s.queue = s.queue[1:]
+	s.serving = true
+	r.started = s.eng.Now()
+	s.refill() // a buffer slot was freed
+	s.eng.Schedule(s.cfg.OnlineSeconds, func() { s.complete(r) })
+}
+
+func (s *piState) complete(r *request) {
+	now := s.eng.Now()
+	s.latencies = append(s.latencies, now-r.arrived)
+	s.qwaits = append(s.qwaits, r.eligible-r.arrived)
+	s.offwaits = append(s.offwaits, r.started-r.eligible)
+	s.serving = false
+	s.serve()
+}
+
+// RunMany averages runs with distinct seeds (the paper uses 50).
+func RunMany(cfg Config, runs int) (Stats, error) {
+	if runs < 1 {
+		runs = 1
+	}
+	var agg Stats
+	for i := 0; i < runs; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*7919
+		st, err := Run(c)
+		if err != nil {
+			return Stats{}, err
+		}
+		agg.Requests += st.Requests
+		agg.MeanLatency += st.MeanLatency
+		agg.MeanQueueWait += st.MeanQueueWait
+		agg.MeanOffline += st.MeanOffline
+		agg.MeanOnline += st.MeanOnline
+	}
+	f := float64(runs)
+	agg.MeanLatency /= f
+	agg.MeanQueueWait /= f
+	agg.MeanOffline /= f
+	agg.MeanOnline /= f
+	return agg, nil
+}
+
+// FromScenario derives a simulation Config from a cost scenario, a client
+// storage budget, and an offline scheduling mode.
+func FromScenario(s cost.Scenario, clientStorageBytes int64, mode Mode, garbler device.Device) Config {
+	capacity := s.BufferCapacity(clientStorageBytes, 0)
+	var off, demand float64
+	maxConc := 1
+	lphe := s
+	lphe.LPHE = true
+	switch mode {
+	case LPHE:
+		b := lphe.Compute()
+		off, demand = b.Offline(), b.Offline()
+	case RLP:
+		b := s.RLPBreakdown()
+		off, demand = b.Offline(), b.Offline()
+		maxConc = capacity
+		if garbler.Cores < maxConc {
+			maxConc = garbler.Cores
+		}
+		if maxConc < 1 {
+			maxConc = 1
+		}
+	}
+	on := s.Compute().Online()
+	return Config{
+		OfflineSeconds:         off,
+		OnDemandOfflineSeconds: demand,
+		OnlineSeconds:          on,
+		Capacity:               capacity,
+		MaxConcurrent:          maxConc,
+		HorizonSeconds:         DefaultHorizon,
+	}
+}
+
+// SustainableRatePerMinute returns the maximum long-run arrival rate the
+// configuration can absorb: the slower of pre-compute production and online
+// service.
+func (c Config) SustainableRatePerMinute() float64 {
+	onlineRate := 60.0 / c.OnlineSeconds
+	if c.Capacity == 0 {
+		return 60.0 / (c.OnDemandOfflineSeconds + c.OnlineSeconds)
+	}
+	conc := c.MaxConcurrent
+	if conc > c.Capacity {
+		conc = c.Capacity
+	}
+	offRate := 60.0 * float64(conc) / c.OfflineSeconds
+	return math.Min(onlineRate, offRate)
+}

@@ -1,0 +1,139 @@
+package ss
+
+import (
+	"fmt"
+	"io"
+
+	"privinf/internal/bfv"
+	"privinf/internal/transport"
+)
+
+// Beaver-triple generation with homomorphic encryption, the offline
+// protocol sketched in §2.1.2: the client encrypts its shares (a1, b1)
+// batched into BFV slots; the server homomorphically computes
+// a1·b2 + b1·a2 + a2·b2 - r and returns it; the client's c share is
+// a1·b1 + decryption, the server's is r. Both parties end with additive
+// shares of (a1+a2)(b1+b2).
+
+// ClientGenTriples runs the client side, producing n triples. The peer
+// must run ServerGenTriples with the same parameters.
+func ClientGenTriples(conn *transport.Conn, params bfv.Params, sh *Sharing, n int, entropy io.Reader) (Triple, error) {
+	if sh.F.P() != params.T {
+		return Triple{}, fmt.Errorf("ss: sharing field %d != BFV plaintext modulus %d", sh.F.P(), params.T)
+	}
+	sk, pk := bfv.KeyGen(params, entropy)
+	pkBytes, err := pk.MarshalBinary()
+	if err != nil {
+		return Triple{}, err
+	}
+	if err := conn.Send(pkBytes); err != nil {
+		return Triple{}, err
+	}
+
+	enc := bfv.NewEncryptor(params, pk, entropy)
+	dec := bfv.NewDecryptor(params, sk)
+	be := bfv.NewBatchEncoder(params)
+
+	a1 := sh.RandomVec(n)
+	b1 := sh.RandomVec(n)
+	c1 := make([]uint64, n)
+
+	slots := params.N
+	for lo := 0; lo < n; lo += slots {
+		hi := lo + slots
+		if hi > n {
+			hi = n
+		}
+		ctA := enc.EncryptCoeffs(be.EncodeCoeffs(a1[lo:hi]))
+		ctB := enc.EncryptCoeffs(be.EncodeCoeffs(b1[lo:hi]))
+		for _, ct := range []bfv.Ciphertext{ctA, ctB} {
+			raw, err := ct.MarshalBinary()
+			if err != nil {
+				return Triple{}, err
+			}
+			if err := conn.Send(raw); err != nil {
+				return Triple{}, err
+			}
+		}
+		resp, err := conn.Recv()
+		if err != nil {
+			return Triple{}, err
+		}
+		var ctC bfv.Ciphertext
+		if err := ctC.UnmarshalBinary(resp); err != nil {
+			return Triple{}, err
+		}
+		cross := be.DecodeCoeffs(dec.DecryptCoeffs(ctC))
+		for i := lo; i < hi; i++ {
+			c1[i] = sh.F.Add(sh.F.Mul(a1[i], b1[i]), cross[i-lo])
+		}
+	}
+	return Triple{A: a1, B: b1, C: c1}, nil
+}
+
+// ServerGenTriples runs the server side, producing n triples.
+func ServerGenTriples(conn *transport.Conn, params bfv.Params, sh *Sharing, n int, entropy io.Reader) (Triple, error) {
+	if sh.F.P() != params.T {
+		return Triple{}, fmt.Errorf("ss: sharing field %d != BFV plaintext modulus %d", sh.F.P(), params.T)
+	}
+	pkBytes, err := conn.Recv()
+	if err != nil {
+		return Triple{}, err
+	}
+	var pk bfv.PublicKey
+	if err := pk.UnmarshalBinary(pkBytes); err != nil {
+		return Triple{}, err
+	}
+	encoder := bfv.NewEncoder(params)
+	be := bfv.NewBatchEncoder(params)
+
+	a2 := sh.RandomVec(n)
+	b2 := sh.RandomVec(n)
+	c2 := sh.RandomVec(n) // the mask r doubles as the server's c share
+
+	slots := params.N
+	f := sh.F
+	for lo := 0; lo < n; lo += slots {
+		hi := lo + slots
+		if hi > n {
+			hi = n
+		}
+		rawA, err := conn.Recv()
+		if err != nil {
+			return Triple{}, err
+		}
+		rawB, err := conn.Recv()
+		if err != nil {
+			return Triple{}, err
+		}
+		var ctA, ctB bfv.Ciphertext
+		if err := ctA.UnmarshalBinary(rawA); err != nil {
+			return Triple{}, err
+		}
+		if err := ctB.UnmarshalBinary(rawB); err != nil {
+			return Triple{}, err
+		}
+
+		// E(a1)*b2 + E(b1)*a2 + (a2*b2 - r), all slot-wise.
+		ptB2 := encoder.EncodeMulNTT(be.EncodeCoeffs(b2[lo:hi]))
+		ptA2 := encoder.EncodeMulNTT(be.EncodeCoeffs(a2[lo:hi]))
+		add := make([]uint64, hi-lo)
+		for i := range add {
+			add[i] = f.Sub(f.Mul(a2[lo+i], b2[lo+i]), c2[lo+i])
+		}
+		ptAdd := encoder.EncodeAddNTT(be.EncodeCoeffs(add))
+
+		res := bfv.MulPlain(params, ctA, ptB2)
+		bfv.AddCtInto(&res, bfv.MulPlain(params, ctB, ptA2))
+		res = bfv.AddPlain(params, res, ptAdd)
+
+		raw, err := res.MarshalBinary()
+		if err != nil {
+			return Triple{}, err
+		}
+		if err := conn.Send(raw); err != nil {
+			return Triple{}, err
+		}
+	}
+	return Triple{A: a2, B: b2, C: c2}, nil
+}

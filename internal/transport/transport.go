@@ -1,0 +1,183 @@
+// Package transport provides the framed, byte-accounted message channel the
+// PI protocol parties communicate over. Frames are length-prefixed
+// (4-byte little-endian). A Conn counts bytes in each direction so the
+// protocol layer can report upload/download volumes — the quantities the
+// paper's communication characterization (§4.1.3) and the WSA optimizer
+// (§5.3) consume.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// frameOverhead is the per-message framing cost in bytes.
+const frameOverhead = 4
+
+// maxFrame bounds a single message; protocol messages are chunked well
+// below this, so larger values indicate corruption.
+const maxFrame = 1 << 30
+
+// Conn is a reliable, ordered message channel with direction accounting.
+type Conn struct {
+	wmu  sync.Mutex
+	rmu  sync.Mutex
+	w    io.Writer
+	r    io.Reader
+	sent atomic.Uint64
+	recv atomic.Uint64
+}
+
+// New wraps a bidirectional byte stream (e.g. a net.Conn) as a message
+// channel.
+func New(rw io.ReadWriter) *Conn {
+	return &Conn{w: rw, r: rw}
+}
+
+// Send writes one framed message.
+func (c *Conn) Send(payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var hdr [frameOverhead]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transport: send header: %w", err)
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		return fmt.Errorf("transport: send payload: %w", err)
+	}
+	c.sent.Add(uint64(len(payload) + frameOverhead))
+	return nil
+}
+
+// Recv reads one framed message.
+func (c *Conn) Recv() ([]byte, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	var hdr [frameOverhead]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("transport: recv header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.r, payload); err != nil {
+		return nil, fmt.Errorf("transport: recv payload: %w", err)
+	}
+	c.recv.Add(uint64(n) + frameOverhead)
+	return payload, nil
+}
+
+// SentBytes returns the total bytes written, including framing.
+func (c *Conn) SentBytes() uint64 { return c.sent.Load() }
+
+// RecvBytes returns the total bytes read, including framing.
+func (c *Conn) RecvBytes() uint64 { return c.recv.Load() }
+
+// ResetCounters zeroes both direction counters (used to attribute traffic
+// to protocol phases).
+func (c *Conn) ResetCounters() {
+	c.sent.Store(0)
+	c.recv.Store(0)
+}
+
+// Pipe returns two connected in-process Conns with unbounded buffering,
+// so protocol code can send several messages in one direction without the
+// peer actively reading (unlike net.Pipe, which is synchronous and would
+// deadlock batch sends).
+func Pipe() (*Conn, *Conn) {
+	ab := newQueueStream()
+	ba := newQueueStream()
+	a := &Conn{w: ab, r: ba}
+	b := &Conn{w: ba, r: ab}
+	return a, b
+}
+
+// queueStream is an unbounded FIFO byte stream.
+type queueStream struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool
+}
+
+func newQueueStream() *queueStream {
+	q := &queueStream{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queueStream) Write(p []byte) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return 0, io.ErrClosedPipe
+	}
+	q.buf = append(q.buf, p...)
+	q.cond.Broadcast()
+	return len(p), nil
+}
+
+func (q *queueStream) Read(p []byte) (int, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.buf) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.buf) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, q.buf)
+	q.buf = q.buf[n:]
+	return n, nil
+}
+
+func (q *queueStream) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+	return nil
+}
+
+// TCPPair connects two Conns over loopback TCP, for tests and examples
+// that want real sockets rather than in-process pipes. It returns the two
+// endpoints and a cleanup function.
+func TCPPair() (client, server *Conn, cleanup func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	type accepted struct {
+		conn net.Conn
+		err  error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- accepted{c, err}
+	}()
+	cl, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		ln.Close()
+		return nil, nil, nil, err
+	}
+	acc := <-ch
+	if acc.err != nil {
+		cl.Close()
+		ln.Close()
+		return nil, nil, nil, acc.err
+	}
+	cleanup = func() {
+		cl.Close()
+		acc.conn.Close()
+		ln.Close()
+	}
+	return New(cl), New(acc.conn), cleanup, nil
+}

@@ -1,0 +1,140 @@
+package transport
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	msg := []byte("hello private inference")
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q want %q", got, msg)
+	}
+}
+
+func TestPipeBatchSendsDoNotDeadlock(t *testing.T) {
+	a, b := Pipe()
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := a.Send(bytes.Repeat([]byte{byte(i)}, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1000 || got[0] != byte(i) {
+			t.Fatalf("message %d corrupted", i)
+		}
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	a, b := Pipe()
+	payload := make([]byte, 123)
+	if err := a.Send(payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(123 + frameOverhead)
+	if a.SentBytes() != want {
+		t.Errorf("SentBytes = %d, want %d", a.SentBytes(), want)
+	}
+	if b.RecvBytes() != want {
+		t.Errorf("RecvBytes = %d, want %d", b.RecvBytes(), want)
+	}
+	a.ResetCounters()
+	if a.SentBytes() != 0 {
+		t.Error("ResetCounters did not zero sent")
+	}
+}
+
+func TestEmptyMessage(t *testing.T) {
+	a, b := Pipe()
+	if err := a.Send(nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("want empty message, got %d bytes", len(got))
+	}
+}
+
+func TestBidirectional(t *testing.T) {
+	a, b := Pipe()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if err := a.Send([]byte{1}); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := a.Recv(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if _, err := b.Recv(); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := b.Send([]byte{2}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestTCPPair(t *testing.T) {
+	cl, sv, cleanup, err := TCPPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	if err := cl.Send([]byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sv.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "over tcp" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestRecvRejectsOversizedFrame(t *testing.T) {
+	q := newQueueStream()
+	// Header claiming 2 GiB.
+	if _, err := q.Write([]byte{0, 0, 0, 0x80}); err != nil {
+		t.Fatal(err)
+	}
+	c := &Conn{w: q, r: q}
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("oversized frame should be rejected")
+	}
+}

@@ -1,0 +1,260 @@
+// Package privinf is an end-to-end system for hybrid private inference
+// (PI), reproducing "Characterizing and Optimizing End-to-End Systems for
+// Private Inference" (ASPLOS 2023).
+//
+// The library has two halves, mirroring the paper:
+//
+//   - A working cryptographic PI stack, built from scratch on the Go
+//     standard library: BFV-style homomorphic encryption, half-gates
+//     garbled circuits, IKNP oblivious transfer, and additive secret
+//     sharing, composed into the DELPHI-style protocol in both the baseline
+//     Server-Garbler and the optimized Client-Garbler role assignment.
+//     RunLocalInference executes a real private inference, bit-exact with
+//     plaintext evaluation.
+//
+//   - A characterization and simulation toolkit: an analytic cost model
+//     (storage, compute, communication, energy) calibrated to the paper's
+//     measurements, a TDD wireless model with Wireless Slot Allocation, the
+//     layer-parallel-HE and request-level-parallel offline schedules, and a
+//     deterministic discrete-event simulator for inference arrival rates.
+//     Characterize and SimulateWorkload expose these; the cmd/ tools and
+//     the bench harness regenerate every table and figure of the paper.
+package privinf
+
+import (
+	"fmt"
+	"io"
+
+	"privinf/internal/bfv"
+	"privinf/internal/cost"
+	"privinf/internal/delphi"
+	"privinf/internal/device"
+	"privinf/internal/field"
+	"privinf/internal/nn"
+	"privinf/internal/sim"
+	"privinf/internal/transport"
+)
+
+// Re-exported domain types. Aliases keep the public surface small while the
+// implementation lives in focused internal packages.
+type (
+	// Model is an executable quantized network in the lowered form the
+	// protocol evaluates (alternating dense linear layers and ReLUs).
+	Model = nn.Lowered
+	// Arch is a network architecture descriptor (shapes only, no weights).
+	Arch = nn.Arch
+	// Dataset describes an input geometry (CIFAR-100, TinyImageNet, ...).
+	Dataset = nn.Dataset
+	// Scenario parameterizes the analytic cost model.
+	Scenario = cost.Scenario
+	// Breakdown is a per-inference latency decomposition.
+	Breakdown = cost.Breakdown
+	// WorkloadConfig parameterizes an arrival-rate simulation.
+	WorkloadConfig = sim.Config
+	// WorkloadStats summarizes a workload simulation.
+	WorkloadStats = sim.Stats
+	// Device models a client or server machine.
+	Device = device.Device
+	// Variant selects which party garbles (ServerGarbler or ClientGarbler).
+	Variant = delphi.Variant
+)
+
+// Protocol variants.
+const (
+	// ServerGarbler is the DELPHI baseline: the server garbles, the client
+	// stores and evaluates.
+	ServerGarbler = delphi.ServerGarbler
+	// ClientGarbler is the paper's optimized protocol: the client garbles,
+	// the server stores and evaluates.
+	ClientGarbler = delphi.ClientGarbler
+)
+
+// Standard devices from the paper's methodology.
+var (
+	AtomClient = device.Atom
+	I5Client   = device.I5
+	EPYCServer = device.EPYC
+)
+
+// Evaluation datasets.
+var (
+	CIFAR100     = nn.CIFAR100
+	TinyImageNet = nn.TinyImageNet
+	ImageNet     = nn.ImageNet
+)
+
+// NewArchitecture returns the architecture descriptor for one of the
+// paper's networks ("ResNet-18", "ResNet-32", "VGG-16") on a dataset.
+func NewArchitecture(name string, d Dataset) (Arch, error) {
+	return nn.NewArch(name, d)
+}
+
+// NewDemoCNN builds a small runnable quantized CNN (8x8 input, two conv
+// stages, 10 classes) suitable for real-crypto private inference.
+// Deterministic for a seed.
+func NewDemoCNN(seed int64) (*Model, error) {
+	return nn.DemoCNN(field.New(field.P20), seed)
+}
+
+// NewDemoMLP builds a small runnable quantized MLP (64-32-16-10).
+func NewDemoMLP(seed int64) (*Model, error) {
+	return nn.DemoMLP(field.New(field.P20), seed)
+}
+
+// InferenceResult reports one real-crypto private inference.
+type InferenceResult struct {
+	// Output holds the network's output scores (field elements; use
+	// Model.F.ToInt64 for signed values).
+	Output []uint64
+	// Predicted is the argmax class.
+	Predicted int
+	// Verified is true when the private output matched plaintext
+	// inference bit-for-bit.
+	Verified bool
+
+	ClientOffline delphi.OfflineReport
+	ServerOffline delphi.OfflineReport
+	ClientOnline  delphi.OnlineReport
+	ServerOnline  delphi.OnlineReport
+}
+
+// RunLocalInference executes a full private inference with real
+// cryptography — HE share generation, circuit garbling, oblivious
+// transfers, garbled evaluation — between an in-process client and server
+// pair, and verifies the result against plaintext inference. entropy may be
+// nil (crypto/rand).
+func RunLocalInference(model *Model, variant delphi.Variant, x []uint64, entropy io.Reader) (*InferenceResult, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	params, err := bfv.NewParams(bfv.DefaultN, model.F.P())
+	if err != nil {
+		return nil, err
+	}
+	cfg := delphi.Config{Variant: variant, HEParams: params, LPHEWorkers: len(model.Linear)}
+	clientConn, serverConn := transport.Pipe()
+
+	server, err := delphi.NewServer(serverConn, cfg, model, entropy)
+	if err != nil {
+		return nil, err
+	}
+	client, err := delphi.NewClient(clientConn, cfg, delphi.MetaOf(model), entropy)
+	if err != nil {
+		return nil, err
+	}
+
+	serverErr := make(chan error, 1)
+	go func() { serverErr <- server.Setup() }()
+	if err := client.Setup(); err != nil {
+		return nil, err
+	}
+	if err := <-serverErr; err != nil {
+		return nil, err
+	}
+
+	res := &InferenceResult{}
+	type offline struct {
+		rep delphi.OfflineReport
+		err error
+	}
+	offCh := make(chan offline, 1)
+	go func() {
+		rep, err := server.RunOffline()
+		offCh <- offline{rep, err}
+	}()
+	if res.ClientOffline, err = client.RunOffline(); err != nil {
+		return nil, err
+	}
+	off := <-offCh
+	if off.err != nil {
+		return nil, off.err
+	}
+	res.ServerOffline = off.rep
+
+	type online struct {
+		rep delphi.OnlineReport
+		err error
+	}
+	onCh := make(chan online, 1)
+	go func() {
+		rep, err := server.RunOnline()
+		onCh <- online{rep, err}
+	}()
+	out, onRep, err := client.RunOnline(x)
+	if err != nil {
+		return nil, err
+	}
+	on := <-onCh
+	if on.err != nil {
+		return nil, on.err
+	}
+	res.ClientOnline, res.ServerOnline = onRep, on.rep
+	res.Output = out
+	res.Predicted = nn.Argmax(model.F, out)
+
+	want := model.Forward(x)
+	res.Verified = true
+	for i := range want {
+		if out[i] != want[i] {
+			res.Verified = false
+			break
+		}
+	}
+	if !res.Verified {
+		return res, fmt.Errorf("privinf: private output diverged from plaintext inference")
+	}
+	return res, nil
+}
+
+// Quantize maps a real value in [-1, 1] to a field element at the model's
+// fixed-point scale, for building protocol inputs.
+func Quantize(model *Model, v float64) uint64 {
+	return field.FixedPoint{F: model.F, Frac: model.Frac}.Encode(v)
+}
+
+// Dequantize maps a model output back to a real value at the model's
+// input scale. Note the network's own scale grows through layers (pooling
+// folds into truncation), so relative comparisons (argmax) are what matter.
+func Dequantize(model *Model, a uint64) float64 {
+	return field.FixedPoint{F: model.F, Frac: model.Frac}.Decode(a)
+}
+
+// Characterize computes the analytic per-inference cost breakdown for a
+// scenario (the paper's Figures 4, 5, 14 and Table 1 derive from this).
+func Characterize(s Scenario) Breakdown { return s.Compute() }
+
+// SimulateWorkload runs `runs` independent 24-hour arrival-rate
+// simulations and returns the averaged statistics (Figures 7, 10, 12, 13).
+func SimulateWorkload(cfg WorkloadConfig, runs int) (WorkloadStats, error) {
+	return sim.RunMany(cfg, runs)
+}
+
+// MultiClientConfig parameterizes a shared-server simulation where several
+// small-storage clients are served by one machine (§5.2's discussion).
+type MultiClientConfig = sim.MultiClientConfig
+
+// SimulateMultiClient runs `runs` independent multi-client simulations.
+func SimulateMultiClient(cfg MultiClientConfig, runs int) (WorkloadStats, error) {
+	return sim.RunManyMultiClient(cfg, runs)
+}
+
+// ProposedScenario returns the paper's optimized configuration —
+// Client-Garbler with layer-parallel HE and WSA-optimal slot allocation —
+// for an architecture at 1 Gb/s.
+func ProposedScenario(a Arch) Scenario {
+	return Scenario{
+		Arch: a, Proto: cost.ClientGarbler,
+		Client: device.Atom, Server: device.EPYC,
+		LinkBps: 1e9, LPHE: true,
+	}
+}
+
+// BaselineScenario returns the Server-Garbler baseline (sequential HE,
+// even wireless split) for an architecture at 1 Gb/s.
+func BaselineScenario(a Arch) Scenario {
+	return Scenario{
+		Arch: a, Proto: cost.ServerGarbler,
+		Client: device.Atom, Server: device.EPYC,
+		LinkBps: 1e9, UploadFrac: 0.5,
+	}
+}

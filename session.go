@@ -1,0 +1,121 @@
+package privinf
+
+import (
+	"fmt"
+	"io"
+
+	"privinf/internal/bfv"
+	"privinf/internal/delphi"
+	"privinf/internal/nn"
+	"privinf/internal/transport"
+)
+
+// Session is a long-lived private-inference session between an in-process
+// client and server: one handshake (HE keys, weight encoding, base OTs)
+// amortizes over many inferences, and pre-computes can be buffered ahead of
+// requests — the deployment shape the paper's arrival-rate analysis models.
+type Session struct {
+	client *delphi.Client
+	server *delphi.Server
+	model  *nn.Lowered
+}
+
+// NewLocalSession wires a client and server over an in-process transport
+// and runs the handshake. entropy may be nil (crypto/rand).
+func NewLocalSession(model *Model, variant Variant, entropy io.Reader) (*Session, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	params, err := bfv.NewParams(bfv.DefaultN, model.F.P())
+	if err != nil {
+		return nil, err
+	}
+	cfg := delphi.Config{Variant: variant, HEParams: params, LPHEWorkers: len(model.Linear)}
+	cliConn, srvConn := transport.Pipe()
+
+	server, err := delphi.NewServer(srvConn, cfg, model, entropy)
+	if err != nil {
+		return nil, err
+	}
+	client, err := delphi.NewClient(cliConn, cfg, delphi.MetaOf(model), entropy)
+	if err != nil {
+		return nil, err
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.Setup() }()
+	if err := client.Setup(); err != nil {
+		return nil, err
+	}
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	return &Session{client: client, server: server, model: model}, nil
+}
+
+// Precompute runs one offline phase, adding a pre-compute to both parties'
+// buffers. Returns the client's and server's offline reports.
+func (s *Session) Precompute() (client, server delphi.OfflineReport, err error) {
+	type res struct {
+		rep delphi.OfflineReport
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		rep, err := s.server.RunOffline()
+		ch <- res{rep, err}
+	}()
+	client, err = s.client.RunOffline()
+	r := <-ch
+	if err != nil {
+		return client, r.rep, err
+	}
+	return client, r.rep, r.err
+}
+
+// Buffered returns the number of pre-computes ready for inferences.
+func (s *Session) Buffered() int { return s.client.Buffered() }
+
+// Infer consumes one buffered pre-compute (running a fresh offline phase
+// inline if none is buffered — the "on-the-fly" case of the paper's
+// storage-starved configurations) and returns the verified output.
+func (s *Session) Infer(x []uint64) (*InferenceResult, error) {
+	if s.Buffered() == 0 {
+		if _, _, err := s.Precompute(); err != nil {
+			return nil, err
+		}
+	}
+	res := &InferenceResult{}
+	type online struct {
+		rep delphi.OnlineReport
+		err error
+	}
+	ch := make(chan online, 1)
+	go func() {
+		rep, err := s.server.RunOnline()
+		ch <- online{rep, err}
+	}()
+	out, rep, err := s.client.RunOnline(x)
+	srv := <-ch
+	if err != nil {
+		return nil, err
+	}
+	if srv.err != nil {
+		return nil, srv.err
+	}
+	res.ClientOnline, res.ServerOnline = rep, srv.rep
+	res.Output = out
+	res.Predicted = nn.Argmax(s.model.F, out)
+
+	want := s.model.Forward(x)
+	res.Verified = true
+	for i := range want {
+		if out[i] != want[i] {
+			res.Verified = false
+			break
+		}
+	}
+	if !res.Verified {
+		return res, fmt.Errorf("privinf: private output diverged from plaintext inference")
+	}
+	return res, nil
+}

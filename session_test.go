@@ -1,0 +1,57 @@
+package privinf
+
+import "testing"
+
+func TestSessionBufferedInference(t *testing.T) {
+	model, err := NewDemoMLP(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewLocalSession(model, ClientGarbler, newSeeded(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Buffer two pre-computes ahead of any request.
+	for i := 0; i < 2; i++ {
+		if _, _, err := sess.Precompute(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sess.Buffered() != 2 {
+		t.Fatalf("buffered %d, want 2", sess.Buffered())
+	}
+
+	for i := 0; i < 2; i++ {
+		x := make([]uint64, model.InputLen())
+		for j := range x {
+			x[j] = uint64((j + i) % 11)
+		}
+		res, err := sess.Infer(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Verified {
+			t.Fatalf("inference %d failed verification", i)
+		}
+	}
+	if sess.Buffered() != 0 {
+		t.Fatalf("buffer should be drained, have %d", sess.Buffered())
+	}
+
+	// With an empty buffer, Infer runs the offline phase inline.
+	res, err := sess.Infer(make([]uint64, model.InputLen()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("on-the-fly inference failed verification")
+	}
+}
+
+func TestSessionRejectsInvalidModel(t *testing.T) {
+	bad := &Model{}
+	if _, err := NewLocalSession(bad, ServerGarbler, nil); err == nil {
+		t.Fatal("invalid model must be rejected")
+	}
+}
