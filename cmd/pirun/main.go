@@ -1,51 +1,188 @@
-// Command pirun executes a real cryptographic private inference end to end
-// — BFV homomorphic share generation, half-gates garbling, IKNP oblivious
-// transfers, garbled ReLU evaluation — between an in-process client and
-// server, under both protocol variants, and verifies the result against
-// plaintext inference.
+// Command pirun executes real cryptographic private inference end to end —
+// BFV homomorphic share generation, half-gates garbling, IKNP oblivious
+// transfers, garbled ReLU evaluation.
+//
+// Three modes:
+//
+//	pirun                       # in-process client/server pair, both variants
+//	pirun -serve :9000          # multi-client serving engine on TCP
+//	pirun -connect host:9000    # client session against a serving engine
 //
 // Usage:
 //
 //	pirun [-model cnn|mlp] [-seed N]
+//	pirun -serve ADDR [-variant cg|sg] [-buffer N] [-budget N] [-workers N]
+//	pirun -connect ADDR [-n N]
+//
+// The connect mode rebuilds the demo model locally from -model/-seed to
+// verify outputs against plaintext inference; point it at a server started
+// with the same flags.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"time"
 
 	"privinf"
 	"privinf/internal/delphi"
+	"privinf/internal/serve"
+	"privinf/internal/transport"
 )
 
 func main() {
 	modelName := flag.String("model", "cnn", "demo model: cnn or mlp")
 	seed := flag.Int64("seed", 42, "model weight seed")
+	serveAddr := flag.String("serve", "", "run a serving engine on this TCP address")
+	connectAddr := flag.String("connect", "", "connect a client session to a serving engine")
+	variantFlag := flag.String("variant", "cg", "serve mode protocol variant: cg (Client-Garbler) or sg (Server-Garbler)")
+	buffer := flag.Int("buffer", 1, "serve mode: pre-compute buffer target per session")
+	budget := flag.Int("budget", -1, "serve mode: global storage budget in pre-compute slots (-1 unbounded, 0 storage-starved)")
+	workers := flag.Int("workers", runtime.NumCPU(), "serve mode: concurrent background offline phases")
+	n := flag.Int("n", 3, "connect mode: number of inferences to run")
 	flag.Parse()
 
+	model := buildModel(*modelName, *seed)
+
+	switch {
+	case *serveAddr != "" && *connectAddr != "":
+		log.Fatal("pirun: -serve and -connect are mutually exclusive")
+	case *serveAddr != "":
+		runServe(model, *serveAddr, *variantFlag, *buffer, *budget, *workers)
+	case *connectAddr != "":
+		runConnect(model, *connectAddr, *n)
+	default:
+		runLocal(model, *modelName)
+	}
+}
+
+func buildModel(name string, seed int64) *privinf.Model {
 	var (
 		model *privinf.Model
 		err   error
 	)
-	switch *modelName {
+	switch name {
 	case "cnn":
-		model, err = privinf.NewDemoCNN(*seed)
+		model, err = privinf.NewDemoCNN(seed)
 	case "mlp":
-		model, err = privinf.NewDemoMLP(*seed)
+		model, err = privinf.NewDemoMLP(seed)
 	default:
-		log.Fatalf("pirun: unknown model %q", *modelName)
+		log.Fatalf("pirun: unknown model %q", name)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
+	return model
+}
 
+// runServe hosts a multi-client serving engine until interrupted.
+func runServe(model *privinf.Model, addr, variantFlag string, buffer, budget, workers int) {
+	var variant privinf.Variant
+	switch variantFlag {
+	case "cg":
+		variant = privinf.ClientGarbler
+	case "sg":
+		variant = privinf.ServerGarbler
+	default:
+		log.Fatalf("pirun: unknown -variant %q (want cg or sg)", variantFlag)
+	}
+	eng, err := serve.New(serve.Config{
+		Model:            model,
+		Variant:          variant,
+		LPHEWorkers:      len(model.Linear),
+		BufferPerSession: buffer,
+		StorageBudget:    budget,
+		OfflineWorkers:   workers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := transport.Listen(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %s (%d linear layers, %d ReLUs) on %s\n", variant, len(model.Linear), model.NumReLUs(), ln.Addr())
+	fmt.Printf("scheduler: buffer/session %d, storage budget %d slots, %d offline workers\n", buffer, budget, workers)
+
+	go func() {
+		if err := eng.Serve(ln); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	tick := time.NewTicker(10 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			st := eng.Stats()
+			fmt.Printf("sessions %d  buffered %d (refilling %d)  precomputes %d  inferences %d\n",
+				st.ActiveSessions, st.TotalBuffered, st.RefillsInFlight, st.TotalPrecomputes, st.TotalInferences)
+		case <-sig:
+			eng.Close()
+			st := eng.Stats()
+			fmt.Printf("\nfinal: %d precomputes, %d inferences served\n", st.TotalPrecomputes, st.TotalInferences)
+			return
+		}
+	}
+}
+
+// runConnect runs one client session against a remote engine.
+func runConnect(model *privinf.Model, addr string, n int) {
+	c, err := serve.Dial(addr, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	meta := c.Meta()
+	fmt.Printf("connected to %s engine at %s (%d linear layers)\n", c.Variant(), addr, len(meta.Dims))
+	if meta.Dims[0].In != model.InputLen() || meta.P != model.F.P() {
+		log.Fatalf("pirun: server model (%d inputs, p=%d) does not match local -model/-seed (%d inputs, p=%d); outputs cannot be verified",
+			meta.Dims[0].In, meta.P, model.InputLen(), model.F.P())
+	}
+
+	for i := 0; i < n; i++ {
+		x := make([]uint64, model.InputLen())
+		for j := range x {
+			x[j] = uint64((j*7 + 3 + i) % 16)
+		}
+		start := time.Now()
+		out, cliRep, srvRep, err := c.Infer(x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verified := true
+		for j, w := range model.Forward(x) {
+			if out[j] != w {
+				verified = false
+				break
+			}
+		}
+		fmt.Printf("inference %d: %.0f ms end to end (online client %.0f ms, server %.0f ms), verified %v, buffered now %d\n",
+			i, time.Since(start).Seconds()*1000,
+			cliRep.Duration.Seconds()*1000, srvRep.Duration.Seconds()*1000,
+			verified, c.Buffered())
+		if !verified {
+			log.Fatal("pirun: output diverged from plaintext inference (mismatched -model/-seed?)")
+		}
+	}
+}
+
+// runLocal is the original mode: an in-process pair under both variants.
+func runLocal(model *privinf.Model, modelName string) {
 	x := make([]uint64, model.InputLen())
 	for i := range x {
 		x[i] = uint64((i*7 + 3) % 16) // a deterministic synthetic "image"
 	}
 
 	fmt.Printf("model: %s  (%d -> %d, %d linear layers, %d ReLUs, field p=%d)\n\n",
-		*modelName, model.InputLen(), model.OutputLen(), len(model.Linear), model.NumReLUs(), model.F.P())
+		modelName, model.InputLen(), model.OutputLen(), len(model.Linear), model.NumReLUs(), model.F.P())
 
 	for _, variant := range []delphi.Variant{privinf.ServerGarbler, privinf.ClientGarbler} {
 		res, err := privinf.RunLocalInference(model, variant, x, nil)

@@ -1,0 +1,3 @@
+module privinf
+
+go 1.24

@@ -17,7 +17,7 @@ import (
 // Client is the data-owning party. It learns only the final inference
 // output; the server's weights never leave the server.
 type Client struct {
-	conn    *transport.Conn
+	conn    transport.MsgConn
 	cfg     Config
 	meta    ModelMeta
 	f       field.Field
@@ -48,7 +48,7 @@ type clientPre struct {
 }
 
 // NewClient constructs the client side. entropy may be nil (crypto/rand).
-func NewClient(conn *transport.Conn, cfg Config, meta ModelMeta, entropy io.Reader) (*Client, error) {
+func NewClient(conn transport.MsgConn, cfg Config, meta ModelMeta, entropy io.Reader) (*Client, error) {
 	if err := meta.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,33 @@
+package delphi
+
+import (
+	"io"
+	"sync"
+)
+
+// LockedEntropy wraps an entropy source so it can be shared by protocol
+// parties running on concurrent goroutines (an in-process client/server
+// pair, or a serving engine's sessions). crypto/rand is already safe, but
+// the deterministic readers tests and tools inject are not. nil stays nil
+// (each party falls back to crypto/rand), and an already-locked reader is
+// returned unchanged so every sharer serializes on the same mutex.
+func LockedEntropy(r io.Reader) io.Reader {
+	if r == nil {
+		return nil
+	}
+	if lr, ok := r.(*lockedReader); ok {
+		return lr
+	}
+	return &lockedReader{r: r}
+}
+
+type lockedReader struct {
+	mu sync.Mutex
+	r  io.Reader
+}
+
+func (l *lockedReader) Read(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Read(p)
+}

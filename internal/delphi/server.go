@@ -19,7 +19,7 @@ import (
 // Server is the model-owning party. It never sees the client's input or any
 // intermediate activation in the clear.
 type Server struct {
-	conn    *transport.Conn
+	conn    transport.MsgConn
 	cfg     Config
 	meta    ModelMeta
 	model   *nn.Lowered
@@ -63,7 +63,7 @@ type storedLayer struct {
 
 // NewServer constructs the server side of a session. entropy may be nil
 // (crypto/rand).
-func NewServer(conn *transport.Conn, cfg Config, model *nn.Lowered, entropy io.Reader) (*Server, error) {
+func NewServer(conn transport.MsgConn, cfg Config, model *nn.Lowered, entropy io.Reader) (*Server, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}

@@ -85,7 +85,7 @@ func xorMsg(a, b Message) Message {
 
 // BaseSend runs the sender side of n base OTs over conn, transferring
 // pairs[i][choice] obliviously. src may be nil (crypto/rand).
-func BaseSend(conn *transport.Conn, pairs [][2]Message, src io.Reader) error {
+func BaseSend(conn transport.MsgConn, pairs [][2]Message, src io.Reader) error {
 	a := randScalar(src)
 	bigA := new(big.Int).Exp(groupG, a, groupP)
 	if err := conn.Send(bigA.Bytes()); err != nil {
@@ -124,7 +124,7 @@ func BaseSend(conn *transport.Conn, pairs [][2]Message, src io.Reader) error {
 
 // BaseReceive runs the receiver side of len(choices) base OTs, returning
 // the chosen message of each pair.
-func BaseReceive(conn *transport.Conn, choices []bool, src io.Reader) ([]Message, error) {
+func BaseReceive(conn transport.MsgConn, choices []bool, src io.Reader) ([]Message, error) {
 	rawA, err := conn.Recv()
 	if err != nil {
 		return nil, err

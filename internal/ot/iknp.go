@@ -22,7 +22,7 @@ const kappa = 128
 // protocol the garbler is the extension sender: it transfers the label pair
 // for each of the evaluator's input bits.
 type ExtSender struct {
-	conn    *transport.Conn
+	conn    transport.MsgConn
 	s       [kappa]bool // secret correlation bits
 	sBlock  Message     // s packed into 16 bytes
 	streams [kappa]cipher.Stream
@@ -31,7 +31,7 @@ type ExtSender struct {
 
 // NewExtSender runs base-OT setup over conn. The peer must concurrently run
 // NewExtReceiver. src may be nil (crypto/rand).
-func NewExtSender(conn *transport.Conn, src io.Reader) (*ExtSender, error) {
+func NewExtSender(conn transport.MsgConn, src io.Reader) (*ExtSender, error) {
 	s := &ExtSender{conn: conn}
 	if src == nil {
 		src = rand.Reader
@@ -102,7 +102,7 @@ func (s *ExtSender) Send(pairs [][2]Message) error {
 // ExtReceiver is the receiver side of IKNP OT extension; it plays base
 // *sender* during setup.
 type ExtReceiver struct {
-	conn     *transport.Conn
+	conn     transport.MsgConn
 	streams0 [kappa]cipher.Stream
 	streams1 [kappa]cipher.Stream
 	otIndex  uint64
@@ -110,7 +110,7 @@ type ExtReceiver struct {
 
 // NewExtReceiver runs base-OT setup over conn. The peer must concurrently
 // run NewExtSender. src may be nil (crypto/rand).
-func NewExtReceiver(conn *transport.Conn, src io.Reader) (*ExtReceiver, error) {
+func NewExtReceiver(conn transport.MsgConn, src io.Reader) (*ExtReceiver, error) {
 	r := &ExtReceiver{conn: conn}
 	if src == nil {
 		src = rand.Reader

@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"privinf/internal/bfv"
+	"privinf/internal/delphi"
+	"privinf/internal/transport"
+)
+
+// Client is a serving-engine client session: it dials an engine, learns the
+// model's public metadata from the handshake, and then answers the server's
+// phase directives — background buffer refills run without any caller
+// involvement, and Infer/Precompute enqueue requests the server interleaves
+// with them. Safe for concurrent use; calls are served FIFO.
+type Client struct {
+	m       *mux
+	cli     *delphi.Client
+	meta    delphi.ModelMeta
+	variant delphi.Variant
+
+	buffered atomic.Int64
+
+	mu     sync.Mutex
+	err    error
+	inferQ []*inferCall
+	pcQ    []*pcCall
+
+	loopDone  chan struct{}
+	closeOnce sync.Once
+}
+
+type inferCall struct {
+	x  []uint64
+	ch chan inferResult
+}
+
+type inferResult struct {
+	out    []uint64
+	client delphi.OnlineReport
+	server delphi.OnlineReport
+	err    error
+}
+
+type pcCall struct {
+	ch chan pcResult
+}
+
+type pcResult struct {
+	client delphi.OfflineReport
+	server delphi.OfflineReport
+	err    error
+}
+
+// Dial connects to an engine over TCP. entropy may be nil (crypto/rand).
+func Dial(addr string, entropy io.Reader) (*Client, error) {
+	conn, err := transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := Connect(conn, entropy)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Connect runs the session handshake over an established connection (TCP
+// via transport.Dial, or in-process via transport.PipeListener.Dial) and
+// starts the session. entropy may be nil (crypto/rand).
+func Connect(conn *transport.Conn, entropy io.Reader) (*Client, error) {
+	if err := sendCtrl(conn, opHello, marshalJSON(helloMsg{Version: wireVersion})); err != nil {
+		return nil, err
+	}
+	op, body, err := recvCtrl(conn)
+	if err != nil {
+		return nil, err
+	}
+	if op == opErr {
+		return nil, fmt.Errorf("serve: server rejected session: %s", body)
+	}
+	if op != opWelcome {
+		return nil, fmt.Errorf("serve: expected welcome, got opcode %d", op)
+	}
+	var w welcomeMsg
+	if err := unmarshalJSON(body, &w); err != nil {
+		return nil, err
+	}
+	if w.Version != wireVersion {
+		return nil, fmt.Errorf("serve: server speaks version %d, want %d", w.Version, wireVersion)
+	}
+	if err := w.Meta.Validate(); err != nil {
+		return nil, err
+	}
+	params, err := bfv.NewParams(w.RingN, w.Meta.P)
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Client{
+		m:        newMux(conn),
+		meta:     w.Meta,
+		variant:  delphi.Variant(w.Variant),
+		loopDone: make(chan struct{}),
+	}
+	dcfg := delphi.Config{Variant: c.variant, HEParams: params}
+	c.cli, err = delphi.NewClient(dataConn{c.m}, dcfg, w.Meta, delphi.LockedEntropy(entropy))
+	if err != nil {
+		c.m.close(err)
+		return nil, err
+	}
+	if err := c.cli.Setup(); err != nil {
+		c.m.close(err)
+		return nil, err
+	}
+	go c.loop()
+	return c, nil
+}
+
+// Meta returns the model's public metadata from the handshake.
+func (c *Client) Meta() delphi.ModelMeta { return c.meta }
+
+// Variant returns the protocol variant the engine serves.
+func (c *Client) Variant() delphi.Variant { return c.variant }
+
+// Buffered returns the session's current pre-compute buffer depth.
+func (c *Client) Buffered() int { return int(c.buffered.Load()) }
+
+// loop answers server directives in order. It owns the delphi client; all
+// protocol phases run here, serialized.
+func (c *Client) loop() {
+	defer close(c.loopDone)
+	var (
+		lastOffline delphi.OfflineReport
+		cur         *inferCall
+		curOut      []uint64
+		curRep      delphi.OnlineReport
+	)
+	for {
+		cm, err := c.m.ctrl.pop()
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		switch cm.op {
+		case opPrecompute:
+			rep, err := c.cli.RunOffline()
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			lastOffline = rep
+			c.buffered.Add(1)
+		case opPrecomputeAck:
+			var srvRep delphi.OfflineReport
+			if err := unmarshalJSON(cm.body, &srvRep); err != nil {
+				c.fail(err)
+				return
+			}
+			w := c.popPC()
+			if w == nil {
+				c.fail(errors.New("serve: unsolicited precompute ack"))
+				return
+			}
+			w.ch <- pcResult{client: lastOffline, server: srvRep}
+		case opGoInfer:
+			w := c.popInfer()
+			if w == nil {
+				c.fail(errors.New("serve: unsolicited go-infer"))
+				return
+			}
+			out, rep, err := c.cli.RunOnline(w.x)
+			if err != nil {
+				w.ch <- inferResult{err: err}
+				c.fail(err)
+				return
+			}
+			c.buffered.Add(-1)
+			cur, curOut, curRep = w, out, rep
+		case opInferAck:
+			if cur == nil {
+				c.fail(errors.New("serve: unsolicited infer ack"))
+				return
+			}
+			var srvRep delphi.OnlineReport
+			if err := unmarshalJSON(cm.body, &srvRep); err != nil {
+				c.fail(err)
+				return
+			}
+			cur.ch <- inferResult{out: curOut, client: curRep, server: srvRep}
+			cur = nil
+		case opErr:
+			c.fail(fmt.Errorf("serve: server error: %s", cm.body))
+			return
+		default:
+			c.fail(fmt.Errorf("serve: unexpected server opcode %d", cm.op))
+			return
+		}
+	}
+}
+
+func (c *Client) popInfer() *inferCall {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.inferQ) == 0 {
+		return nil
+	}
+	w := c.inferQ[0]
+	c.inferQ = c.inferQ[1:]
+	return w
+}
+
+func (c *Client) popPC() *pcCall {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.pcQ) == 0 {
+		return nil
+	}
+	w := c.pcQ[0]
+	c.pcQ = c.pcQ[1:]
+	return w
+}
+
+// fail terminates the session, answering every pending call with err.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	inferQ, pcQ := c.inferQ, c.pcQ
+	c.inferQ, c.pcQ = nil, nil
+	c.mu.Unlock()
+	for _, w := range inferQ {
+		w.ch <- inferResult{err: err}
+	}
+	for _, w := range pcQ {
+		w.ch <- pcResult{err: err}
+	}
+	c.m.close(err)
+}
+
+// Infer runs one private inference, consuming a buffered pre-compute (the
+// engine pays an inline offline phase first when the buffer is empty). It
+// returns the output shares reconstructed — only this client learns them —
+// plus both parties' online reports.
+func (c *Client) Infer(x []uint64) ([]uint64, delphi.OnlineReport, delphi.OnlineReport, error) {
+	if len(x) != c.meta.Dims[0].In {
+		return nil, delphi.OnlineReport{}, delphi.OnlineReport{}, fmt.Errorf("serve: input length %d, want %d", len(x), c.meta.Dims[0].In)
+	}
+	call := &inferCall{x: append([]uint64(nil), x...), ch: make(chan inferResult, 1)}
+	if err := c.enqueue(func() { c.inferQ = append(c.inferQ, call) }, opInferReq); err != nil {
+		return nil, delphi.OnlineReport{}, delphi.OnlineReport{}, err
+	}
+	r := <-call.ch
+	return r.out, r.client, r.server, r.err
+}
+
+// Precompute explicitly buffers one pre-compute ahead of requests,
+// regardless of the engine's background scheduler. It returns the client's
+// and server's offline reports.
+func (c *Client) Precompute() (client, server delphi.OfflineReport, err error) {
+	call := &pcCall{ch: make(chan pcResult, 1)}
+	if err := c.enqueue(func() { c.pcQ = append(c.pcQ, call) }, opPrecomputeReq); err != nil {
+		return delphi.OfflineReport{}, delphi.OfflineReport{}, err
+	}
+	r := <-call.ch
+	return r.client, r.server, r.err
+}
+
+// enqueue registers a pending call under the lock, then sends its request.
+// The waiter must be queued before the request leaves: the server's
+// response directive can only follow the request, so the loop always finds
+// the waiter.
+func (c *Client) enqueue(push func(), op byte) error {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	push()
+	c.mu.Unlock()
+	if err := sendCtrl(c.m.conn, op, nil); err != nil {
+		c.fail(err)
+		return err
+	}
+	return nil
+}
+
+// Close says goodbye and tears the session down. Pending calls fail.
+func (c *Client) Close() error {
+	c.closeOnce.Do(func() {
+		sendCtrl(c.m.conn, opBye, nil) // best effort
+		c.m.close(errors.New("serve: client closed"))
+		<-c.loopDone
+	})
+	return nil
+}

@@ -1,0 +1,491 @@
+// Package serve is the multi-client serving engine: it turns the one-pair
+// DELPHI protocol stack into a server that accepts N concurrent client
+// sessions over a transport listener (TCP or in-process pipe), keeps each
+// session's pre-compute buffer filled by a background scheduler operating
+// under a global client-storage budget and a bounded offline worker pool,
+// and reports per-session and aggregate metrics.
+//
+// This is the deployment shape the paper's arrival-rate analysis (§3–§5)
+// models: pre-computes are produced ahead of Poisson-arriving requests,
+// client storage bounds how many may buffer, and request-level parallelism
+// across sessions comes from aggregate client storage scaling with the
+// session count (§5.2). The scheduler's refill policy is shared with the
+// discrete-event simulator (sim.NeediestClient), so measured engine
+// behavior and simulated predictions can be compared directly.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"privinf/internal/bfv"
+	"privinf/internal/delphi"
+	"privinf/internal/nn"
+	"privinf/internal/transport"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Model is the network served to every session. Weights stay server-side.
+	Model *nn.Lowered
+	// Variant selects which party garbles (delphi.ServerGarbler or
+	// delphi.ClientGarbler).
+	Variant delphi.Variant
+	// LPHEWorkers bounds concurrent offline HE layer jobs per session
+	// (delphi's layer-parallel HE, §5.2). 0 runs layers sequentially.
+	LPHEWorkers int
+	// BufferPerSession is each session's pre-compute buffer target. 0
+	// disables background refills: the storage-starved configuration where
+	// every inference runs its offline phase inline.
+	BufferPerSession int
+	// StorageBudget caps total buffered pre-computes across all sessions —
+	// the global client-storage budget, in pre-compute slots (divide a byte
+	// budget by the per-pre-compute storage from the cost model to get
+	// slots). < 0 means unbounded; 0 disables background refills.
+	StorageBudget int
+	// OfflineWorkers bounds concurrent scheduled offline phases across
+	// sessions (the server's pre-processing parallelism). Minimum 1.
+	OfflineWorkers int
+	// Entropy seeds all cryptographic randomness; nil means crypto/rand.
+	// It is locked internally so concurrent sessions may share it.
+	Entropy io.Reader
+}
+
+// Engine is a multi-session PI server. Create with New, feed it listeners
+// with Serve, inspect with Stats, stop with Close.
+type Engine struct {
+	cfg     Config
+	params  bfv.Params
+	welcome []byte
+	entropy io.Reader
+	sched   *scheduler
+
+	mu        sync.Mutex
+	sessions  map[uint64]*session
+	conns     map[*transport.Conn]struct{}
+	listeners []transport.Listener
+	nextID    uint64
+	closed    bool
+	// Lifetime totals folded in from disconnected sessions, so Stats
+	// reports engine history, not just currently connected clients.
+	retiredPrecomputes uint64
+	retiredInferences  uint64
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// session is one connected client's server-side state.
+type session struct {
+	id   uint64
+	addr string
+	eng  *Engine
+	m    *mux
+	srv  *delphi.Server
+
+	refill chan struct{}
+
+	// Scheduler state, guarded by the scheduler's mutex.
+	bufCount int
+	granted  bool
+
+	// Metrics. queued counts inference requests accepted but not finished.
+	queued atomic.Int64
+
+	statMu       sync.Mutex
+	precomputes  uint64
+	inferences   uint64
+	offlineTotal time.Duration
+	onlineTotal  time.Duration
+}
+
+// New validates the configuration and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("serve: nil model")
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	params, err := bfv.NewParams(bfv.DefaultN, cfg.Model.F.P())
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:      cfg,
+		params:   params,
+		entropy:  delphi.LockedEntropy(cfg.Entropy),
+		sched:    newScheduler(cfg.BufferPerSession, cfg.StorageBudget, cfg.OfflineWorkers),
+		sessions: map[uint64]*session{},
+		conns:    map[*transport.Conn]struct{}{},
+		done:     make(chan struct{}),
+	}
+	e.welcome = marshalJSON(welcomeMsg{
+		Version: wireVersion,
+		Variant: int(cfg.Variant),
+		RingN:   params.N,
+		Meta:    delphi.MetaOf(cfg.Model),
+	})
+	return e, nil
+}
+
+// Serve accepts sessions from ln until the listener fails or the engine is
+// closed. It blocks; run it on its own goroutine to serve several listeners
+// (e.g. a TCP socket and an in-process pipe) concurrently.
+func (e *Engine) Serve(ln transport.Listener) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("serve: engine closed")
+	}
+	e.listeners = append(e.listeners, ln)
+	e.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-e.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			e.handle(conn, ln.Addr())
+		}()
+	}
+}
+
+// handle runs one session from handshake to teardown.
+func (e *Engine) handle(conn *transport.Conn, addr string) {
+	defer conn.Close()
+
+	// Track the connection from the start so Close can cut a session loose
+	// even mid-handshake.
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.conns[conn] = struct{}{}
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.conns, conn)
+		e.mu.Unlock()
+	}()
+
+	// Handshake happens on the raw connection, before the demultiplexer.
+	op, body, err := recvCtrl(conn)
+	if err != nil {
+		return
+	}
+	var hello helloMsg
+	if op != opHello || unmarshalJSON(body, &hello) != nil || hello.Version != wireVersion {
+		sendCtrl(conn, opErr, []byte(fmt.Sprintf("serve: bad hello (version %d, want %d)", hello.Version, wireVersion)))
+		return
+	}
+	if err := sendCtrl(conn, opWelcome, e.welcome); err != nil {
+		return
+	}
+
+	if remote := conn.RemoteAddr(); remote != "" {
+		addr = remote
+	}
+	s := &session{
+		addr:   addr,
+		eng:    e,
+		m:      newMux(conn),
+		refill: make(chan struct{}, 1),
+	}
+	dcfg := delphi.Config{Variant: e.cfg.Variant, HEParams: e.params, LPHEWorkers: e.cfg.LPHEWorkers}
+	s.srv, err = delphi.NewServer(dataConn{s.m}, dcfg, e.cfg.Model, e.entropy)
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	if err := s.srv.Setup(); err != nil {
+		s.fail(err)
+		return
+	}
+
+	if !e.addSession(s) {
+		s.m.close(errors.New("serve: engine closed"))
+		return
+	}
+	e.sched.register(s)
+	defer func() {
+		e.sched.unregister(s)
+		e.removeSession(s)
+	}()
+
+	s.run()
+}
+
+func (e *Engine) addSession(s *session) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
+	e.nextID++
+	s.id = e.nextID
+	e.sessions[s.id] = s
+	return true
+}
+
+func (e *Engine) removeSession(s *session) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.sessions, s.id)
+	s.statMu.Lock()
+	e.retiredPrecomputes += s.precomputes
+	e.retiredInferences += s.inferences
+	s.statMu.Unlock()
+}
+
+// run is the session loop: it serializes this session's protocol phases,
+// interleaving scheduler refills with client requests.
+func (s *session) run() {
+	// A pump moves control messages from the mux onto a selectable channel.
+	// sdone unblocks it when this loop exits for any reason.
+	sdone := make(chan struct{})
+	defer close(sdone)
+	ctrlCh := make(chan ctrlMsg)
+	go func() {
+		defer close(ctrlCh)
+		for {
+			cm, err := s.m.ctrl.pop()
+			if err != nil {
+				return
+			}
+			if cm.op == opInferReq {
+				s.queued.Add(1)
+			}
+			select {
+			case ctrlCh <- cm:
+			case <-sdone:
+				return
+			}
+		}
+	}()
+
+	for {
+		select {
+		case <-s.refill:
+			err := s.precompute(causeScheduled)
+			s.eng.sched.grantDone(s)
+			if err != nil {
+				s.fail(err)
+				return
+			}
+		case cm, ok := <-ctrlCh:
+			if !ok {
+				s.m.close(io.EOF) // client hung up or connection died
+				return
+			}
+			if err := s.handleCtrl(cm); err != nil {
+				if errors.Is(err, errBye) {
+					s.m.close(io.EOF)
+				} else {
+					s.fail(err)
+				}
+				return
+			}
+		case <-s.eng.done:
+			s.m.close(errors.New("serve: engine closed"))
+			return
+		}
+	}
+}
+
+var errBye = errors.New("serve: client said goodbye")
+
+func (s *session) handleCtrl(cm ctrlMsg) error {
+	switch cm.op {
+	case opInferReq:
+		err := s.handleInfer()
+		s.queued.Add(-1)
+		return err
+	case opPrecomputeReq:
+		return s.precompute(causeRequested)
+	case opBye:
+		return errBye
+	default:
+		return fmt.Errorf("serve: unexpected client opcode %d", cm.op)
+	}
+}
+
+// precompute directs the client into one offline phase and runs the server
+// side of it.
+func (s *session) precompute(cause byte) error {
+	if err := sendCtrl(s.m.conn, opPrecompute, []byte{cause}); err != nil {
+		return err
+	}
+	rep, err := s.srv.RunOffline()
+	if err != nil {
+		return err
+	}
+	s.statMu.Lock()
+	s.precomputes++
+	s.offlineTotal += rep.Duration
+	s.statMu.Unlock()
+	s.eng.sched.added(s)
+	if cause == causeRequested {
+		return sendCtrl(s.m.conn, opPrecomputeAck, marshalJSON(rep))
+	}
+	return nil
+}
+
+// handleInfer serves one inference request, paying an inline offline phase
+// first when the buffer is empty (the paper's on-the-fly case).
+func (s *session) handleInfer() error {
+	if s.srv.Buffered() == 0 {
+		if err := s.precompute(causeInline); err != nil {
+			return err
+		}
+	}
+	if err := sendCtrl(s.m.conn, opGoInfer, nil); err != nil {
+		return err
+	}
+	rep, err := s.srv.RunOnline()
+	if err != nil {
+		return err
+	}
+	s.statMu.Lock()
+	s.inferences++
+	s.onlineTotal += rep.Duration
+	s.statMu.Unlock()
+	s.eng.sched.consumed(s)
+	return sendCtrl(s.m.conn, opInferAck, marshalJSON(rep))
+}
+
+// fail reports a fatal session error to the client and tears the session
+// down.
+func (s *session) fail(err error) {
+	sendCtrl(s.m.conn, opErr, []byte(err.Error()))
+	s.m.close(err)
+}
+
+// Close stops listeners and tears down every session, then waits for the
+// session goroutines to exit.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	close(e.done)
+	lns := append([]transport.Listener(nil), e.listeners...)
+	sess := make([]*session, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		sess = append(sess, s)
+	}
+	conns := make([]*transport.Conn, 0, len(e.conns))
+	for c := range e.conns {
+		conns = append(conns, c)
+	}
+	e.mu.Unlock()
+
+	for _, ln := range lns {
+		ln.Close()
+	}
+	for _, s := range sess {
+		s.m.close(errors.New("serve: engine closed"))
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	e.wg.Wait()
+	return nil
+}
+
+// SessionStats is one session's metrics snapshot.
+type SessionStats struct {
+	ID   uint64
+	Addr string
+	// Buffered is the session's current pre-compute buffer depth.
+	Buffered int
+	// QueueDepth counts inference requests accepted but not yet finished.
+	QueueDepth int
+	// Precomputes and Inferences count completed phases.
+	Precomputes uint64
+	Inferences  uint64
+	// MeanOffline and MeanOnline are mean phase latencies.
+	MeanOffline time.Duration
+	MeanOnline  time.Duration
+	// BytesSent and BytesRecv are the connection totals, framing included.
+	BytesSent uint64
+	BytesRecv uint64
+}
+
+// Stats is an engine-wide metrics snapshot.
+type Stats struct {
+	Sessions []SessionStats // sorted by session ID
+	// ActiveSessions is the number of connected sessions.
+	ActiveSessions int
+	// TotalBuffered is the global buffered pre-compute count. Background
+	// refills never push it past a positive StorageBudget (in-flight
+	// refills included in the budget accounting), but explicit
+	// client-requested pre-computes bypass the budget and can exceed it.
+	TotalBuffered int
+	// RefillsInFlight counts scheduled offline phases currently running.
+	RefillsInFlight  int
+	TotalPrecomputes uint64
+	TotalInferences  uint64
+}
+
+// Stats snapshots per-session and aggregate metrics. Lifetime totals
+// include sessions that have since disconnected.
+func (e *Engine) Stats() Stats {
+	buffered, inflight := e.sched.snapshot()
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sess := make([]*session, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		sess = append(sess, s)
+	}
+
+	st := Stats{
+		ActiveSessions:   len(sess),
+		RefillsInFlight:  inflight,
+		TotalPrecomputes: e.retiredPrecomputes,
+		TotalInferences:  e.retiredInferences,
+	}
+	for _, s := range sess {
+		s.statMu.Lock()
+		ss := SessionStats{
+			ID:          s.id,
+			Addr:        s.addr,
+			Buffered:    buffered[s],
+			QueueDepth:  int(s.queued.Load()),
+			Precomputes: s.precomputes,
+			Inferences:  s.inferences,
+			BytesSent:   s.m.conn.SentBytes(),
+			BytesRecv:   s.m.conn.RecvBytes(),
+		}
+		if s.precomputes > 0 {
+			ss.MeanOffline = s.offlineTotal / time.Duration(s.precomputes)
+		}
+		if s.inferences > 0 {
+			ss.MeanOnline = s.onlineTotal / time.Duration(s.inferences)
+		}
+		s.statMu.Unlock()
+		st.Sessions = append(st.Sessions, ss)
+		st.TotalBuffered += ss.Buffered
+		st.TotalPrecomputes += ss.Precomputes
+		st.TotalInferences += ss.Inferences
+	}
+	sort.Slice(st.Sessions, func(i, j int) bool { return st.Sessions[i].ID < st.Sessions[j].ID })
+	return st
+}

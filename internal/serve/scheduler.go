@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"sync"
+
+	"privinf/internal/sim"
+)
+
+// scheduler is the background pre-compute refiller: it decides which
+// session's buffer to top up next, under two global limits the paper's
+// arrival-rate analysis turns on — a client-storage budget (how many
+// pre-computes may be buffered across all sessions at once) and an offline
+// worker pool (how many offline phases may run concurrently, the server's
+// pre-processing parallelism). The pick policy is the simulator's
+// largest-deficit rule (sim.NeediestClient), so the live engine makes
+// exactly the decisions internal/sim's multi-client predictions assume.
+type scheduler struct {
+	mu sync.Mutex
+	// capacity is the per-session buffer target; 0 disables background
+	// refills (the storage-starved configuration: every inference pays the
+	// offline phase inline).
+	capacity int
+	// budget caps total buffered pre-computes across sessions; < 0 means
+	// unbounded. Explicit client-requested pre-computes bypass it (the
+	// client owns its storage); only background refills are throttled.
+	budget int
+	// workers bounds concurrent scheduled offline phases.
+	workers  int
+	inflight int
+	sessions []*session
+}
+
+func newScheduler(capacity, budget, workers int) *scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	return &scheduler{capacity: capacity, budget: budget, workers: workers}
+}
+
+func (sc *scheduler) register(s *session) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.sessions = append(sc.sessions, s)
+	sc.kick()
+}
+
+func (sc *scheduler) unregister(s *session) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	for i, t := range sc.sessions {
+		if t == s {
+			sc.sessions = append(sc.sessions[:i], sc.sessions[i+1:]...)
+			break
+		}
+	}
+	if s.granted {
+		s.granted = false
+		sc.inflight--
+	}
+	sc.kick()
+}
+
+// added records a completed pre-compute (scheduled, requested, or inline
+// consumed right away — the caller pairs inline ones with consumed).
+func (sc *scheduler) added(s *session) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	s.bufCount++
+}
+
+// grantDone retires a scheduled grant, successful or not.
+func (sc *scheduler) grantDone(s *session) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if s.granted {
+		s.granted = false
+		sc.inflight--
+	}
+	sc.kick()
+}
+
+// consumed records an online phase eating one buffered pre-compute, which
+// may open budget for another refill.
+func (sc *scheduler) consumed(s *session) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	s.bufCount--
+	sc.kick()
+}
+
+// used is the global storage commitment: buffered plus in-flight refills.
+func (sc *scheduler) used() int {
+	n := sc.inflight
+	for _, s := range sc.sessions {
+		n += s.bufCount
+	}
+	return n
+}
+
+// kick hands out refill grants while worker slots and budget remain,
+// neediest session first. Called with sc.mu held. A session never holds
+// more than one grant: its phases are serialized on one connection, so a
+// second concurrent grant could not run anyway.
+func (sc *scheduler) kick() {
+	if sc.capacity <= 0 || sc.budget == 0 {
+		return
+	}
+	for sc.inflight < sc.workers {
+		if sc.budget > 0 && sc.used() >= sc.budget {
+			return
+		}
+		ready := make([]int, len(sc.sessions))
+		inflight := make([]int, len(sc.sessions))
+		for i, s := range sc.sessions {
+			ready[i] = s.bufCount
+			if s.granted {
+				inflight[i] = sc.capacity // at most one grant each; mask out
+			}
+		}
+		i := sim.NeediestClient(sc.capacity, ready, inflight)
+		if i < 0 {
+			return
+		}
+		s := sc.sessions[i]
+		s.granted = true
+		sc.inflight++
+		select {
+		case s.refill <- struct{}{}:
+		default:
+			// Invariant: granted==false implies the grant channel is empty,
+			// so this send always succeeds; the default arm only documents
+			// that kick must never block.
+		}
+	}
+}
+
+// snapshot returns per-session buffered counts keyed by session, for Stats.
+func (sc *scheduler) snapshot() (buffered map[*session]int, inflight int) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	buffered = make(map[*session]int, len(sc.sessions))
+	for _, s := range sc.sessions {
+		buffered[s] = s.bufCount
+	}
+	return buffered, sc.inflight
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"privinf/internal/delphi"
+	"privinf/internal/transport"
+)
+
+// Wire format. Every frame on a session connection carries a 1-byte tag:
+//
+//	tagData | <delphi payload>
+//	tagCtrl | <op> | <body>
+//
+// Data frames are the unmodified DELPHI protocol messages; control frames
+// carry the serving engine's session protocol. The server owns phase
+// sequencing: after the handshake, every offline/online phase on the data
+// stream is announced by a server→client directive (opPrecompute,
+// opGoInfer), so both ends always agree on what the next data frames mean.
+// Client→server control frames (opInferReq, opPrecomputeReq, opBye) are
+// requests, which the server answers with directives in its own order; they
+// may interleave with data frames at any point because the demultiplexer
+// routes the two tags to separate queues.
+const (
+	wireVersion = 1
+
+	tagData byte = 0x00
+	tagCtrl byte = 0x01
+)
+
+// Control opcodes.
+const (
+	// Client → server.
+	opHello         byte = iota + 1 // handshake open, body = helloMsg
+	opInferReq                      // request one inference
+	opPrecomputeReq                 // request one explicit pre-compute
+	opBye                           // orderly goodbye
+
+	// Server → client.
+	opWelcome       // handshake reply, body = welcomeMsg
+	opPrecompute    // run one offline phase now, body = [cause]
+	opPrecomputeAck // a requested pre-compute finished, body = OfflineReport
+	opGoInfer       // run one online phase now
+	opInferAck      // the online phase finished, body = OnlineReport
+	opErr           // fatal session error, body = message
+)
+
+// Causes for an opPrecompute directive.
+const (
+	causeScheduled byte = iota // background scheduler refill
+	causeRequested             // explicit client opPrecomputeReq
+	causeInline                // on-the-fly: an inference found an empty buffer
+)
+
+type ctrlMsg struct {
+	op   byte
+	body []byte
+}
+
+// helloMsg opens the handshake.
+type helloMsg struct {
+	Version int `json:"version"`
+}
+
+// welcomeMsg answers it with everything the client needs to instantiate its
+// protocol endpoint: the variant, HE ring degree, and the public model
+// metadata (weights never travel).
+type welcomeMsg struct {
+	Version int              `json:"version"`
+	Variant int              `json:"variant"`
+	RingN   int              `json:"ring_n"`
+	Meta    delphi.ModelMeta `json:"meta"`
+}
+
+func sendCtrl(c transport.MsgConn, op byte, body []byte) error {
+	f := make([]byte, 0, 2+len(body))
+	f = append(f, tagCtrl, op)
+	f = append(f, body...)
+	return c.Send(f)
+}
+
+// recvCtrl reads one frame and requires it to be a control frame; it is
+// used only during the handshake, before the demultiplexer starts.
+func recvCtrl(c transport.MsgConn) (byte, []byte, error) {
+	f, err := c.Recv()
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(f) < 2 || f[0] != tagCtrl {
+		return 0, nil, fmt.Errorf("serve: expected control frame, got %d bytes tag %#x", len(f), first(f))
+	}
+	return f[1], f[2:], nil
+}
+
+func first(f []byte) byte {
+	if len(f) == 0 {
+		return 0
+	}
+	return f[0]
+}
+
+func unmarshalJSON(b []byte, v any) error {
+	if err := json.Unmarshal(b, v); err != nil {
+		return fmt.Errorf("serve: decode message: %w", err)
+	}
+	return nil
+}
+
+func marshalJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// All wire structs are plain data; failure is a programming error.
+		panic("serve: marshal: " + err.Error())
+	}
+	return b
+}

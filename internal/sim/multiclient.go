@@ -112,18 +112,10 @@ func RunMultiClient(cfg MultiClientConfig) (Stats, error) {
 // client buffer space remain.
 func (s *mcState) refill() {
 	for s.total < s.cfg.ServerConcurrent {
-		// Pick the client with the largest buffer deficit.
-		best, bestDef := -1, 0
-		for c := 0; c < s.cfg.Clients; c++ {
-			def := s.cfg.PerClientCapacity - s.ready[c] - s.inflight[c]
-			if def > bestDef {
-				best, bestDef = c, def
-			}
-		}
-		if best < 0 {
+		c := NeediestClient(s.cfg.PerClientCapacity, s.ready, s.inflight)
+		if c < 0 {
 			return
 		}
-		c := best
 		s.inflight[c]++
 		s.total++
 		s.eng.Schedule(s.cfg.OfflineSeconds, func() {

@@ -1,0 +1,23 @@
+package sim
+
+// Refill policy shared between the discrete-event simulator and the live
+// serving engine (internal/serve): when a pre-compute pipeline slot frees
+// up, grant it to the client with the largest buffer deficit. Keeping the
+// policy here, as one pure function, lets a test assert that the live
+// scheduler makes exactly the decisions the simulator's predictions assume.
+
+// NeediestClient returns the index of the client with the largest positive
+// buffer deficit — capacity minus pre-computes already buffered (ready)
+// minus pipelines already running for it (inflight) — or -1 when no client
+// has room. Ties break toward the lowest index, so the grant order is
+// deterministic.
+func NeediestClient(capacity int, ready, inflight []int) int {
+	best, bestDef := -1, 0
+	for c := range ready {
+		def := capacity - ready[c] - inflight[c]
+		if def > bestDef {
+			best, bestDef = c, def
+		}
+	}
+	return best
+}

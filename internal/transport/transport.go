@@ -22,21 +22,45 @@ const frameOverhead = 4
 // below this, so larger values indicate corruption.
 const maxFrame = 1 << 30
 
+// MsgConn is the message-channel interface the protocol layers (delphi, ot,
+// serve) are written against: reliable ordered framed messages with
+// per-direction byte accounting. *Conn is the canonical implementation; the
+// serving engine layers session multiplexing on top of the same interface.
+type MsgConn interface {
+	Send(payload []byte) error
+	Recv() ([]byte, error)
+	SentBytes() uint64
+	RecvBytes() uint64
+}
+
 // Conn is a reliable, ordered message channel with direction accounting.
 type Conn struct {
-	wmu  sync.Mutex
-	rmu  sync.Mutex
-	w    io.Writer
-	r    io.Reader
-	sent atomic.Uint64
-	recv atomic.Uint64
+	wmu     sync.Mutex
+	rmu     sync.Mutex
+	w       io.Writer
+	r       io.Reader
+	sent    atomic.Uint64
+	recv    atomic.Uint64
+	closers []io.Closer
+	remote  string
 }
 
 // New wraps a bidirectional byte stream (e.g. a net.Conn) as a message
-// channel.
+// channel. If rw is an io.Closer, Close closes it.
 func New(rw io.ReadWriter) *Conn {
-	return &Conn{w: rw, r: rw}
+	c := &Conn{w: rw, r: rw}
+	if cl, ok := rw.(io.Closer); ok {
+		c.closers = []io.Closer{cl}
+	}
+	if nc, ok := rw.(net.Conn); ok {
+		c.remote = nc.RemoteAddr().String()
+	}
+	return c
 }
+
+// RemoteAddr identifies the peer: the remote socket address for network
+// streams, "pipe" for in-process pipes, "" when unknown.
+func (c *Conn) RemoteAddr() string { return c.remote }
 
 // Send writes one framed message.
 func (c *Conn) Send(payload []byte) error {
@@ -87,6 +111,18 @@ func (c *Conn) ResetCounters() {
 	c.recv.Store(0)
 }
 
+// Close closes the underlying stream(s), if closable. A blocked Recv on the
+// peer unblocks with an error.
+func (c *Conn) Close() error {
+	var first error
+	for _, cl := range c.closers {
+		if err := cl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // Pipe returns two connected in-process Conns with unbounded buffering,
 // so protocol code can send several messages in one direction without the
 // peer actively reading (unlike net.Pipe, which is synchronous and would
@@ -94,8 +130,8 @@ func (c *Conn) ResetCounters() {
 func Pipe() (*Conn, *Conn) {
 	ab := newQueueStream()
 	ba := newQueueStream()
-	a := &Conn{w: ab, r: ba}
-	b := &Conn{w: ba, r: ab}
+	a := &Conn{w: ab, r: ba, closers: []io.Closer{ab, ba}, remote: "pipe"}
+	b := &Conn{w: ba, r: ab, closers: []io.Closer{ba, ab}, remote: "pipe"}
 	return a, b
 }
 
@@ -143,6 +179,98 @@ func (q *queueStream) Close() error {
 	defer q.mu.Unlock()
 	q.closed = true
 	q.cond.Broadcast()
+	return nil
+}
+
+// Listener accepts message-channel connections. Two implementations exist
+// behind it: real TCP sockets (Listen) and in-process pipes (PipeListener),
+// so a serving engine runs identically over loopback tests, in-process
+// sessions, and the network.
+type Listener interface {
+	// Accept blocks for the next inbound connection.
+	Accept() (*Conn, error)
+	// Addr returns the address clients dial, e.g. "127.0.0.1:9000" or
+	// "pipe".
+	Addr() string
+	// Close stops the listener; a blocked Accept returns an error.
+	Close() error
+}
+
+// Listen opens a TCP listener wrapping accepted sockets as Conns.
+// addr is a standard host:port ("127.0.0.1:0" picks a free port).
+func Listen(addr string) (Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &tcpListener{ln: ln}, nil
+}
+
+// Dial connects to a TCP listener and wraps the socket as a Conn.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return New(c), nil
+}
+
+type tcpListener struct {
+	ln net.Listener
+}
+
+func (t *tcpListener) Accept() (*Conn, error) {
+	c, err := t.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return New(c), nil
+}
+
+func (t *tcpListener) Addr() string { return t.ln.Addr().String() }
+func (t *tcpListener) Close() error { return t.ln.Close() }
+
+// PipeListener is the in-process counterpart to Listen: each Dial creates a
+// Pipe and hands the server half to Accept. It lets one engine serve
+// in-process sessions and network sessions through the same interface.
+type PipeListener struct {
+	ch   chan *Conn
+	done chan struct{}
+	once sync.Once
+}
+
+// NewPipeListener returns an open in-process listener.
+func NewPipeListener() *PipeListener {
+	return &PipeListener{ch: make(chan *Conn), done: make(chan struct{})}
+}
+
+// Dial connects a new client Conn to the listener's Accept side.
+func (p *PipeListener) Dial() (*Conn, error) {
+	cli, srv := Pipe()
+	select {
+	case p.ch <- srv:
+		return cli, nil
+	case <-p.done:
+		return nil, fmt.Errorf("transport: pipe listener closed")
+	}
+}
+
+// Accept blocks for the next dialled connection.
+func (p *PipeListener) Accept() (*Conn, error) {
+	select {
+	case c := <-p.ch:
+		return c, nil
+	case <-p.done:
+		return nil, fmt.Errorf("transport: pipe listener closed")
+	}
+}
+
+// Addr identifies the in-process listener.
+func (p *PipeListener) Addr() string { return "pipe" }
+
+// Close stops the listener; blocked Accept and Dial calls return errors.
+func (p *PipeListener) Close() error {
+	p.once.Do(func() { close(p.done) })
 	return nil
 }
 

@@ -127,6 +127,98 @@ func TestTCPPair(t *testing.T) {
 	}
 }
 
+func TestListenDialRoundTrip(t *testing.T) {
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type accepted struct {
+		conn *Conn
+		err  error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- accepted{c, err}
+	}()
+
+	cli, err := Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	acc := <-ch
+	if acc.err != nil {
+		t.Fatal(acc.err)
+	}
+	srv := acc.conn
+	defer srv.Close()
+
+	// Full-duplex round trip over the real socket.
+	if err := cli.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ping" {
+		t.Fatalf("server got %q, want %q", got, "ping")
+	}
+	if err := srv.Send([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	got, err = cli.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "pong" {
+		t.Fatalf("client got %q, want %q", got, "pong")
+	}
+
+	// Closing the peer unblocks a pending Recv with an error.
+	srv.Close()
+	if _, err := cli.Recv(); err == nil {
+		t.Fatal("Recv after peer close should error")
+	}
+}
+
+func TestPipeListener(t *testing.T) {
+	ln := NewPipeListener()
+	type accepted struct {
+		conn *Conn
+		err  error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- accepted{c, err}
+	}()
+	cli, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := <-ch
+	if acc.err != nil {
+		t.Fatal(acc.err)
+	}
+	if err := cli.Send([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.conn.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	ln.Close()
+	if _, err := ln.Accept(); err == nil {
+		t.Fatal("Accept after Close should error")
+	}
+	if _, err := ln.Dial(); err == nil {
+		t.Fatal("Dial after Close should error")
+	}
+}
+
 func TestRecvRejectsOversizedFrame(t *testing.T) {
 	q := newQueueStream()
 	// Header claiming 2 GiB.

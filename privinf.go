@@ -134,6 +134,9 @@ func RunLocalInference(model *Model, variant delphi.Variant, x []uint64, entropy
 	cfg := delphi.Config{Variant: variant, HEParams: params, LPHEWorkers: len(model.Linear)}
 	clientConn, serverConn := transport.Pipe()
 
+	// The two parties run on concurrent goroutines; a shared deterministic
+	// entropy source must be serialized.
+	entropy = delphi.LockedEntropy(entropy)
 	server, err := delphi.NewServer(serverConn, cfg, model, entropy)
 	if err != nil {
 		return nil, err

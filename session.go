@@ -4,72 +4,61 @@ import (
 	"fmt"
 	"io"
 
-	"privinf/internal/bfv"
 	"privinf/internal/delphi"
 	"privinf/internal/nn"
+	"privinf/internal/serve"
 	"privinf/internal/transport"
 )
 
-// Session is a long-lived private-inference session between an in-process
-// client and server: one handshake (HE keys, weight encoding, base OTs)
-// amortizes over many inferences, and pre-computes can be buffered ahead of
-// requests — the deployment shape the paper's arrival-rate analysis models.
+// Session is a long-lived private-inference session: one handshake (HE
+// keys, weight encoding, base OTs) amortizes over many inferences, and
+// pre-computes can be buffered ahead of requests — the deployment shape the
+// paper's arrival-rate analysis models.
+//
+// A Session is a single-client view onto a serving engine
+// (internal/serve): NewLocalSession spins up a private engine and connects
+// to it over an in-process pipe, through the same wire protocol a remote
+// TCP client would use. Pre-computes here are explicit (Precompute), so
+// Buffered is fully under the caller's control; a multi-client engine with
+// background refills is what cmd/pirun -serve runs.
 type Session struct {
-	client *delphi.Client
-	server *delphi.Server
+	engine *serve.Engine
+	client *serve.Client
 	model  *nn.Lowered
 }
 
-// NewLocalSession wires a client and server over an in-process transport
-// and runs the handshake. entropy may be nil (crypto/rand).
+// NewLocalSession starts an in-process serving engine for the model, wires
+// a client to it, and runs the handshake. entropy may be nil (crypto/rand).
 func NewLocalSession(model *Model, variant Variant, entropy io.Reader) (*Session, error) {
-	if err := model.Validate(); err != nil {
-		return nil, err
-	}
-	params, err := bfv.NewParams(bfv.DefaultN, model.F.P())
+	entropy = delphi.LockedEntropy(entropy)
+	eng, err := serve.New(serve.Config{
+		Model:       model,
+		Variant:     variant,
+		LPHEWorkers: len(model.Linear),
+		Entropy:     entropy,
+	})
 	if err != nil {
 		return nil, err
 	}
-	cfg := delphi.Config{Variant: variant, HEParams: params, LPHEWorkers: len(model.Linear)}
-	cliConn, srvConn := transport.Pipe()
-
-	server, err := delphi.NewServer(srvConn, cfg, model, entropy)
+	ln := transport.NewPipeListener()
+	go eng.Serve(ln)
+	conn, err := ln.Dial()
 	if err != nil {
+		eng.Close()
 		return nil, err
 	}
-	client, err := delphi.NewClient(cliConn, cfg, delphi.MetaOf(model), entropy)
+	client, err := serve.Connect(conn, entropy)
 	if err != nil {
+		eng.Close()
 		return nil, err
 	}
-	errCh := make(chan error, 1)
-	go func() { errCh <- server.Setup() }()
-	if err := client.Setup(); err != nil {
-		return nil, err
-	}
-	if err := <-errCh; err != nil {
-		return nil, err
-	}
-	return &Session{client: client, server: server, model: model}, nil
+	return &Session{engine: eng, client: client, model: model}, nil
 }
 
 // Precompute runs one offline phase, adding a pre-compute to both parties'
 // buffers. Returns the client's and server's offline reports.
 func (s *Session) Precompute() (client, server delphi.OfflineReport, err error) {
-	type res struct {
-		rep delphi.OfflineReport
-		err error
-	}
-	ch := make(chan res, 1)
-	go func() {
-		rep, err := s.server.RunOffline()
-		ch <- res{rep, err}
-	}()
-	client, err = s.client.RunOffline()
-	r := <-ch
-	if err != nil {
-		return client, r.rep, err
-	}
-	return client, r.rep, r.err
+	return s.client.Precompute()
 }
 
 // Buffered returns the number of pre-computes ready for inferences.
@@ -79,33 +68,16 @@ func (s *Session) Buffered() int { return s.client.Buffered() }
 // inline if none is buffered — the "on-the-fly" case of the paper's
 // storage-starved configurations) and returns the verified output.
 func (s *Session) Infer(x []uint64) (*InferenceResult, error) {
-	if s.Buffered() == 0 {
-		if _, _, err := s.Precompute(); err != nil {
-			return nil, err
-		}
-	}
-	res := &InferenceResult{}
-	type online struct {
-		rep delphi.OnlineReport
-		err error
-	}
-	ch := make(chan online, 1)
-	go func() {
-		rep, err := s.server.RunOnline()
-		ch <- online{rep, err}
-	}()
-	out, rep, err := s.client.RunOnline(x)
-	srv := <-ch
+	out, cliRep, srvRep, err := s.client.Infer(x)
 	if err != nil {
 		return nil, err
 	}
-	if srv.err != nil {
-		return nil, srv.err
+	res := &InferenceResult{
+		Output:       out,
+		Predicted:    nn.Argmax(s.model.F, out),
+		ClientOnline: cliRep,
+		ServerOnline: srvRep,
 	}
-	res.ClientOnline, res.ServerOnline = rep, srv.rep
-	res.Output = out
-	res.Predicted = nn.Argmax(s.model.F, out)
-
 	want := s.model.Forward(x)
 	res.Verified = true
 	for i := range want {
@@ -118,4 +90,13 @@ func (s *Session) Infer(x []uint64) (*InferenceResult, error) {
 		return res, fmt.Errorf("privinf: private output diverged from plaintext inference")
 	}
 	return res, nil
+}
+
+// Stats snapshots the backing engine's metrics.
+func (s *Session) Stats() serve.Stats { return s.engine.Stats() }
+
+// Close tears the session and its engine down.
+func (s *Session) Close() error {
+	s.client.Close()
+	return s.engine.Close()
 }
