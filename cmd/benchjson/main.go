@@ -1,0 +1,127 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// array, so CI can publish machine-readable benchmark artifacts
+// (BENCH_<n>.json) and the performance trajectory of the repo can be
+// tracked across PRs without scraping logs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -match Session -o BENCH_2.json
+//
+// Every benchmark result line ("BenchmarkName-8  100  123 ns/op  45 B/op
+// 6 allocs/op  7.8 ns/session") becomes one object with the op name,
+// iteration count, the standard ns/op, B/op and allocs/op metrics, and any
+// custom b.ReportMetric units under "extra".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line in JSON form.
+type Result struct {
+	Op          string             `json:"op"`
+	Iters       int64              `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// parseLine parses one `go test -bench` result line. Returns ok=false for
+// non-benchmark lines (headers, PASS, pkg banners).
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Op: fields[0], Iters: iters}
+	// The rest are (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[unit] = v
+		}
+	}
+	return r, true
+}
+
+// parse reads benchmark output and returns the results whose op name
+// matches re (nil matches everything).
+func parse(in io.Reader, re *regexp.Regexp) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		r, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if re != nil && !re.MatchString(r.Op) {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	match := flag.String("match", "", "regexp filtering benchmark names (default: keep all)")
+	out := flag.String("o", "", "output file (default: stdout)")
+	flag.Parse()
+
+	var re *regexp.Regexp
+	if *match != "" {
+		var err error
+		if re, err = regexp.Compile(*match); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -match: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	results, err := parse(os.Stdin, re)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if results == nil {
+		results = []Result{} // emit [] rather than null
+	}
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: encode: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: privinf/internal/delphi
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSessionSetup/per-session-encode-8         	    1474	    779934 ns/op	  163080 B/op	      56 allocs/op
+BenchmarkSessionSetup/shared-artifact-8            	11724981	       104.3 ns/op	     256 B/op	       2 allocs/op
+BenchmarkSessionConnect/sessions=8-8    	       2	4667239274 ns/op	 583404656 ns/session	39017524 B/op	   96021 allocs/op
+PASS
+ok  	privinf/internal/delphi	2.570s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	results, err := parse(strings.NewReader(sample), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	r := results[0]
+	if r.Op != "BenchmarkSessionSetup/per-session-encode-8" || r.Iters != 1474 {
+		t.Fatalf("bad first result: %+v", r)
+	}
+	if r.NsPerOp != 779934 || r.BytesPerOp != 163080 || r.AllocsPerOp != 56 {
+		t.Fatalf("bad metrics: %+v", r)
+	}
+	if results[1].NsPerOp != 104.3 {
+		t.Fatalf("fractional ns/op not parsed: %+v", results[1])
+	}
+	if got := results[2].Extra["ns/session"]; got != 583404656 {
+		t.Fatalf("custom metric not parsed: %+v", results[2])
+	}
+}
+
+func TestParseFilter(t *testing.T) {
+	results, err := parse(strings.NewReader(sample), regexp.MustCompile(`SessionConnect`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Op != "BenchmarkSessionConnect/sessions=8-8" {
+		t.Fatalf("filter failed: %+v", results)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	noise := "PASS\nok  \tpkg\t1.0s\nBenchmarkBroken 12 abc ns/op\n"
+	results, err := parse(strings.NewReader(noise), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("noise parsed as results: %+v", results)
+	}
+}

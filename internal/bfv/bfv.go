@@ -78,8 +78,11 @@ func (e *Encryptor) EncryptCoeffs(m []uint64) Ciphertext {
 		panic("bfv: message longer than ring degree")
 	}
 
-	// Scale message by Delta into Z_q, then move to the NTT domain.
-	dm := make([]uint64, n)
+	// Scale message by Delta into Z_q, then move to the NTT domain. The
+	// message and noise polynomials are scratch — only c0/c1 survive — so
+	// they come from the shared buffer pool.
+	dm := getScratch(n)
+	defer putScratch(dm)
 	for i, v := range m {
 		if v >= p.T {
 			panic("bfv: message coefficient out of plaintext range")
@@ -88,15 +91,18 @@ func (e *Encryptor) EncryptCoeffs(m []uint64) Ciphertext {
 	}
 	p.ntt.Forward(dm)
 
-	u := make([]uint64, n)
+	u := getScratch(n)
+	defer putScratch(u)
 	e.smp.ternary(u)
 	p.ntt.Forward(u)
 
-	e1 := make([]uint64, n)
+	e1 := getScratch(n)
+	defer putScratch(e1)
 	e.smp.cbd(e1)
 	p.ntt.Forward(e1)
 
-	e2 := make([]uint64, n)
+	e2 := getScratch(n)
+	defer putScratch(e2)
 	e.smp.cbd(e2)
 	p.ntt.Forward(e2)
 
@@ -128,7 +134,8 @@ func (d *Decryptor) DecryptCoeffs(ct Ciphertext) []uint64 {
 	p := d.params
 	n := p.N
 
-	phase := make([]uint64, n)
+	phase := getScratch(n)
+	defer putScratch(phase)
 	ringq.MulInto(phase, ct.c1, d.sk.s)
 	ringq.AddInto(phase, phase, ct.c0)
 	p.ntt.Inverse(phase)
@@ -216,6 +223,13 @@ func SubPlain(p Params, ct Ciphertext, pt Plaintext) Ciphertext {
 	out := Ciphertext{c0: make([]uint64, p.N), c1: append([]uint64(nil), ct.c1...)}
 	ringq.SubInto(out.c0, ct.c0, pt.coeffs)
 	return out
+}
+
+// SubPlainInto subtracts pt (prepared with EncodeAddNTT) from ct in place,
+// avoiding the two ring-degree allocations SubPlain pays. Used by the
+// matvec hot path, where the accumulator is dead after the subtraction.
+func SubPlainInto(ct *Ciphertext, pt Plaintext) {
+	ringq.SubInto(ct.c0, ct.c0, pt.coeffs)
 }
 
 // MulPlain returns ct * pt where pt was prepared with EncodeMulNTT

@@ -8,6 +8,12 @@ package bfv
 // homomorphically in the offline phase (conv layers are lowered to matvec
 // via im2col in the nn package).
 //
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
 // Layout. The input vector of length `in` is split into chunks of size
 // chunk ≤ N; each chunk is one ciphertext with the chunk at coefficients
 // 0..chunk-1. For each chunk, floor(N/chunk) output rows are packed into one
@@ -69,40 +75,75 @@ func (pl MatVecPlan) EncryptVector(enc *Encryptor, x []uint64) []Ciphertext {
 }
 
 // EncodeMatrix packs the weight matrix w (w[r][c], Out rows of In columns,
-// values mod T) into plaintexts indexed [outputCt][inputCt].
+// values mod T) into plaintexts indexed [outputCt][inputCt]. Output-ct rows
+// are independent, so they are encoded by a bounded worker pool — this is
+// the dominant cost of building a model artifact (one NTT per plaintext).
 func (pl MatVecPlan) EncodeMatrix(e *Encoder, w [][]uint64) [][]Plaintext {
 	if len(w) != pl.Out {
 		panic("bfv: matvec matrix row count mismatch")
 	}
 	nOut := pl.NumOutputCts()
-	nIn := pl.NumInputCts()
 	pts := make([][]Plaintext, nOut)
-	buf := make([]uint64, pl.Params.N)
-	for oc := 0; oc < nOut; oc++ {
-		pts[oc] = make([]Plaintext, nIn)
-		for ic := 0; ic < nIn; ic++ {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nOut {
+		workers = nOut
+	}
+	if workers <= 1 {
+		for oc := 0; oc < nOut; oc++ {
+			pts[oc] = pl.encodeOutputCt(e, w, oc)
+		}
+		return pts
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				oc := int(next.Add(1)) - 1
+				if oc >= nOut {
+					return
+				}
+				pts[oc] = pl.encodeOutputCt(e, w, oc)
+			}
+		}()
+	}
+	wg.Wait()
+	return pts
+}
+
+// encodeOutputCt encodes the plaintexts of one output-ct row using pooled
+// scratch for the packing buffer.
+func (pl MatVecPlan) encodeOutputCt(e *Encoder, w [][]uint64, oc int) []Plaintext {
+	nIn := pl.NumInputCts()
+	row := make([]Plaintext, nIn)
+	buf := getScratch(pl.Params.N)
+	defer putScratch(buf)
+	for ic := 0; ic < nIn; ic++ {
+		if ic > 0 {
 			for i := range buf {
 				buf[i] = 0
 			}
-			colLo := ic * pl.Chunk
-			colHi := colLo + pl.Chunk
-			if colHi > pl.In {
-				colHi = pl.In
-			}
-			for m := 0; m < pl.RowsPer; m++ {
-				row := oc*pl.RowsPer + m
-				if row >= pl.Out {
-					break
-				}
-				// Reversed row m of this column chunk at offset m*Chunk.
-				for j := colLo; j < colHi; j++ {
-					buf[m*pl.Chunk+(pl.Chunk-1-(j-colLo))] = w[row][j]
-				}
-			}
-			pts[oc][ic] = e.EncodeMulNTT(buf)
 		}
+		colLo := ic * pl.Chunk
+		colHi := colLo + pl.Chunk
+		if colHi > pl.In {
+			colHi = pl.In
+		}
+		for m := 0; m < pl.RowsPer; m++ {
+			r := oc*pl.RowsPer + m
+			if r >= pl.Out {
+				break
+			}
+			// Reversed row m of this column chunk at offset m*Chunk.
+			for j := colLo; j < colHi; j++ {
+				buf[m*pl.Chunk+(pl.Chunk-1-(j-colLo))] = w[r][j]
+			}
+		}
+		row[ic] = e.EncodeMulNTT(buf)
 	}
-	return pts
+	return row
 }
 
 // Apply computes the encrypted matrix-vector product: for each output
@@ -141,7 +182,8 @@ func (pl MatVecPlan) ResultSlot(r int) (ct, coeff int) {
 // MaskPlaintext encodes a mask vector s (length Out) for output ciphertext
 // oc, placing s[r] at row r's result coefficient, for AddPlain/SubPlain.
 func (pl MatVecPlan) MaskPlaintext(e *Encoder, s []uint64, oc int) Plaintext {
-	buf := make([]uint64, pl.Params.N)
+	buf := getScratch(pl.Params.N)
+	defer putScratch(buf)
 	for m := 0; m < pl.RowsPer; m++ {
 		r := oc*pl.RowsPer + m
 		if r >= pl.Out {

@@ -1,0 +1,38 @@
+package bfv
+
+import "sync"
+
+// scratchPool recycles ring-degree []uint64 scratch buffers across the hot
+// paths that need a temporary polynomial: weight encoding (EncodeMatrix),
+// mask encoding (MaskPlaintext), and the per-ciphertext noise/message
+// scratch inside EncryptCoeffs and DecryptCoeffs. These run once per
+// ciphertext per offline phase, so without pooling a serving engine churns
+// through N-word allocations at its steady-state request rate.
+//
+// Buffers whose backing stores are retained (Plaintext/Ciphertext contents)
+// are never pooled — only true scratch goes through here. The pool stores
+// *[]uint64 so Put does not allocate a boxed slice header.
+var scratchPool sync.Pool
+
+// getScratch returns a zeroed scratch buffer of length n.
+func getScratch(n int) []uint64 {
+	if v := scratchPool.Get(); v != nil {
+		buf := *v.(*[]uint64)
+		if cap(buf) >= n {
+			buf = buf[:n]
+			for i := range buf {
+				buf[i] = 0
+			}
+			return buf
+		}
+	}
+	return make([]uint64, n)
+}
+
+// putScratch returns a buffer obtained from getScratch to the pool.
+func putScratch(buf []uint64) {
+	if cap(buf) == 0 {
+		return
+	}
+	scratchPool.Put(&buf)
+}

@@ -22,15 +22,15 @@ type Server struct {
 	conn    transport.MsgConn
 	cfg     Config
 	meta    ModelMeta
-	model   *nn.Lowered
 	f       field.Field
 	entropy io.Reader
 	sharing *ss.Sharing
 
-	// Precomputed per-layer HE state.
-	plans   []bfv.MatVecPlan
-	weights [][]bfv.Plaintext // nil until pk arrives; [layer][outCt*inCt]
-	encoder *bfv.Encoder
+	// shared is the immutable model artifact (plans, NTT-domain weight
+	// plaintexts, ReLU circuits). It may be private to this session
+	// (NewServer) or shared by N concurrent sessions (NewServerShared);
+	// either way the Server only reads it.
+	shared *SharedModel
 
 	// OT endpoints (role depends on variant).
 	otSend *ot.ExtSender
@@ -39,8 +39,7 @@ type Server struct {
 	// pres is the FIFO buffer of completed pre-computes; RunOffline
 	// appends one, RunOnline consumes the oldest. This is the pre-compute
 	// buffer the paper's storage analysis is about.
-	pres     []*serverPre
-	circuits []*boolcirc.Circuit // per ReLU layer
+	pres []*serverPre
 }
 
 // serverPre is one buffered pre-compute's server-side state.
@@ -61,31 +60,40 @@ type storedLayer struct {
 	bytes uint64
 }
 
-// NewServer constructs the server side of a session. entropy may be nil
-// (crypto/rand).
+// NewServer constructs the server side of a session with a private model
+// artifact — the convenience path for one-off pairs (tests, local runs).
+// Serving engines that accept many sessions of one model should build the
+// artifact once with NewSharedModel and use NewServerShared. entropy may be
+// nil (crypto/rand).
 func NewServer(conn transport.MsgConn, cfg Config, model *nn.Lowered, entropy io.Reader) (*Server, error) {
-	if err := model.Validate(); err != nil {
+	shared, err := NewSharedModel(cfg.HEParams, model)
+	if err != nil {
 		return nil, err
 	}
-	meta := MetaOf(model)
-	if cfg.HEParams.T != meta.P {
-		return nil, fmt.Errorf("delphi: HE plaintext modulus %d != model field %d", cfg.HEParams.T, meta.P)
+	return NewServerShared(conn, cfg, shared, entropy)
+}
+
+// NewServerShared constructs the server side of a session on a pre-built
+// model artifact: no per-session weight encoding or circuit building
+// happens, so session setup cost is independent of model size. entropy may
+// be nil (crypto/rand).
+func NewServerShared(conn transport.MsgConn, cfg Config, shared *SharedModel, entropy io.Reader) (*Server, error) {
+	if shared == nil {
+		return nil, fmt.Errorf("delphi: nil shared model")
+	}
+	if cfg.HEParams.T != shared.params.T || cfg.HEParams.N != shared.params.N {
+		return nil, fmt.Errorf("delphi: session HE params (N=%d, T=%d) != artifact params (N=%d, T=%d)",
+			cfg.HEParams.N, cfg.HEParams.T, shared.params.N, shared.params.T)
 	}
 	s := &Server{
 		conn:    conn,
 		cfg:     cfg,
-		meta:    meta,
-		model:   model,
-		f:       meta.fieldOf(),
+		meta:    shared.meta,
+		f:       shared.meta.fieldOf(),
 		entropy: entropy,
-		encoder: bfv.NewEncoder(cfg.HEParams),
+		shared:  shared,
 	}
 	s.sharing = ss.New(s.f, entropy)
-	s.plans = make([]bfv.MatVecPlan, len(meta.Dims))
-	for i, d := range meta.Dims {
-		s.plans[i] = bfv.PlanMatVec(cfg.HEParams, d.Out, d.In)
-	}
-	s.circuits = buildCircuits(meta)
 	return s, nil
 }
 
@@ -106,8 +114,10 @@ func buildCircuits(meta ModelMeta) []*boolcirc.Circuit {
 	return out
 }
 
-// Setup runs the session handshake: receives the client's HE public key,
-// encodes the weight matrices, and performs base-OT setup.
+// Setup runs the session handshake: receives the client's HE public key and
+// performs base-OT setup. The model-side work (weight encoding, circuit
+// building) lives in the SharedModel artifact, so Setup does no per-session
+// model processing.
 func (s *Server) Setup() error {
 	pkRaw, err := s.conn.Recv()
 	if err != nil {
@@ -116,17 +126,6 @@ func (s *Server) Setup() error {
 	var pk bfv.PublicKey
 	if err := pk.UnmarshalBinary(pkRaw); err != nil {
 		return err
-	}
-	// Pre-encode all weight plaintexts (model-dependent, input-independent;
-	// amortizes over every inference of the session).
-	s.weights = make([][]bfv.Plaintext, len(s.model.Linear))
-	for i, lin := range s.model.Linear {
-		pts := s.plans[i].EncodeMatrix(s.encoder, lin.W)
-		flat := make([]bfv.Plaintext, 0, len(pts)*len(pts[0]))
-		for _, row := range pts {
-			flat = append(flat, row...)
-		}
-		s.weights[i] = flat
 	}
 
 	switch s.cfg.Variant {
@@ -193,7 +192,7 @@ func (s *Server) offlineHE(pre *serverPre) error {
 	L := len(s.meta.Dims)
 	inputs := make([][]bfv.Ciphertext, L)
 	for i := 0; i < L; i++ {
-		n := s.plans[i].NumInputCts()
+		n := s.shared.plans[i].NumInputCts()
 		inputs[i] = make([]bfv.Ciphertext, n)
 		for c := 0; c < n; c++ {
 			raw, err := s.conn.Recv()
@@ -244,15 +243,18 @@ func (s *Server) offlineHE(pre *serverPre) error {
 
 // applyLayer computes E(W_i r_i - s_i) for one layer (one LPHE job).
 func (s *Server) applyLayer(i int, mask []uint64, cts []bfv.Ciphertext) []bfv.Ciphertext {
-	plan := s.plans[i]
+	plan := s.shared.plans[i]
 	nIn := plan.NumInputCts()
 	out := make([]bfv.Ciphertext, plan.NumOutputCts())
 	for oc := range out {
 		acc := bfv.ZeroCiphertext(s.cfg.HEParams)
 		for ic := 0; ic < nIn; ic++ {
-			bfv.MulPlainAddInto(&acc, cts[ic], s.weights[i][oc*nIn+ic])
+			bfv.MulPlainAddInto(&acc, cts[ic], s.shared.weights[i][oc*nIn+ic])
 		}
-		out[oc] = bfv.SubPlain(s.cfg.HEParams, acc, plan.MaskPlaintext(s.encoder, mask, oc))
+		// The accumulator is dead after the mask subtraction, so subtract
+		// in place rather than allocating a fresh ciphertext.
+		bfv.SubPlainInto(&acc, plan.MaskPlaintext(s.shared.encoder, mask, oc))
+		out[oc] = acc
 	}
 	return out
 }
@@ -263,7 +265,7 @@ func (s *Server) offlineGarble(pre *serverPre) error {
 	width := s.f.Bits()
 	pre.encs = make([][]garble.Encoding, s.meta.NumReLULayers())
 	for layer := 0; layer < s.meta.NumReLULayers(); layer++ {
-		c := s.circuits[layer]
+		c := s.shared.circuits[layer]
 		units := s.meta.Dims[layer].Out
 		pre.encs[layer] = make([]garble.Encoding, units)
 		payload := make([]byte, 0, units*(garble.TableBytes(c)+garble.LabelSize+width))
@@ -310,7 +312,7 @@ func (s *Server) offlineReceiveGC(pre *serverPre) error {
 	width := s.f.Bits()
 	pre.stored = make([]storedLayer, s.meta.NumReLULayers())
 	for layer := 0; layer < s.meta.NumReLULayers(); layer++ {
-		c := s.circuits[layer]
+		c := s.shared.circuits[layer]
 		units := s.meta.Dims[layer].Out
 		payload, err := s.conn.Recv()
 		if err != nil {
@@ -377,7 +379,7 @@ func (s *Server) RunOnline() (OnlineReport, error) {
 	L := len(s.meta.Dims)
 	for i := 0; i < L; i++ {
 		// ⟨y⟩_s = W(x - r) + B + s, computed in the clear on shares.
-		ys := s.model.Linear[i].MatVec(s.f, d)
+		ys := s.shared.model.Linear[i].MatVec(s.f, d)
 		s.f.AddVec(ys, ys, pre.masks[i])
 
 		if i == L-1 {
@@ -440,7 +442,7 @@ func (s *Server) RunOnline() (OnlineReport, error) {
 // ReLU layer, returning the masked next-layer input x' - r'.
 func (s *Server) evaluateLayer(pre *serverPre, layer int, aLabels []garble.Label) ([]uint64, error) {
 	width := s.f.Bits()
-	c := s.circuits[layer]
+	c := s.shared.circuits[layer]
 	st := pre.stored[layer]
 	units := s.meta.Dims[layer].Out
 	out := make([]uint64, units)

@@ -1,0 +1,83 @@
+package delphi
+
+import (
+	"fmt"
+
+	"privinf/internal/bfv"
+	"privinf/internal/boolcirc"
+	"privinf/internal/nn"
+)
+
+// SharedModel is the immutable, key-independent model artifact a server
+// needs for any number of sessions of one model under one HE parameter set:
+// the matvec packing plans, the weight matrices pre-encoded into NTT-domain
+// plaintexts, and the built ReLU boolean circuits. None of it depends on a
+// client's keys — the weight encoding is plaintext-side and the circuits
+// are public — so it is built once (NewSharedModel) and handed to every
+// session (NewServerShared).
+//
+// Before this artifact existed, Server.Setup re-encoded every weight matrix
+// and rebuilt every circuit per connected client: per-session setup paid
+// O(layers × N·logN) NTTs and each session held its own copy of the encoded
+// model. With it, per-session setup is O(1) model work (key exchange and
+// base OTs only) and the encoded weights exist once per process.
+//
+// A SharedModel is strictly read-only after construction and therefore safe
+// for unbounded concurrent use.
+type SharedModel struct {
+	params bfv.Params
+	meta   ModelMeta
+	model  *nn.Lowered
+
+	plans    []bfv.MatVecPlan
+	weights  [][]bfv.Plaintext // [layer][outCt*numInputCts+inCt], NTT domain
+	circuits []*boolcirc.Circuit
+	encoder  *bfv.Encoder
+}
+
+// NewSharedModel validates the model against the HE parameters and builds
+// the artifact: plans, encoded weights (the dominant cost, parallelized
+// inside bfv.EncodeMatrix), and ReLU circuits.
+func NewSharedModel(params bfv.Params, model *nn.Lowered) (*SharedModel, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	meta := MetaOf(model)
+	if params.T != meta.P {
+		return nil, fmt.Errorf("delphi: HE plaintext modulus %d != model field %d", params.T, meta.P)
+	}
+	sm := &SharedModel{
+		params:  params,
+		meta:    meta,
+		model:   model,
+		encoder: bfv.NewEncoder(params),
+	}
+	sm.plans = make([]bfv.MatVecPlan, len(meta.Dims))
+	for i, d := range meta.Dims {
+		sm.plans[i] = bfv.PlanMatVec(params, d.Out, d.In)
+	}
+	sm.weights = make([][]bfv.Plaintext, len(model.Linear))
+	for i, lin := range model.Linear {
+		pts := sm.plans[i].EncodeMatrix(sm.encoder, lin.W)
+		flat := make([]bfv.Plaintext, 0, len(pts)*len(pts[0]))
+		for _, row := range pts {
+			flat = append(flat, row...)
+		}
+		sm.weights[i] = flat
+	}
+	sm.circuits = buildCircuits(meta)
+	return sm, nil
+}
+
+// Meta returns the public model metadata.
+func (sm *SharedModel) Meta() ModelMeta { return sm.meta }
+
+// Params returns the HE parameter set the weights are encoded under.
+func (sm *SharedModel) Params() bfv.Params { return sm.params }
+
+// Model returns the lowered model the artifact was built from. The model is
+// server-side state; it never crosses the wire.
+func (sm *SharedModel) Model() *nn.Lowered { return sm.model }
+
+// NumLayers returns the number of linear layers.
+func (sm *SharedModel) NumLayers() int { return len(sm.meta.Dims) }

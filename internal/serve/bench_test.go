@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"privinf/internal/delphi"
+	"privinf/internal/field"
+	"privinf/internal/nn"
+	"privinf/internal/transport"
+)
+
+// BenchmarkSessionConnect measures per-session connect cost (wire
+// handshake, HE keygen, base OTs, server endpoint construction) against a
+// live engine, at 1 and 8 concurrent sessions. The engine encodes the model
+// once at construction, so the reported ns/session should stay flat as the
+// session count grows — connect cost no longer contains per-session weight
+// encoding.
+func BenchmarkSessionConnect(b *testing.B) {
+	model, err := nn.DemoMLP(field.New(field.P20), 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sessions := range []int{1, 8} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			eng, err := New(Config{Model: model, Variant: delphi.ClientGarbler, LPHEWorkers: len(model.Linear)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ln := transport.NewPipeListener()
+			go eng.Serve(ln)
+			defer eng.Close()
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				clients := make([]*Client, sessions)
+				var wg sync.WaitGroup
+				errs := make(chan error, sessions)
+				for k := 0; k < sessions; k++ {
+					wg.Add(1)
+					go func(k int) {
+						defer wg.Done()
+						conn, err := ln.Dial()
+						if err != nil {
+							errs <- err
+							return
+						}
+						clients[k], err = Connect(conn, nil)
+						if err != nil {
+							errs <- err
+						}
+					}(k)
+				}
+				wg.Wait()
+				select {
+				case err := <-errs:
+					b.Fatal(err)
+				default:
+				}
+				b.StopTimer()
+				for _, c := range clients {
+					c.Close()
+				}
+				b.StartTimer()
+			}
+			perSession := float64(b.Elapsed().Nanoseconds()) / float64(b.N*sessions)
+			b.ReportMetric(perSession, "ns/session")
+		})
+	}
+}

@@ -32,7 +32,14 @@ import (
 // Config parameterizes an Engine.
 type Config struct {
 	// Model is the network served to every session. Weights stay server-side.
+	// May be nil when Artifact is set.
 	Model *nn.Lowered
+	// Artifact is an optional pre-built shared model artifact (encoded
+	// weights, matvec plans, ReLU circuits). When nil, the engine builds one
+	// from Model at construction. Passing one lets several engines — or an
+	// engine and one-off local sessions — share a single encoded copy of
+	// the model.
+	Artifact *delphi.SharedModel
 	// Variant selects which party garbles (delphi.ServerGarbler or
 	// delphi.ClientGarbler).
 	Variant delphi.Variant
@@ -64,6 +71,9 @@ type Engine struct {
 	welcome []byte
 	entropy io.Reader
 	sched   *scheduler
+	// artifact is the one shared model artifact every session serves from:
+	// weights are encoded once per engine, not once per connected client.
+	artifact *delphi.SharedModel
 
 	mu        sync.Mutex
 	sessions  map[uint64]*session
@@ -104,21 +114,31 @@ type session struct {
 	onlineTotal  time.Duration
 }
 
-// New validates the configuration and builds an engine.
+// New validates the configuration and builds an engine. The shared model
+// artifact — encoded weight plaintexts, matvec plans, ReLU circuits — is
+// built here, once, unless a pre-built one is supplied in cfg.Artifact;
+// every accepted session then serves from the same immutable copy.
 func New(cfg Config) (*Engine, error) {
-	if cfg.Model == nil {
-		return nil, fmt.Errorf("serve: nil model")
+	artifact := cfg.Artifact
+	if artifact != nil && cfg.Model != nil && artifact.Model() != cfg.Model {
+		return nil, fmt.Errorf("serve: cfg.Artifact was built from a different model than cfg.Model")
 	}
-	if err := cfg.Model.Validate(); err != nil {
-		return nil, err
-	}
-	params, err := bfv.NewParams(bfv.DefaultN, cfg.Model.F.P())
-	if err != nil {
-		return nil, err
+	if artifact == nil {
+		if cfg.Model == nil {
+			return nil, fmt.Errorf("serve: nil model")
+		}
+		params, err := bfv.NewParams(bfv.DefaultN, cfg.Model.F.P())
+		if err != nil {
+			return nil, err
+		}
+		if artifact, err = delphi.NewSharedModel(params, cfg.Model); err != nil {
+			return nil, err
+		}
 	}
 	e := &Engine{
 		cfg:      cfg,
-		params:   params,
+		params:   artifact.Params(),
+		artifact: artifact,
 		entropy:  delphi.LockedEntropy(cfg.Entropy),
 		sched:    newScheduler(cfg.BufferPerSession, cfg.StorageBudget, cfg.OfflineWorkers),
 		sessions: map[uint64]*session{},
@@ -128,8 +148,8 @@ func New(cfg Config) (*Engine, error) {
 	e.welcome = marshalJSON(welcomeMsg{
 		Version: wireVersion,
 		Variant: int(cfg.Variant),
-		RingN:   params.N,
-		Meta:    delphi.MetaOf(cfg.Model),
+		RingN:   e.params.N,
+		Meta:    artifact.Meta(),
 	})
 	return e, nil
 }
@@ -207,7 +227,7 @@ func (e *Engine) handle(conn *transport.Conn, addr string) {
 		refill: make(chan struct{}, 1),
 	}
 	dcfg := delphi.Config{Variant: e.cfg.Variant, HEParams: e.params, LPHEWorkers: e.cfg.LPHEWorkers}
-	s.srv, err = delphi.NewServer(dataConn{s.m}, dcfg, e.cfg.Model, e.entropy)
+	s.srv, err = delphi.NewServerShared(dataConn{s.m}, dcfg, e.artifact, e.entropy)
 	if err != nil {
 		s.fail(err)
 		return
@@ -252,13 +272,12 @@ func (e *Engine) removeSession(s *session) {
 	s.statMu.Unlock()
 }
 
-// run is the session loop: it serializes this session's protocol phases,
-// interleaving scheduler refills with client requests.
-func (s *session) run() {
-	// A pump moves control messages from the mux onto a selectable channel.
-	// sdone unblocks it when this loop exits for any reason.
-	sdone := make(chan struct{})
-	defer close(sdone)
+// startCtrlPump moves control messages from the mux onto a selectable
+// channel, counting accepted inference requests in s.queued. sdone unblocks
+// it when the session loop exits for any reason; a message the pump had
+// already counted but could not deliver is un-counted on that path, so a
+// torn-down session never reports a stale positive QueueDepth.
+func (s *session) startCtrlPump(sdone <-chan struct{}) <-chan ctrlMsg {
 	ctrlCh := make(chan ctrlMsg)
 	go func() {
 		defer close(ctrlCh)
@@ -273,10 +292,22 @@ func (s *session) run() {
 			select {
 			case ctrlCh <- cm:
 			case <-sdone:
+				if cm.op == opInferReq {
+					s.queued.Add(-1)
+				}
 				return
 			}
 		}
 	}()
+	return ctrlCh
+}
+
+// run is the session loop: it serializes this session's protocol phases,
+// interleaving scheduler refills with client requests.
+func (s *session) run() {
+	sdone := make(chan struct{})
+	defer close(sdone)
+	ctrlCh := s.startCtrlPump(sdone)
 
 	for {
 		select {

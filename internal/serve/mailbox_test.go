@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestMailboxDrainsBeforeCloseError pins the mailbox's close semantics:
+// values pushed before close are all delivered, in order, before pop starts
+// returning the close error — the demultiplexer relies on this so a
+// connection error never eats frames that already arrived.
+func TestMailboxDrainsBeforeCloseError(t *testing.T) {
+	m := newMailbox[int]()
+	for i := 1; i <= 3; i++ {
+		m.push(i)
+	}
+	boom := errors.New("boom")
+	m.close(boom)
+
+	for i := 1; i <= 3; i++ {
+		v, err := m.pop()
+		if err != nil {
+			t.Fatalf("pop %d: unexpected error %v before the queue drained", i, err)
+		}
+		if v != i {
+			t.Fatalf("pop %d: got %d, want FIFO order", i, v)
+		}
+	}
+	if _, err := m.pop(); !errors.Is(err, boom) {
+		t.Fatalf("pop after drain: got %v, want the close error", err)
+	}
+	// The error is sticky.
+	if _, err := m.pop(); !errors.Is(err, boom) {
+		t.Fatalf("second pop after drain: got %v, want the close error", err)
+	}
+}
+
+// TestMailboxCloseNilErrorDefaultsEOF: close(nil) still closes, with io.EOF.
+func TestMailboxCloseNilErrorDefaultsEOF(t *testing.T) {
+	m := newMailbox[int]()
+	m.close(nil)
+	if _, err := m.pop(); !errors.Is(err, io.EOF) {
+		t.Fatalf("pop after close(nil): got %v, want io.EOF", err)
+	}
+}
+
+// TestMailboxPushAfterCloseDropped: a push that loses the race with close is
+// dropped, never delivered after the error.
+func TestMailboxPushAfterCloseDropped(t *testing.T) {
+	m := newMailbox[int]()
+	m.close(errors.New("closed"))
+	m.push(7)
+	if _, err := m.pop(); err == nil {
+		t.Fatal("pop delivered a value pushed after close")
+	}
+}
+
+// TestMailboxFirstCloseErrorWins: a second close does not overwrite the
+// first error.
+func TestMailboxFirstCloseErrorWins(t *testing.T) {
+	m := newMailbox[int]()
+	first := errors.New("first")
+	m.close(first)
+	m.close(errors.New("second"))
+	if _, err := m.pop(); !errors.Is(err, first) {
+		t.Fatalf("pop: got %v, want the first close error", err)
+	}
+}
+
+// TestMailboxPushCloseRace hammers push racing close: the delivered values
+// must always be an in-order prefix of the pushed sequence (each racing
+// push is either delivered before the error or consistently dropped), and
+// once pop has returned the error it keeps returning it.
+func TestMailboxPushCloseRace(t *testing.T) {
+	const rounds = 100
+	const pushes = 64
+	for round := 0; round < rounds; round++ {
+		m := newMailbox[int]()
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < pushes; i++ {
+				m.push(i)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			m.close(errors.New("closed"))
+		}()
+
+		want := 0
+		for {
+			v, err := m.pop()
+			if err != nil {
+				break
+			}
+			if v != want {
+				t.Fatalf("round %d: got %d, want %d — delivered values are not a prefix of the pushes", round, v, want)
+			}
+			want++
+		}
+		wg.Wait()
+		// Error is now permanent, even though the pusher may have pushed
+		// more values after the close.
+		if _, err := m.pop(); err == nil {
+			t.Fatalf("round %d: pop succeeded after the close error", round)
+		}
+	}
+}

@@ -118,10 +118,9 @@ type dataConn struct {
 }
 
 func (d dataConn) Send(p []byte) error {
-	f := make([]byte, 0, 1+len(p))
-	f = append(f, tagData)
-	f = append(f, p...)
-	return d.m.conn.Send(f)
+	// The transport prepends the tag inside its own frame assembly, so a
+	// DELPHI payload is not copied into a fresh tagged buffer per frame.
+	return d.m.conn.SendTagged(tagData, p)
 }
 
 func (d dataConn) Recv() ([]byte, error) { return d.m.data.pop() }

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"privinf/internal/bfv"
+	"privinf/internal/delphi"
+	"privinf/internal/nn"
+	"privinf/internal/transport"
+)
+
+func mustParams(t *testing.T, model *nn.Lowered) bfv.Params {
+	t.Helper()
+	params, err := bfv.NewParams(bfv.DefaultN, model.F.P())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return params
+}
+
+// TestConcurrentSessionsShareArtifact is the shared-artifact acceptance
+// scenario: eight concurrent sessions served from one engine — and
+// therefore one immutable SharedModel (one copy of the encoded weights and
+// circuits) — each produce inferences bit-exact with plaintext evaluation.
+// Run under -race this pins that the artifact is safe for concurrent reads.
+func TestConcurrentSessionsShareArtifact(t *testing.T) {
+	model := testModel(t, 81)
+	artifact, err := delphi.NewSharedModel(mustParams(t, model), model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(Config{
+		Artifact:    artifact,
+		Variant:     delphi.ClientGarbler,
+		LPHEWorkers: len(model.Linear),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := transport.NewPipeListener()
+	go eng.Serve(ln)
+	t.Cleanup(func() { eng.Close() })
+
+	const sessions = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions)
+	for ci := 0; ci < sessions; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			conn, err := ln.Dial()
+			if err != nil {
+				errs <- fmt.Errorf("session %d dial: %w", ci, err)
+				return
+			}
+			c, err := Connect(conn, nil)
+			if err != nil {
+				errs <- fmt.Errorf("session %d connect: %w", ci, err)
+				return
+			}
+			defer c.Close()
+			x := make([]uint64, model.InputLen())
+			for j := range x {
+				x[j] = uint64((j*7 + ci) % 19)
+			}
+			out, _, _, err := c.Infer(x)
+			if err != nil {
+				errs <- fmt.Errorf("session %d infer: %w", ci, err)
+				return
+			}
+			want := model.Forward(x)
+			for j := range want {
+				if out[j] != want[j] {
+					errs <- fmt.Errorf("session %d: output %d = %d, want %d", ci, j, out[j], want[j])
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := eng.Stats()
+	if st.TotalInferences != sessions {
+		t.Errorf("engine served %d inferences, want %d", st.TotalInferences, sessions)
+	}
+}
+
+// TestArtifactSharedAcrossEngines: one PrepareModel-style artifact backs two
+// independent engines, and a session on each still verifies — the artifact
+// carries no per-engine or per-session state.
+func TestArtifactSharedAcrossEngines(t *testing.T) {
+	model := testModel(t, 82)
+	artifact, err := delphi.NewSharedModel(mustParams(t, model), model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		eng, err := New(Config{Artifact: artifact, Variant: delphi.ServerGarbler, LPHEWorkers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln := transport.NewPipeListener()
+		go eng.Serve(ln)
+		conn, err := ln.Dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Connect(conn, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]uint64, model.InputLen())
+		for j := range x {
+			x[j] = uint64((j + i) % 11)
+		}
+		out, _, _, err := c.Infer(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := model.Forward(x)
+		for j := range want {
+			if out[j] != want[j] {
+				t.Fatalf("engine %d: output %d = %d, want %d", i, j, out[j], want[j])
+			}
+		}
+		c.Close()
+		eng.Close()
+	}
+}
+
+// TestQueueDepthNoLeakOnTeardown is the regression test for the queued
+// counter leak: the pump counts an inference request as soon as it pops it
+// from the control mailbox, so a session torn down before the loop receives
+// the message must un-count it — otherwise Stats reports a stale positive
+// QueueDepth for a dead session.
+func TestQueueDepthNoLeakOnTeardown(t *testing.T) {
+	cli, srv := transport.Pipe()
+	s := &session{m: newMux(srv)}
+	t.Cleanup(func() {
+		s.m.close(nil)
+		cli.Close()
+	})
+
+	sdone := make(chan struct{})
+	ctrlCh := s.startCtrlPump(sdone)
+	if err := sendCtrl(cli, opInferReq, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The pump counts the request, then blocks handing it to the (absent)
+	// session loop.
+	waitFor(t, 10*time.Second, "pump to count the request", func() bool {
+		return s.queued.Load() == 1
+	})
+
+	// Teardown races the delivery: nobody ever receives from ctrlCh.
+	close(sdone)
+	waitFor(t, 10*time.Second, "undelivered request to be uncounted", func() bool {
+		return s.queued.Load() == 0
+	})
+	// The pump must have exited and closed its channel.
+	if _, ok := <-ctrlCh; ok {
+		t.Fatal("ctrl channel delivered a message after teardown")
+	}
+}

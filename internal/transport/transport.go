@@ -39,6 +39,7 @@ type Conn struct {
 	rmu     sync.Mutex
 	w       io.Writer
 	r       io.Reader
+	wbuf    []byte // reusable frame assembly buffer, guarded by wmu
 	sent    atomic.Uint64
 	recv    atomic.Uint64
 	closers []io.Closer
@@ -62,19 +63,40 @@ func New(rw io.ReadWriter) *Conn {
 // streams, "pipe" for in-process pipes, "" when unknown.
 func (c *Conn) RemoteAddr() string { return c.remote }
 
-// Send writes one framed message.
+// Send writes one framed message. Header and payload go out in a single
+// Write so a TCP frame costs one syscall, not a header write followed by a
+// payload write (which pays a second syscall and can emit a 4-byte segment).
 func (c *Conn) Send(payload []byte) error {
+	return c.send(payload, nil)
+}
+
+// SendTagged writes one framed message whose payload is tag || payload,
+// without the caller having to allocate and copy a prefixed buffer. This is
+// the hot path for multiplexed links that prepend a stream tag to every
+// frame (internal/serve).
+func (c *Conn) SendTagged(tag byte, payload []byte) error {
+	return c.send(payload, []byte{tag})
+}
+
+// send frames prefix || payload under one lock and one Write. The frame is
+// assembled in a buffer retained on the Conn, so steady-state sends do not
+// allocate.
+func (c *Conn) send(payload, prefix []byte) error {
+	n := len(prefix) + len(payload)
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	var hdr [frameOverhead]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := c.w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("transport: send header: %w", err)
+	if cap(c.wbuf) < frameOverhead+n {
+		c.wbuf = make([]byte, 0, frameOverhead+n)
 	}
-	if _, err := c.w.Write(payload); err != nil {
-		return fmt.Errorf("transport: send payload: %w", err)
+	f := c.wbuf[:frameOverhead]
+	binary.LittleEndian.PutUint32(f, uint32(n))
+	f = append(f, prefix...)
+	f = append(f, payload...)
+	c.wbuf = f[:0]
+	if _, err := c.w.Write(f); err != nil {
+		return fmt.Errorf("transport: send frame: %w", err)
 	}
-	c.sent.Add(uint64(len(payload) + frameOverhead))
+	c.sent.Add(uint64(n + frameOverhead))
 	return nil
 }
 

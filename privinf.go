@@ -57,7 +57,24 @@ type (
 	Device = device.Device
 	// Variant selects which party garbles (ServerGarbler or ClientGarbler).
 	Variant = delphi.Variant
+	// SharedModel is the immutable server-side model artifact — matvec
+	// plans, NTT-domain weight plaintexts, built ReLU circuits — encoded
+	// once and shared by any number of sessions or engines.
+	SharedModel = delphi.SharedModel
 )
+
+// PrepareModel builds the shared model artifact for a model under the
+// protocol's default HE parameters. Encoding the weights is the dominant
+// per-model cost; do it once and pass the artifact to
+// NewLocalSessionShared (or serve.Config.Artifact) to open N sessions
+// without re-paying it.
+func PrepareModel(model *Model) (*SharedModel, error) {
+	params, err := bfv.NewParams(bfv.DefaultN, model.F.P())
+	if err != nil {
+		return nil, err
+	}
+	return delphi.NewSharedModel(params, model)
+}
 
 // Protocol variants.
 const (
@@ -124,20 +141,26 @@ type InferenceResult struct {
 // pair, and verifies the result against plaintext inference. entropy may be
 // nil (crypto/rand).
 func RunLocalInference(model *Model, variant delphi.Variant, x []uint64, entropy io.Reader) (*InferenceResult, error) {
-	if err := model.Validate(); err != nil {
-		return nil, err
-	}
-	params, err := bfv.NewParams(bfv.DefaultN, model.F.P())
+	shared, err := PrepareModel(model)
 	if err != nil {
 		return nil, err
 	}
+	return RunLocalInferenceShared(shared, variant, x, entropy)
+}
+
+// RunLocalInferenceShared is RunLocalInference on a pre-built model
+// artifact (PrepareModel), so repeated calls skip the per-call weight
+// encoding. entropy may be nil (crypto/rand).
+func RunLocalInferenceShared(shared *SharedModel, variant delphi.Variant, x []uint64, entropy io.Reader) (*InferenceResult, error) {
+	model := shared.Model()
+	params := shared.Params()
 	cfg := delphi.Config{Variant: variant, HEParams: params, LPHEWorkers: len(model.Linear)}
 	clientConn, serverConn := transport.Pipe()
 
 	// The two parties run on concurrent goroutines; a shared deterministic
 	// entropy source must be serialized.
 	entropy = delphi.LockedEntropy(entropy)
-	server, err := delphi.NewServer(serverConn, cfg, model, entropy)
+	server, err := delphi.NewServerShared(serverConn, cfg, shared, entropy)
 	if err != nil {
 		return nil, err
 	}

@@ -29,10 +29,26 @@ type Session struct {
 
 // NewLocalSession starts an in-process serving engine for the model, wires
 // a client to it, and runs the handshake. entropy may be nil (crypto/rand).
+// The engine encodes the model into a private shared artifact; to amortize
+// that across several sessions or engines, build the artifact once with
+// PrepareModel and use NewLocalSessionShared.
 func NewLocalSession(model *Model, variant Variant, entropy io.Reader) (*Session, error) {
+	artifact, err := PrepareModel(model)
+	if err != nil {
+		return nil, err
+	}
+	return NewLocalSessionShared(artifact, variant, entropy)
+}
+
+// NewLocalSessionShared starts an in-process serving engine on a pre-built
+// model artifact (PrepareModel): the NTT-domain weight plaintexts and ReLU
+// circuits are reused, not re-encoded, so opening the k-th session costs
+// O(1) model work. entropy may be nil (crypto/rand).
+func NewLocalSessionShared(artifact *SharedModel, variant Variant, entropy io.Reader) (*Session, error) {
+	model := artifact.Model()
 	entropy = delphi.LockedEntropy(entropy)
 	eng, err := serve.New(serve.Config{
-		Model:       model,
+		Artifact:    artifact,
 		Variant:     variant,
 		LPHEWorkers: len(model.Linear),
 		Entropy:     entropy,
