@@ -11,21 +11,26 @@
 // Usage:
 //
 //	pirun [-model cnn|mlp] [-seed N]
-//	pirun -serve ADDR [-variant cg|sg] [-buffer N] [-budget N] [-workers N]
-//	pirun -connect ADDR [-n N]
+//	pirun -serve ADDR [-models cnn,mlp] [-registry-budget BYTES] [-variant cg|sg] [-buffer N] [-budget N] [-workers N]
+//	pirun -connect ADDR [-model NAME] [-n N]
 //
-// The connect mode rebuilds the demo model locally from -model/-seed to
-// verify outputs against plaintext inference; point it at a server started
-// with the same flags.
+// A server hosts every model named in -models (default: just -model) from
+// one registry; built artifacts stay resident up to -registry-budget bytes
+// (0 = unbounded) with LRU eviction and lazy rebuild. A client requests
+// one registry entry by -model name, rebuilds the same demo model locally
+// from -model/-seed, and verifies outputs against plaintext inference;
+// point it at a server started with the same -seed.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"time"
 
 	"privinf"
@@ -35,7 +40,9 @@ import (
 )
 
 func main() {
-	modelName := flag.String("model", "cnn", "demo model: cnn or mlp")
+	modelName := flag.String("model", "cnn", "demo model: cnn or mlp (connect mode: registry name to request)")
+	modelsFlag := flag.String("models", "", "serve mode: comma-separated demo models to serve (default: just -model)")
+	registryBudget := flag.Int64("registry-budget", 0, "serve mode: registry artifact byte budget (0 unbounded); LRU eviction + lazy rebuild past it")
 	seed := flag.Int64("seed", 42, "model weight seed")
 	serveAddr := flag.String("serve", "", "run a serving engine on this TCP address")
 	connectAddr := flag.String("connect", "", "connect a client session to a serving engine")
@@ -46,17 +53,19 @@ func main() {
 	n := flag.Int("n", 3, "connect mode: number of inferences to run")
 	flag.Parse()
 
-	model := buildModel(*modelName, *seed)
-
 	switch {
 	case *serveAddr != "" && *connectAddr != "":
 		log.Fatal("pirun: -serve and -connect are mutually exclusive")
 	case *serveAddr != "":
-		runServe(model, *serveAddr, *variantFlag, *buffer, *budget, *workers)
+		names := strings.Split(*modelsFlag, ",")
+		if *modelsFlag == "" {
+			names = []string{*modelName}
+		}
+		runServe(names, *seed, *serveAddr, *variantFlag, *registryBudget, *buffer, *budget, *workers)
 	case *connectAddr != "":
-		runConnect(model, *connectAddr, *n)
+		runConnect(buildModel(*modelName, *seed), *modelName, *connectAddr, *n)
 	default:
-		runLocal(model, *modelName)
+		runLocal(buildModel(*modelName, *seed), *modelName)
 	}
 }
 
@@ -79,8 +88,10 @@ func buildModel(name string, seed int64) *privinf.Model {
 	return model
 }
 
-// runServe hosts a multi-client serving engine until interrupted.
-func runServe(model *privinf.Model, addr, variantFlag string, buffer, budget, workers int) {
+// runServe hosts a multi-client, multi-model serving engine until
+// interrupted. Every name in names becomes a registry entry clients can
+// request; the first is the default model.
+func runServe(names []string, seed int64, addr, variantFlag string, registryBudget int64, buffer, budget, workers int) {
 	var variant privinf.Variant
 	switch variantFlag {
 	case "cg":
@@ -90,10 +101,23 @@ func runServe(model *privinf.Model, addr, variantFlag string, buffer, budget, wo
 	default:
 		log.Fatalf("pirun: unknown -variant %q (want cg or sg)", variantFlag)
 	}
+	reg := serve.NewRegistry(registryBudget)
+	maxLinear := 0
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		model := buildModel(name, seed)
+		if err := reg.Register(name, model); err != nil {
+			log.Fatal(err)
+		}
+		if len(model.Linear) > maxLinear {
+			maxLinear = len(model.Linear)
+		}
+	}
 	eng, err := serve.New(serve.Config{
-		Model:            model,
+		Registry:         reg,
+		DefaultModel:     strings.TrimSpace(names[0]),
 		Variant:          variant,
-		LPHEWorkers:      len(model.Linear),
+		LPHEWorkers:      maxLinear,
 		BufferPerSession: buffer,
 		StorageBudget:    budget,
 		OfflineWorkers:   workers,
@@ -105,8 +129,9 @@ func runServe(model *privinf.Model, addr, variantFlag string, buffer, budget, wo
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("serving %s (%d linear layers, %d ReLUs) on %s\n", variant, len(model.Linear), model.NumReLUs(), ln.Addr())
-	fmt.Printf("scheduler: buffer/session %d, storage budget %d slots, %d offline workers\n", buffer, budget, workers)
+	fmt.Printf("serving %s, models %s (default %s) on %s\n", variant, strings.Join(reg.Names(), ","), strings.TrimSpace(names[0]), ln.Addr())
+	fmt.Printf("scheduler: buffer/session %d, storage budget %d slots, %d offline workers; registry budget %s\n",
+		buffer, budget, workers, humanBudget(registryBudget))
 
 	go func() {
 		if err := eng.Serve(ln); err != nil {
@@ -122,8 +147,15 @@ func runServe(model *privinf.Model, addr, variantFlag string, buffer, budget, wo
 		select {
 		case <-tick.C:
 			st := eng.Stats()
-			fmt.Printf("sessions %d  buffered %d (refilling %d)  precomputes %d  inferences %d\n",
-				st.ActiveSessions, st.TotalBuffered, st.RefillsInFlight, st.TotalPrecomputes, st.TotalInferences)
+			fmt.Printf("sessions %d  buffered %d (refilling %d)  precomputes %d  inferences %d  registry %s (hits %d, misses %d, evictions %d)\n",
+				st.ActiveSessions, st.TotalBuffered, st.RefillsInFlight, st.TotalPrecomputes, st.TotalInferences,
+				human(uint64(st.RegistryBytes)), st.RegistryHits, st.RegistryMisses, st.RegistryEvictions)
+			for _, m := range st.Models {
+				if m.Sessions > 0 || m.Resident {
+					fmt.Printf("  model %-8s sessions %d  buffered %d  resident %v (%s)\n",
+						m.Name, m.Sessions, m.Buffered, m.Resident, human(uint64(m.SizeBytes)))
+				}
+			}
 		case <-sig:
 			eng.Close()
 			st := eng.Stats()
@@ -133,15 +165,26 @@ func runServe(model *privinf.Model, addr, variantFlag string, buffer, budget, wo
 	}
 }
 
-// runConnect runs one client session against a remote engine.
-func runConnect(model *privinf.Model, addr string, n int) {
-	c, err := serve.Dial(addr, nil)
+func humanBudget(b int64) string {
+	if b <= 0 {
+		return "unbounded"
+	}
+	return human(uint64(b))
+}
+
+// runConnect runs one client session against a remote engine, requesting
+// the named registry entry.
+func runConnect(model *privinf.Model, name, addr string, n int) {
+	c, err := serve.DialModel(addr, name, nil)
 	if err != nil {
+		if errors.Is(err, serve.ErrUnknownModel) {
+			log.Fatalf("pirun: engine does not serve model %q: %v", name, err)
+		}
 		log.Fatal(err)
 	}
 	defer c.Close()
 	meta := c.Meta()
-	fmt.Printf("connected to %s engine at %s (%d linear layers)\n", c.Variant(), addr, len(meta.Dims))
+	fmt.Printf("connected to %s engine at %s, serving model %q (%d linear layers)\n", c.Variant(), addr, c.Model(), len(meta.Dims))
 	if meta.Dims[0].In != model.InputLen() || meta.P != model.F.P() {
 		log.Fatalf("pirun: server model (%d inputs, p=%d) does not match local -model/-seed (%d inputs, p=%d); outputs cannot be verified",
 			meta.Dims[0].In, meta.P, model.InputLen(), model.F.P())

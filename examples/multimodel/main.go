@@ -1,0 +1,165 @@
+// Multi-model: one engine, a registry of named models, LRU artifact
+// eviction under a byte budget.
+//
+// CryptoNite-style deployments (and the paper's arrival-rate analysis,
+// which treats the server as a shared resource) serve many networks from
+// one fleet, not one network per process. This example runs that shape
+// live, twice:
+//
+//  1. One in-process engine serves the demo CNN and the demo MLP
+//     concurrently over a single listener, with real cryptography.
+//     Sessions pick their model by name in the handshake; Stats partitions
+//     per model.
+//
+//  2. The same two models behind a registry whose byte budget holds only
+//     one built artifact: alternating sessions force LRU eviction and lazy
+//     rebuild, the hit/miss/eviction counters show the churn, and the
+//     resident footprint never exceeds the budget — the same storage
+//     discipline the pre-compute scheduler applies to client buffers,
+//     applied to the server's own encoded models.
+//
+//     go run ./examples/multimodel
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"privinf"
+	"privinf/internal/serve"
+	"privinf/internal/transport"
+)
+
+func main() {
+	cnn, err := privinf.NewDemoCNN(11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mlp, err := privinf.NewDemoMLP(12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	models := map[string]*privinf.Model{"cnn": cnn, "mlp": mlp}
+
+	twoModelsOneEngine(models)
+	evictionUnderBudget(models)
+}
+
+// twoModelsOneEngine serves both demo networks from one engine and runs a
+// verified inference on each from concurrent sessions.
+func twoModelsOneEngine(models map[string]*privinf.Model) {
+	eng, err := privinf.NewLocalEngine(models, privinf.ClientGarbler, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	fmt.Println("one engine, two models, concurrent sessions:")
+	var wg sync.WaitGroup
+	for name, model := range models {
+		wg.Add(1)
+		go func(name string, model *privinf.Model) {
+			defer wg.Done()
+			s, err := eng.Connect(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer s.Close()
+			x := make([]uint64, model.InputLen())
+			for i := range x {
+				x[i] = uint64((i*3 + 1) % 9)
+			}
+			t0 := time.Now()
+			res, err := s.Infer(x)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-4s %4.0f ms  predicted class %d  verified %v\n",
+				name, time.Since(t0).Seconds()*1000, res.Predicted, res.Verified)
+		}(name, model)
+	}
+	wg.Wait()
+
+	st := eng.Stats()
+	for _, m := range st.Models {
+		fmt.Printf("  model %-4s artifact %7.1f KiB resident=%v  registry hits %d, misses %d\n",
+			m.Name, float64(m.SizeBytes)/1024, m.Resident, m.Hits, m.Misses)
+	}
+	fmt.Println()
+}
+
+// evictionUnderBudget squeezes both models through a registry that can
+// hold only the larger artifact, proving the byte budget forces LRU
+// eviction and lazy rebuild while sessions keep verifying.
+func evictionUnderBudget(models map[string]*privinf.Model) {
+	// Size the budget to the larger artifact: exactly one model resident.
+	var budget int64
+	for _, m := range models {
+		art, err := privinf.PrepareModel(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if s := int64(art.SizeBytes()); s > budget {
+			budget = s
+		}
+	}
+
+	reg := serve.NewRegistry(budget)
+	for name, m := range models {
+		if err := reg.Register(name, m); err != nil {
+			log.Fatal(err)
+		}
+	}
+	eng, err := serve.New(serve.Config{
+		Registry:    reg,
+		Variant:     privinf.ClientGarbler,
+		LPHEWorkers: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	ln := transport.NewPipeListener()
+	go eng.Serve(ln)
+
+	fmt.Printf("registry budget %.1f KiB — room for one artifact; alternating models:\n", float64(budget)/1024)
+	for i, name := range []string{"cnn", "mlp", "cnn", "mlp"} {
+		model := models[name]
+		conn, err := ln.Dial()
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		c, err := serve.ConnectModel(conn, name, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		connect := time.Since(t0)
+		x := make([]uint64, model.InputLen())
+		for j := range x {
+			x[j] = uint64((j + i) % 7)
+		}
+		out, _, _, err := c.Infer(x)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verified := true
+		for j, w := range model.Forward(x) {
+			if out[j] != w {
+				verified = false
+			}
+		}
+		c.Close()
+		st := eng.Stats()
+		fmt.Printf("  session %d (%-4s): connect %4.0f ms (cold build on miss), verified %v;  resident %7.1f/%.1f KiB, hits %d, misses %d, evictions %d\n",
+			i, name, connect.Seconds()*1000, verified,
+			float64(st.RegistryBytes)/1024, float64(st.RegistryBudget)/1024,
+			st.RegistryHits, st.RegistryMisses, st.RegistryEvictions)
+		if st.RegistryBytes > st.RegistryBudget {
+			log.Fatalf("resident bytes %d exceed budget %d", st.RegistryBytes, st.RegistryBudget)
+		}
+	}
+	fmt.Println("  every swap evicted the LRU artifact and rebuilt the requested one lazily")
+}

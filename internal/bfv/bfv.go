@@ -31,6 +31,11 @@ type Plaintext struct {
 	coeffs []uint64
 }
 
+// SizeBytes returns the plaintext's resident memory footprint (its
+// coefficient vector). Encoded-weight artifacts sum this for byte-budgeted
+// caching.
+func (p Plaintext) SizeBytes() uint64 { return uint64(len(p.coeffs)) * 8 }
+
 // KeyGen generates a fresh key pair. src may be nil (crypto/rand).
 func KeyGen(p Params, src io.Reader) (SecretKey, PublicKey) {
 	smp := newSampler(src)

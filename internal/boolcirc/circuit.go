@@ -48,6 +48,15 @@ type Circuit struct {
 // ConstOne is the input index of the constant-one wire.
 const ConstOne = 0
 
+// SizeBytes returns the circuit's resident memory footprint: the gate list
+// plus the output wire indices. It feeds model-artifact byte accounting
+// (delphi.SharedModel.SizeBytes), so registries can hold built circuits
+// under a byte budget.
+func (c *Circuit) SizeBytes() uint64 {
+	const gateBytes = 4 * 8 // Op (padded to a word) + A + B + Out
+	return uint64(len(c.Gates))*gateBytes + uint64(len(c.Outputs))*8
+}
+
 // NumAND returns the number of AND gates (the garbling cost driver).
 func (c *Circuit) NumAND() int {
 	n := 0

@@ -33,6 +33,7 @@ type SharedModel struct {
 	weights  [][]bfv.Plaintext // [layer][outCt*numInputCts+inCt], NTT domain
 	circuits []*boolcirc.Circuit
 	encoder  *bfv.Encoder
+	size     uint64 // resident footprint, computed once at build
 }
 
 // NewSharedModel validates the model against the HE parameters and builds
@@ -66,8 +67,29 @@ func NewSharedModel(params bfv.Params, model *nn.Lowered) (*SharedModel, error) 
 		sm.weights[i] = flat
 	}
 	sm.circuits = buildCircuits(meta)
+
+	// The dominant terms are the NTT-domain weight plaintexts and the built
+	// circuits; the plans are a few words each and counted as one cache
+	// line apiece.
+	const planBytes = 64
+	sm.size = uint64(len(sm.plans)) * planBytes
+	for _, layer := range sm.weights {
+		for _, pt := range layer {
+			sm.size += pt.SizeBytes()
+		}
+	}
+	for _, c := range sm.circuits {
+		sm.size += c.SizeBytes()
+	}
 	return sm, nil
 }
+
+// SizeBytes returns the artifact's resident memory footprint: encoded
+// weight plaintexts plus built ReLU circuits plus packing plans. A model
+// registry (internal/serve) sums these against its byte budget to decide
+// LRU eviction, the same discipline the pre-compute scheduler applies to
+// client storage.
+func (sm *SharedModel) SizeBytes() uint64 { return sm.size }
 
 // Meta returns the public model metadata.
 func (sm *SharedModel) Meta() ModelMeta { return sm.meta }

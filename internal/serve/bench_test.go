@@ -70,3 +70,58 @@ func BenchmarkSessionConnect(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkRegistryHitVsColdBuild measures the two registry outcomes a
+// handshake can hit: a resident artifact (pointer lookup + LRU bump) vs a
+// cold build (full weight encode + circuit build after eviction or first
+// use). The gap is what the byte budget trades away per eviction.
+func BenchmarkRegistryHitVsColdBuild(b *testing.B) {
+	model, err := nn.DemoMLP(field.New(field.P20), 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("hit", func(b *testing.B) {
+		reg := NewRegistry(0)
+		if err := reg.Register("m", model); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := reg.Get("m"); err != nil { // warm
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := reg.Get("m"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("coldbuild", func(b *testing.B) {
+		reg := NewRegistry(0)
+		if err := reg.Register("m", model); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := reg.Get("m"); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			// Evict by shrinking: drop the artifact the way the budget
+			// would, so the next Get rebuilds.
+			reg.mu.Lock()
+			e := reg.entries["m"]
+			if e.elem != nil {
+				reg.lru.Remove(e.elem)
+				e.elem, e.art = nil, nil
+				reg.bytes -= e.size
+				e.size = 0
+			}
+			reg.mu.Unlock()
+			b.StartTimer()
+		}
+	})
+}

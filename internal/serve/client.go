@@ -21,6 +21,7 @@ type Client struct {
 	m       *mux
 	cli     *delphi.Client
 	meta    delphi.ModelMeta
+	model   string
 	variant delphi.Variant
 
 	buffered atomic.Int64
@@ -56,13 +57,22 @@ type pcResult struct {
 	err    error
 }
 
-// Dial connects to an engine over TCP. entropy may be nil (crypto/rand).
+// Dial connects to an engine over TCP and is served its default model.
+// entropy may be nil (crypto/rand).
 func Dial(addr string, entropy io.Reader) (*Client, error) {
+	return DialModel(addr, "", entropy)
+}
+
+// DialModel connects to an engine over TCP and requests the named model
+// from its registry (empty means the engine's default model). An engine
+// that does not know the name rejects the handshake with an error matching
+// errors.Is(err, ErrUnknownModel). entropy may be nil (crypto/rand).
+func DialModel(addr, model string, entropy io.Reader) (*Client, error) {
 	conn, err := transport.Dial(addr)
 	if err != nil {
 		return nil, err
 	}
-	c, err := Connect(conn, entropy)
+	c, err := ConnectModel(conn, model, entropy)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -71,20 +81,36 @@ func Dial(addr string, entropy io.Reader) (*Client, error) {
 }
 
 // Connect runs the session handshake over an established connection (TCP
-// via transport.Dial, or in-process via transport.PipeListener.Dial) and
-// starts the session. entropy may be nil (crypto/rand).
+// via transport.Dial, or in-process via transport.PipeListener.Dial) for
+// the engine's default model and starts the session. entropy may be nil
+// (crypto/rand).
 func Connect(conn *transport.Conn, entropy io.Reader) (*Client, error) {
-	if err := sendCtrl(conn, opHello, marshalJSON(helloMsg{Version: wireVersion})); err != nil {
+	return ConnectModel(conn, "", entropy)
+}
+
+// ConnectModel is Connect requesting the named model from the engine's
+// registry (empty means the engine's default model). Typed handshake
+// rejections surface as *HandshakeError: match errors.Is(err,
+// ErrUnknownModel) and errors.Is(err, ErrVersionMismatch).
+func ConnectModel(conn *transport.Conn, model string, entropy io.Reader) (*Client, error) {
+	if err := sendCtrl(conn, opHello, marshalJSON(helloMsg{Version: wireVersion, Model: model})); err != nil {
 		return nil, err
 	}
 	op, body, err := recvCtrl(conn)
 	if err != nil {
 		return nil, err
 	}
-	if op == opErr {
+	switch op {
+	case opWelcome:
+	case opReject:
+		var rej rejectMsg
+		if err := unmarshalJSON(body, &rej); err != nil {
+			return nil, err
+		}
+		return nil, &HandshakeError{Code: rej.Code, Message: rej.Message}
+	case opErr:
 		return nil, fmt.Errorf("serve: server rejected session: %s", body)
-	}
-	if op != opWelcome {
+	default:
 		return nil, fmt.Errorf("serve: expected welcome, got opcode %d", op)
 	}
 	var w welcomeMsg
@@ -105,6 +131,7 @@ func Connect(conn *transport.Conn, entropy io.Reader) (*Client, error) {
 	c := &Client{
 		m:        newMux(conn),
 		meta:     w.Meta,
+		model:    w.Model,
 		variant:  delphi.Variant(w.Variant),
 		loopDone: make(chan struct{}),
 	}
@@ -124,6 +151,11 @@ func Connect(conn *transport.Conn, entropy io.Reader) (*Client, error) {
 
 // Meta returns the model's public metadata from the handshake.
 func (c *Client) Meta() delphi.ModelMeta { return c.meta }
+
+// Model returns the registry name of the model this session is served, as
+// resolved by the engine (the engine's default-model name when the hello
+// named none).
+func (c *Client) Model() string { return c.model }
 
 // Variant returns the protocol variant the engine serves.
 func (c *Client) Variant() delphi.Variant { return c.variant }

@@ -23,22 +23,41 @@ import (
 	"sync/atomic"
 	"time"
 
-	"privinf/internal/bfv"
 	"privinf/internal/delphi"
 	"privinf/internal/nn"
 	"privinf/internal/transport"
 )
 
+// DefaultModelName is the registry name an engine gives a model supplied
+// through the single-model Config fields (Model / Artifact).
+const DefaultModelName = "default"
+
 // Config parameterizes an Engine.
 type Config struct {
-	// Model is the network served to every session. Weights stay server-side.
-	// May be nil when Artifact is set.
+	// Registry holds the named models this engine serves; clients pick one
+	// by name in the handshake. Built artifacts live under the registry's
+	// byte budget with LRU eviction. Mutually exclusive with Model and
+	// Artifact. A registry may be shared by several engines.
+	Registry *Registry
+	// DefaultModel is the name served when a client's hello does not name
+	// a model. Empty defaults to the registry's single entry when it has
+	// exactly one; with several models and no default, unnamed hellos are
+	// rejected.
+	DefaultModel string
+	// RegistryBudget is the artifact byte budget applied when the engine
+	// builds its own registry from Model/Artifact (<= 0 unbounded). Ignored
+	// when Registry is set — the caller's registry carries its own budget.
+	RegistryBudget int64
+
+	// Model is the single network to serve (the one-model configuration):
+	// the engine wraps it in a private registry under DefaultModelName.
+	// Weights stay server-side. May be nil when Artifact or Registry is set.
 	Model *nn.Lowered
 	// Artifact is an optional pre-built shared model artifact (encoded
-	// weights, matvec plans, ReLU circuits). When nil, the engine builds one
-	// from Model at construction. Passing one lets several engines — or an
-	// engine and one-off local sessions — share a single encoded copy of
-	// the model.
+	// weights, matvec plans, ReLU circuits) for the one-model
+	// configuration, registered under DefaultModelName. Passing one lets
+	// several engines — or an engine and one-off local sessions — share a
+	// single encoded copy of the model.
 	Artifact *delphi.SharedModel
 	// Variant selects which party garbles (delphi.ServerGarbler or
 	// delphi.ClientGarbler).
@@ -67,13 +86,15 @@ type Config struct {
 // with Serve, inspect with Stats, stop with Close.
 type Engine struct {
 	cfg     Config
-	params  bfv.Params
-	welcome []byte
 	entropy io.Reader
 	sched   *scheduler
-	// artifact is the one shared model artifact every session serves from:
-	// weights are encoded once per engine, not once per connected client.
-	artifact *delphi.SharedModel
+	// reg resolves handshake model names to shared artifacts: weights are
+	// encoded once per model (and rebuilt after eviction), never once per
+	// connected client.
+	reg *Registry
+	// defaultModel serves hellos that do not name a model; empty rejects
+	// them.
+	defaultModel string
 
 	mu        sync.Mutex
 	sessions  map[uint64]*session
@@ -92,11 +113,12 @@ type Engine struct {
 
 // session is one connected client's server-side state.
 type session struct {
-	id   uint64
-	addr string
-	eng  *Engine
-	m    *mux
-	srv  *delphi.Server
+	id    uint64
+	addr  string
+	model string // registry name resolved in the handshake
+	eng   *Engine
+	m     *mux
+	srv   *delphi.Server
 
 	refill chan struct{}
 
@@ -114,45 +136,74 @@ type session struct {
 	onlineTotal  time.Duration
 }
 
-// New validates the configuration and builds an engine. The shared model
-// artifact — encoded weight plaintexts, matvec plans, ReLU circuits — is
-// built here, once, unless a pre-built one is supplied in cfg.Artifact;
-// every accepted session then serves from the same immutable copy.
+// New validates the configuration and builds an engine around a model
+// registry. The one-model configuration (cfg.Model / cfg.Artifact) wraps
+// the model in a private registry under DefaultModelName; a multi-model
+// engine takes a caller-built cfg.Registry. Artifacts — encoded weight
+// plaintexts, matvec plans, ReLU circuits — are built once per model (a
+// pre-built cfg.Artifact or RegisterArtifact entry is reused as-is; lazy
+// entries are built on first request) and every session of that model
+// serves from the same immutable copy.
 func New(cfg Config) (*Engine, error) {
-	artifact := cfg.Artifact
-	if artifact != nil && cfg.Model != nil && artifact.Model() != cfg.Model {
-		return nil, fmt.Errorf("serve: cfg.Artifact was built from a different model than cfg.Model")
-	}
-	if artifact == nil {
-		if cfg.Model == nil {
+	reg := cfg.Registry
+	defaultModel := cfg.DefaultModel
+	if reg != nil {
+		if cfg.Model != nil || cfg.Artifact != nil {
+			return nil, fmt.Errorf("serve: cfg.Registry is mutually exclusive with cfg.Model/cfg.Artifact")
+		}
+		if reg.Len() == 0 {
+			return nil, fmt.Errorf("serve: empty model registry")
+		}
+	} else {
+		if cfg.Artifact != nil && cfg.Model != nil && cfg.Artifact.Model() != cfg.Model {
+			return nil, fmt.Errorf("serve: cfg.Artifact was built from a different model than cfg.Model")
+		}
+		reg = NewRegistry(cfg.RegistryBudget)
+		switch {
+		case cfg.Artifact != nil:
+			if err := reg.RegisterArtifact(DefaultModelName, cfg.Artifact); err != nil {
+				return nil, err
+			}
+		case cfg.Model != nil:
+			// Register lazily but build now: a one-model engine should fail
+			// fast on a bad model, and its first session should not pay the
+			// encode (preserves the pre-registry construction behavior).
+			if err := reg.Register(DefaultModelName, cfg.Model); err != nil {
+				return nil, err
+			}
+			if _, err := reg.Get(DefaultModelName); err != nil {
+				return nil, err
+			}
+		default:
 			return nil, fmt.Errorf("serve: nil model")
 		}
-		params, err := bfv.NewParams(bfv.DefaultN, cfg.Model.F.P())
-		if err != nil {
-			return nil, err
+		if defaultModel == "" {
+			defaultModel = DefaultModelName
 		}
-		if artifact, err = delphi.NewSharedModel(params, cfg.Model); err != nil {
-			return nil, err
+	}
+	if defaultModel == "" {
+		if names := reg.Names(); len(names) == 1 {
+			defaultModel = names[0]
 		}
+	} else if !reg.Has(defaultModel) {
+		return nil, fmt.Errorf("serve: default model %q is not registered", defaultModel)
 	}
 	e := &Engine{
-		cfg:      cfg,
-		params:   artifact.Params(),
-		artifact: artifact,
-		entropy:  delphi.LockedEntropy(cfg.Entropy),
-		sched:    newScheduler(cfg.BufferPerSession, cfg.StorageBudget, cfg.OfflineWorkers),
-		sessions: map[uint64]*session{},
-		conns:    map[*transport.Conn]struct{}{},
-		done:     make(chan struct{}),
+		cfg:          cfg,
+		reg:          reg,
+		defaultModel: defaultModel,
+		entropy:      delphi.LockedEntropy(cfg.Entropy),
+		sched:        newScheduler(cfg.BufferPerSession, cfg.StorageBudget, cfg.OfflineWorkers),
+		sessions:     map[uint64]*session{},
+		conns:        map[*transport.Conn]struct{}{},
+		done:         make(chan struct{}),
 	}
-	e.welcome = marshalJSON(welcomeMsg{
-		Version: wireVersion,
-		Variant: int(cfg.Variant),
-		RingN:   e.params.N,
-		Meta:    artifact.Meta(),
-	})
 	return e, nil
 }
+
+// Registry returns the engine's model registry (for registering further
+// models on a live engine, or direct inspection).
+func (e *Engine) Registry() *Registry { return e.reg }
 
 // Serve accepts sessions from ln until the listener fails or the engine is
 // closed. It blocks; run it on its own goroutine to serve several listeners
@@ -209,11 +260,42 @@ func (e *Engine) handle(conn *transport.Conn, addr string) {
 		return
 	}
 	var hello helloMsg
-	if op != opHello || unmarshalJSON(body, &hello) != nil || hello.Version != wireVersion {
-		sendCtrl(conn, opErr, []byte(fmt.Sprintf("serve: bad hello (version %d, want %d)", hello.Version, wireVersion)))
+	if op != opHello || unmarshalJSON(body, &hello) != nil {
+		sendReject(conn, rejectBadHello, "serve: malformed hello")
 		return
 	}
-	if err := sendCtrl(conn, opWelcome, e.welcome); err != nil {
+	if hello.Version != wireVersion {
+		sendReject(conn, rejectVersion, fmt.Sprintf("serve: client speaks wire version %d, server speaks %d", hello.Version, wireVersion))
+		return
+	}
+	name := hello.Model
+	if name == "" {
+		name = e.defaultModel
+	}
+	if name == "" {
+		sendReject(conn, rejectUnknownModel, "serve: hello named no model and the engine has no default model")
+		return
+	}
+	// Resolving the artifact may build it (a registry miss); that cost is
+	// paid here, on this connection's goroutine, so other sessions keep
+	// serving while a cold model encodes.
+	artifact, err := e.reg.Get(name)
+	if err != nil {
+		if errors.Is(err, ErrUnknownModel) {
+			sendReject(conn, rejectUnknownModel, err.Error())
+		} else {
+			sendCtrl(conn, opErr, []byte(err.Error()))
+		}
+		return
+	}
+	welcome := marshalJSON(welcomeMsg{
+		Version: wireVersion,
+		Variant: int(e.cfg.Variant),
+		RingN:   artifact.Params().N,
+		Model:   name,
+		Meta:    artifact.Meta(),
+	})
+	if err := sendCtrl(conn, opWelcome, welcome); err != nil {
 		return
 	}
 
@@ -222,12 +304,13 @@ func (e *Engine) handle(conn *transport.Conn, addr string) {
 	}
 	s := &session{
 		addr:   addr,
+		model:  name,
 		eng:    e,
 		m:      newMux(conn),
 		refill: make(chan struct{}, 1),
 	}
-	dcfg := delphi.Config{Variant: e.cfg.Variant, HEParams: e.params, LPHEWorkers: e.cfg.LPHEWorkers}
-	s.srv, err = delphi.NewServerShared(dataConn{s.m}, dcfg, e.artifact, e.entropy)
+	dcfg := delphi.Config{Variant: e.cfg.Variant, HEParams: artifact.Params(), LPHEWorkers: e.cfg.LPHEWorkers}
+	s.srv, err = delphi.NewServerShared(dataConn{s.m}, dcfg, artifact, e.entropy)
 	if err != nil {
 		s.fail(err)
 		return
@@ -444,6 +527,8 @@ func (e *Engine) Close() error {
 type SessionStats struct {
 	ID   uint64
 	Addr string
+	// Model is the registry name of the model this session serves.
+	Model string
 	// Buffered is the session's current pre-compute buffer depth.
 	Buffered int
 	// QueueDepth counts inference requests accepted but not yet finished.
@@ -459,9 +544,33 @@ type SessionStats struct {
 	BytesRecv uint64
 }
 
+// ModelStats is one registered model's slice of the engine: its live
+// sessions and their aggregate buffer fill, plus the registry's artifact
+// cache counters for the model.
+type ModelStats struct {
+	Name string
+	// Sessions counts currently connected sessions serving this model;
+	// Buffered is their aggregate pre-compute buffer depth.
+	Sessions int
+	Buffered int
+	// Resident reports whether the built artifact is currently held by the
+	// registry, and SizeBytes its footprint (0 when evicted or not yet
+	// built). Sessions opened before an eviction keep serving from the
+	// evicted artifact.
+	Resident  bool
+	SizeBytes int64
+	// Hits, Misses and Evictions are the registry's lifetime counters for
+	// this model: a miss paid an artifact (re)build, an eviction dropped
+	// the built artifact under byte-budget pressure.
+	Hits, Misses, Evictions uint64
+}
+
 // Stats is an engine-wide metrics snapshot.
 type Stats struct {
 	Sessions []SessionStats // sorted by session ID
+	// Models partitions the engine per registered model — session counts,
+	// buffer fill, registry hit/miss/eviction counters — sorted by name.
+	Models []ModelStats
 	// ActiveSessions is the number of connected sessions.
 	ActiveSessions int
 	// TotalBuffered is the global buffered pre-compute count. Background
@@ -473,12 +582,21 @@ type Stats struct {
 	RefillsInFlight  int
 	TotalPrecomputes uint64
 	TotalInferences  uint64
+	// RegistryBudget and RegistryBytes are the artifact cache's byte budget
+	// (<= 0 unbounded) and current resident footprint; the counters are
+	// registry lifetime totals across all models.
+	RegistryBudget    int64
+	RegistryBytes     int64
+	RegistryHits      uint64
+	RegistryMisses    uint64
+	RegistryEvictions uint64
 }
 
-// Stats snapshots per-session and aggregate metrics. Lifetime totals
-// include sessions that have since disconnected.
+// Stats snapshots per-session, per-model and aggregate metrics. Lifetime
+// totals include sessions that have since disconnected.
 func (e *Engine) Stats() Stats {
-	buffered, inflight := e.sched.snapshot()
+	buffered, bufferedByModel, inflight := e.sched.snapshot()
+	rst := e.reg.Stats()
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -488,16 +606,31 @@ func (e *Engine) Stats() Stats {
 	}
 
 	st := Stats{
-		ActiveSessions:   len(sess),
-		RefillsInFlight:  inflight,
-		TotalPrecomputes: e.retiredPrecomputes,
-		TotalInferences:  e.retiredInferences,
+		ActiveSessions:    len(sess),
+		RefillsInFlight:   inflight,
+		TotalPrecomputes:  e.retiredPrecomputes,
+		TotalInferences:   e.retiredInferences,
+		RegistryBudget:    rst.Budget,
+		RegistryBytes:     rst.BytesResident,
+		RegistryHits:      rst.Hits,
+		RegistryMisses:    rst.Misses,
+		RegistryEvictions: rst.Evictions,
+	}
+	// Partition the engine per model: start from the registry's per-model
+	// cache counters, then fold in each live session.
+	st.Models = rst.Models // already sorted by name
+	byModel := make(map[string]*ModelStats, len(st.Models))
+	for i := range st.Models {
+		ms := &st.Models[i]
+		ms.Buffered = bufferedByModel[ms.Name] // scheduler's per-model partition
+		byModel[ms.Name] = ms
 	}
 	for _, s := range sess {
 		s.statMu.Lock()
 		ss := SessionStats{
 			ID:          s.id,
 			Addr:        s.addr,
+			Model:       s.model,
 			Buffered:    buffered[s],
 			QueueDepth:  int(s.queued.Load()),
 			Precomputes: s.precomputes,
@@ -516,6 +649,9 @@ func (e *Engine) Stats() Stats {
 		st.TotalBuffered += ss.Buffered
 		st.TotalPrecomputes += ss.Precomputes
 		st.TotalInferences += ss.Inferences
+		if ms := byModel[ss.Model]; ms != nil {
+			ms.Sessions++
+		}
 	}
 	sort.Slice(st.Sessions, func(i, j int) bool { return st.Sessions[i].ID < st.Sessions[j].ID })
 	return st

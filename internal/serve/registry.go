@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"sync"
+
+	"privinf/internal/bfv"
+	"privinf/internal/delphi"
+	"privinf/internal/nn"
+)
+
+// Registry is the engine's named-model artifact cache: it maps model names
+// to delphi.SharedModel artifacts and holds the built artifacts under a
+// byte budget with LRU eviction — the same budget discipline the
+// pre-compute scheduler applies to client storage, applied to the server's
+// own encoded-model footprint.
+//
+// A model is registered once (Register for a lazy build on first request,
+// RegisterArtifact for a pre-built artifact) and can then be requested by
+// any number of sessions. Eviction drops only the registry's reference: a
+// SharedModel is immutable, so sessions already serving from an evicted
+// artifact keep working, and its memory is reclaimed when the last such
+// session disconnects. The next request for an evicted name rebuilds the
+// artifact lazily, which counts as a miss.
+//
+// All methods are safe for concurrent use. Builds run outside the registry
+// lock, and concurrent requests for the same cold model share one build.
+type Registry struct {
+	// budget caps total resident artifact bytes; <= 0 means unbounded. The
+	// artifact being returned by a Get is never evicted by that Get, so a
+	// single artifact larger than the budget is still served (the registry
+	// then temporarily holds just that artifact, over budget).
+	budget int64
+
+	mu                      sync.Mutex
+	entries                 map[string]*regEntry
+	lru                     *list.List // of *regEntry; front = most recently used resident
+	bytes                   int64
+	hits, misses, evictions uint64
+}
+
+// regEntry is one registered model. The source model persists for the life
+// of the registry; the built artifact comes and goes with LRU eviction.
+type regEntry struct {
+	name  string
+	model *nn.Lowered
+
+	art  *delphi.SharedModel
+	size int64
+	elem *list.Element // non-nil iff art != nil
+
+	building bool
+	ready    chan struct{} // closed when an in-flight build finishes
+
+	hits, misses, evictions uint64
+}
+
+// NewRegistry returns an empty registry holding built artifacts under
+// budgetBytes (<= 0 means unbounded).
+func NewRegistry(budgetBytes int64) *Registry {
+	return &Registry{
+		budget:  budgetBytes,
+		entries: map[string]*regEntry{},
+		lru:     list.New(),
+	}
+}
+
+// Register adds a named model whose artifact is built lazily on first
+// request (and rebuilt after eviction).
+func (r *Registry) Register(name string, model *nn.Lowered) error {
+	if name == "" {
+		return fmt.Errorf("serve: registry: empty model name")
+	}
+	if model == nil {
+		return fmt.Errorf("serve: registry: nil model %q", name)
+	}
+	if err := model.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
+		return fmt.Errorf("serve: registry: model %q already registered", name)
+	}
+	r.entries[name] = &regEntry{name: name, model: model}
+	return nil
+}
+
+// RegisterArtifact adds a named model with a pre-built artifact, resident
+// immediately. The artifact still participates in LRU eviction; its source
+// model is retained so it can be rebuilt lazily afterwards.
+func (r *Registry) RegisterArtifact(name string, art *delphi.SharedModel) error {
+	if name == "" {
+		return fmt.Errorf("serve: registry: empty model name")
+	}
+	if art == nil {
+		return fmt.Errorf("serve: registry: nil artifact %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
+		return fmt.Errorf("serve: registry: model %q already registered", name)
+	}
+	e := &regEntry{name: name, model: art.Model(), art: art, size: int64(art.SizeBytes())}
+	r.entries[name] = e
+	e.elem = r.lru.PushFront(e)
+	r.bytes += e.size
+	r.evictOver(e)
+	return nil
+}
+
+// Get returns the built artifact for name, building it first if it is not
+// resident (a miss; registry-level and per-model counters record both
+// outcomes). Unknown names return an error satisfying
+// errors.Is(err, ErrUnknownModel).
+func (r *Registry) Get(name string) (*delphi.SharedModel, error) {
+	r.mu.Lock()
+	for {
+		e, ok := r.entries[name]
+		if !ok {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+		}
+		if e.art != nil {
+			e.hits++
+			r.hits++
+			r.lru.MoveToFront(e.elem)
+			art := e.art
+			r.mu.Unlock()
+			return art, nil
+		}
+		if e.building {
+			// Another request is already building this artifact; wait for
+			// it and re-resolve (the finished build may itself have been
+			// evicted by a concurrent request before we re-acquire the
+			// lock, in which case the loop builds again).
+			ready := e.ready
+			r.mu.Unlock()
+			<-ready
+			r.mu.Lock()
+			continue
+		}
+
+		e.building = true
+		e.ready = make(chan struct{})
+		e.misses++
+		r.misses++
+		r.mu.Unlock()
+
+		art, err := buildArtifact(e.model)
+
+		r.mu.Lock()
+		e.building = false
+		close(e.ready)
+		if err != nil {
+			r.mu.Unlock()
+			return nil, err
+		}
+		e.art = art
+		e.size = int64(art.SizeBytes())
+		e.elem = r.lru.PushFront(e)
+		r.bytes += e.size
+		r.evictOver(e)
+		r.mu.Unlock()
+		return art, nil
+	}
+}
+
+// buildArtifact encodes one model into its shared artifact under the
+// protocol's default HE parameters.
+func buildArtifact(model *nn.Lowered) (*delphi.SharedModel, error) {
+	params, err := bfv.NewParams(bfv.DefaultN, model.F.P())
+	if err != nil {
+		return nil, err
+	}
+	return delphi.NewSharedModel(params, model)
+}
+
+// evictOver drops least-recently-used resident artifacts until the byte
+// budget holds, never evicting pinned (the artifact the caller is about to
+// hand out). Called with r.mu held.
+func (r *Registry) evictOver(pinned *regEntry) {
+	if r.budget <= 0 {
+		return
+	}
+	for r.bytes > r.budget {
+		el := r.lru.Back()
+		for el != nil && el.Value.(*regEntry) == pinned {
+			el = el.Prev()
+		}
+		if el == nil {
+			return
+		}
+		e := el.Value.(*regEntry)
+		r.lru.Remove(el)
+		e.elem = nil
+		e.art = nil
+		r.bytes -= e.size
+		e.size = 0
+		e.evictions++
+		r.evictions++
+	}
+}
+
+// Has reports whether name is registered (resident or not).
+func (r *Registry) Has(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.entries[name]
+	return ok
+}
+
+// Names returns the registered model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered models.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// RegistryStats is a registry metrics snapshot. Models carries the
+// registry-known per-model fields; an engine's Stats merges live session
+// counts and buffer fill into the same records.
+type RegistryStats struct {
+	// Budget is the configured byte budget (<= 0 unbounded); BytesResident
+	// is the current resident artifact footprint.
+	Budget        int64
+	BytesResident int64
+	// Hits, Misses and Evictions are lifetime registry totals. A miss is a
+	// request that had to build the artifact (first use, or reuse after
+	// eviction).
+	Hits, Misses, Evictions uint64
+	Models                  []ModelStats // sorted by name
+}
+
+// Stats snapshots the registry.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RegistryStats{
+		Budget:        r.budget,
+		BytesResident: r.bytes,
+		Hits:          r.hits,
+		Misses:        r.misses,
+		Evictions:     r.evictions,
+	}
+	for _, e := range r.entries {
+		st.Models = append(st.Models, ModelStats{
+			Name:      e.name,
+			Resident:  e.art != nil,
+			SizeBytes: e.size,
+			Hits:      e.hits,
+			Misses:    e.misses,
+			Evictions: e.evictions,
+		})
+	}
+	sort.Slice(st.Models, func(i, j int) bool { return st.Models[i].Name < st.Models[j].Name })
+	return st
+}

@@ -14,6 +14,12 @@ import (
 // pre-processing parallelism). The pick policy is the simulator's
 // largest-deficit rule (sim.NeediestClient), so the live engine makes
 // exactly the decisions internal/sim's multi-client predictions assume.
+//
+// Sessions of every registered model share one scheduler: the storage
+// budget and worker pool are global (aggregate client storage is what the
+// paper's §5.2 analysis budgets, regardless of which network each client
+// runs), the deficit policy is model-agnostic, and the per-model partition
+// of buffer fill is reported through snapshot for Stats.
 type scheduler struct {
 	mu sync.Mutex
 	// capacity is the per-session buffer target; 0 disables background
@@ -134,13 +140,16 @@ func (sc *scheduler) kick() {
 	}
 }
 
-// snapshot returns per-session buffered counts keyed by session, for Stats.
-func (sc *scheduler) snapshot() (buffered map[*session]int, inflight int) {
+// snapshot returns buffered pre-compute counts for Stats, partitioned two
+// ways under one lock acquisition: per session, and aggregated per model.
+func (sc *scheduler) snapshot() (buffered map[*session]int, byModel map[string]int, inflight int) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	buffered = make(map[*session]int, len(sc.sessions))
+	byModel = make(map[string]int)
 	for _, s := range sc.sessions {
 		buffered[s] = s.bufCount
+		byModel[s.model] += s.bufCount
 	}
-	return buffered, sc.inflight
+	return buffered, byModel, sc.inflight
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"privinf/internal/delphi"
@@ -23,7 +24,9 @@ import (
 // may interleave with data frames at any point because the demultiplexer
 // routes the two tags to separate queues.
 const (
-	wireVersion = 1
+	// wireVersion 2 added model-addressed handshakes (helloMsg.Model,
+	// welcomeMsg.Model) and typed handshake rejections (opReject).
+	wireVersion = 2
 
 	tagData byte = 0x00
 	tagCtrl byte = 0x01
@@ -44,6 +47,7 @@ const (
 	opGoInfer       // run one online phase now
 	opInferAck      // the online phase finished, body = OnlineReport
 	opErr           // fatal session error, body = message
+	opReject        // typed handshake rejection, body = rejectMsg
 )
 
 // Causes for an opPrecompute directive.
@@ -58,19 +62,76 @@ type ctrlMsg struct {
 	body []byte
 }
 
-// helloMsg opens the handshake.
+// helloMsg opens the handshake. Model names the registry entry the client
+// wants to be served; empty means the engine's default model.
 type helloMsg struct {
-	Version int `json:"version"`
+	Version int    `json:"version"`
+	Model   string `json:"model,omitempty"`
 }
 
 // welcomeMsg answers it with everything the client needs to instantiate its
-// protocol endpoint: the variant, HE ring degree, and the public model
-// metadata (weights never travel).
+// protocol endpoint: the variant, HE ring degree, the resolved model name,
+// and the public model metadata (weights never travel).
 type welcomeMsg struct {
 	Version int              `json:"version"`
 	Variant int              `json:"variant"`
 	RingN   int              `json:"ring_n"`
+	Model   string           `json:"model"`
 	Meta    delphi.ModelMeta `json:"meta"`
+}
+
+// Handshake rejection codes carried in rejectMsg.Code.
+const (
+	rejectVersion      = "version_mismatch"
+	rejectUnknownModel = "unknown_model"
+	rejectBadHello     = "bad_hello"
+)
+
+// rejectMsg is a typed handshake rejection: a stable machine-readable code
+// plus a human-readable message. It replaces the generic opErr string for
+// handshake failures so clients can distinguish "wrong wire version" from
+// "no such model" programmatically.
+type rejectMsg struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Sentinel errors for typed handshake rejections; match with errors.Is.
+var (
+	// ErrVersionMismatch reports that client and server speak different
+	// wire protocol versions.
+	ErrVersionMismatch = errors.New("serve: wire version mismatch")
+	// ErrUnknownModel reports that the requested model name is not in the
+	// engine's registry (or that no model was named and the engine has no
+	// default).
+	ErrUnknownModel = errors.New("serve: unknown model")
+)
+
+// HandshakeError is the client-side form of a typed handshake rejection.
+// It unwraps to the matching sentinel (ErrVersionMismatch,
+// ErrUnknownModel) so callers can branch with errors.Is while still seeing
+// the server's full message.
+type HandshakeError struct {
+	Code    string
+	Message string
+}
+
+func (e *HandshakeError) Error() string {
+	return fmt.Sprintf("serve: handshake rejected (%s): %s", e.Code, e.Message)
+}
+
+func (e *HandshakeError) Unwrap() error {
+	switch e.Code {
+	case rejectVersion:
+		return ErrVersionMismatch
+	case rejectUnknownModel:
+		return ErrUnknownModel
+	}
+	return nil
+}
+
+func sendReject(c transport.MsgConn, code, message string) error {
+	return sendCtrl(c, opReject, marshalJSON(rejectMsg{Code: code, Message: message}))
 }
 
 func sendCtrl(c transport.MsgConn, op byte, body []byte) error {

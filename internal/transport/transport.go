@@ -22,6 +22,14 @@ const frameOverhead = 4
 // below this, so larger values indicate corruption.
 const maxFrame = 1 << 30
 
+// writevMin is the payload size at which a network send switches from
+// copying into the reusable frame buffer to vectored I/O (net.Buffers):
+// header and payload go out in one writev syscall with the payload read
+// straight from the caller's buffer. Below it, the copy into the warm
+// frame buffer is cheaper than iovec setup; large-ciphertext frames (tens
+// of KiB to MiB) take the zero-copy path.
+const writevMin = 1 << 10
+
 // MsgConn is the message-channel interface the protocol layers (delphi, ot,
 // serve) are written against: reliable ordered framed messages with
 // per-direction byte accounting. *Conn is the canonical implementation; the
@@ -39,7 +47,9 @@ type Conn struct {
 	rmu     sync.Mutex
 	w       io.Writer
 	r       io.Reader
-	wbuf    []byte // reusable frame assembly buffer, guarded by wmu
+	wbuf    []byte    // reusable frame assembly buffer, guarded by wmu
+	vec     bool      // writer is a net.Conn: large sends may use writev
+	iov     [2][]byte // reusable iovec backing for the writev path, guarded by wmu
 	sent    atomic.Uint64
 	recv    atomic.Uint64
 	closers []io.Closer
@@ -55,6 +65,11 @@ func New(rw io.ReadWriter) *Conn {
 	}
 	if nc, ok := rw.(net.Conn); ok {
 		c.remote = nc.RemoteAddr().String()
+		// net.Buffers on a net.Conn is a single writev (TCP implements
+		// buffersWriter); on an arbitrary io.Writer it would degrade to
+		// one Write per buffer, losing the single-syscall framing, so the
+		// vectored path is gated on the writer being a net.Conn.
+		c.vec = true
 	}
 	return c
 }
@@ -78,13 +93,36 @@ func (c *Conn) SendTagged(tag byte, payload []byte) error {
 	return c.send(payload, []byte{tag})
 }
 
-// send frames prefix || payload under one lock and one Write. The frame is
-// assembled in a buffer retained on the Conn, so steady-state sends do not
-// allocate.
+// send frames prefix || payload under one lock and one write. Small frames
+// are assembled in a buffer retained on the Conn, so steady-state sends do
+// not allocate; large network frames go out via writev (net.Buffers) with
+// the payload read directly from the caller's buffer — header and payload
+// still leave in a single syscall, but the payload bytes are never copied
+// into the frame buffer.
 func (c *Conn) send(payload, prefix []byte) error {
 	n := len(prefix) + len(payload)
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if c.vec && len(payload) >= writevMin {
+		// Assemble only header || prefix; the payload rides as the second
+		// iovec, uncopied.
+		if cap(c.wbuf) < frameOverhead+len(prefix) {
+			c.wbuf = make([]byte, 0, frameOverhead+len(prefix))
+		}
+		h := c.wbuf[:frameOverhead]
+		binary.LittleEndian.PutUint32(h, uint32(n))
+		h = append(h, prefix...)
+		c.wbuf = h[:0]
+		c.iov[0], c.iov[1] = h, payload
+		bufs := net.Buffers(c.iov[:])
+		_, err := bufs.WriteTo(c.w)
+		c.iov[1] = nil // do not retain the caller's payload
+		if err != nil {
+			return fmt.Errorf("transport: send frame: %w", err)
+		}
+		c.sent.Add(uint64(n + frameOverhead))
+		return nil
+	}
 	if cap(c.wbuf) < frameOverhead+n {
 		c.wbuf = make([]byte, 0, frameOverhead+n)
 	}

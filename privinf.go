@@ -59,7 +59,10 @@ type (
 	Variant = delphi.Variant
 	// SharedModel is the immutable server-side model artifact — matvec
 	// plans, NTT-domain weight plaintexts, built ReLU circuits — encoded
-	// once and shared by any number of sessions or engines.
+	// once and shared by any number of sessions or engines. SizeBytes
+	// reports its resident footprint, the unit a serving engine's model
+	// registry budgets when deciding LRU artifact eviction (see
+	// NewLocalEngine's budgetBytes).
 	SharedModel = delphi.SharedModel
 )
 

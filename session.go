@@ -23,8 +23,11 @@ import (
 // background refills is what cmd/pirun -serve runs.
 type Session struct {
 	engine *serve.Engine
-	client *serve.Client
-	model  *nn.Lowered
+	// ownsEngine marks sessions whose Close tears the engine down; sessions
+	// opened through a shared LocalEngine leave it running.
+	ownsEngine bool
+	client     *serve.Client
+	model      *nn.Lowered
 }
 
 // NewLocalSession starts an in-process serving engine for the model, wires
@@ -68,8 +71,83 @@ func NewLocalSessionShared(artifact *SharedModel, variant Variant, entropy io.Re
 		eng.Close()
 		return nil, err
 	}
-	return &Session{engine: eng, client: client, model: model}, nil
+	return &Session{engine: eng, ownsEngine: true, client: client, model: model}, nil
 }
+
+// LocalEngine is an in-process multi-model serving engine: several named
+// models behind one registry, sessions opened by model name over the same
+// wire protocol a remote client would use. Built artifacts (encoded
+// weights, ReLU circuits) are held under a byte budget with LRU eviction
+// and rebuilt lazily after eviction, so one process can serve more models
+// than fit in memory at once.
+type LocalEngine struct {
+	eng     *serve.Engine
+	ln      *transport.PipeListener
+	entropy io.Reader
+	models  map[string]*Model
+}
+
+// NewLocalEngine starts an in-process engine serving every model in
+// models, keyed by the names sessions will request. budgetBytes caps the
+// registry's resident artifact footprint (<= 0 unbounded; compare against
+// SharedModel.SizeBytes to size it). Artifacts build lazily on each
+// model's first session. entropy may be nil (crypto/rand).
+func NewLocalEngine(models map[string]*Model, variant Variant, budgetBytes int64, entropy io.Reader) (*LocalEngine, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("privinf: no models to serve")
+	}
+	reg := serve.NewRegistry(budgetBytes)
+	maxLinear := 0
+	for name, m := range models {
+		if err := reg.Register(name, m); err != nil {
+			return nil, err
+		}
+		if len(m.Linear) > maxLinear {
+			maxLinear = len(m.Linear)
+		}
+	}
+	entropy = delphi.LockedEntropy(entropy)
+	eng, err := serve.New(serve.Config{
+		Registry:    reg,
+		Variant:     variant,
+		LPHEWorkers: maxLinear,
+		Entropy:     entropy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln := transport.NewPipeListener()
+	go eng.Serve(ln)
+	kept := make(map[string]*Model, len(models))
+	for name, m := range models {
+		kept[name] = m
+	}
+	return &LocalEngine{eng: eng, ln: ln, entropy: entropy, models: kept}, nil
+}
+
+// Connect opens a session on the named model. Unknown names fail the
+// handshake with an error matching errors.Is(err, serve.ErrUnknownModel).
+// Closing the returned session leaves the engine (and its other sessions)
+// running.
+func (e *LocalEngine) Connect(name string) (*Session, error) {
+	conn, err := e.ln.Dial()
+	if err != nil {
+		return nil, err
+	}
+	client, err := serve.ConnectModel(conn, name, e.entropy)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &Session{engine: e.eng, client: client, model: e.models[name]}, nil
+}
+
+// Stats snapshots the engine's metrics, partitioned per model (session
+// counts, buffer fill, registry hit/miss/eviction counters).
+func (e *LocalEngine) Stats() serve.Stats { return e.eng.Stats() }
+
+// Close tears down the engine and every open session.
+func (e *LocalEngine) Close() error { return e.eng.Close() }
 
 // Precompute runs one offline phase, adding a pre-compute to both parties'
 // buffers. Returns the client's and server's offline reports.
@@ -111,8 +189,17 @@ func (s *Session) Infer(x []uint64) (*InferenceResult, error) {
 // Stats snapshots the backing engine's metrics.
 func (s *Session) Stats() serve.Stats { return s.engine.Stats() }
 
-// Close tears the session and its engine down.
+// Model returns the registry name of the model this session is served
+// ("default" for single-model sessions).
+func (s *Session) Model() string { return s.client.Model() }
+
+// Close tears the session down, and with it the engine when this session
+// owns one (NewLocalSession); sessions from a shared LocalEngine leave the
+// engine running.
 func (s *Session) Close() error {
 	s.client.Close()
-	return s.engine.Close()
+	if s.ownsEngine {
+		return s.engine.Close()
+	}
+	return nil
 }
