@@ -11,12 +11,15 @@
 // Usage:
 //
 //	pirun [-model cnn|mlp] [-seed N]
-//	pirun -serve ADDR [-models cnn,mlp] [-registry-budget BYTES] [-variant cg|sg] [-buffer N] [-budget N] [-workers N]
+//	pirun -serve ADDR [-models cnn,mlp] [-registry-budget BYTES] [-artifact-dir DIR] [-variant cg|sg] [-buffer N] [-budget N] [-workers N]
 //	pirun -connect ADDR [-model NAME] [-n N]
 //
 // A server hosts every model named in -models (default: just -model) from
 // one registry; built artifacts stay resident up to -registry-budget bytes
-// (0 = unbounded) with LRU eviction and lazy rebuild. A client requests
+// (0 = unbounded) with LRU eviction and lazy rebuild. With -artifact-dir
+// the registry is backed by an on-disk artifact store: encoded models
+// persist across server restarts (restart cost is O(load), not O(encode))
+// and eviction spills to disk instead of dropping. A client requests
 // one registry entry by -model name, rebuilds the same demo model locally
 // from -model/-seed, and verifies outputs against plaintext inference;
 // point it at a server started with the same -seed.
@@ -43,6 +46,7 @@ func main() {
 	modelName := flag.String("model", "cnn", "demo model: cnn or mlp (connect mode: registry name to request)")
 	modelsFlag := flag.String("models", "", "serve mode: comma-separated demo models to serve (default: just -model)")
 	registryBudget := flag.Int64("registry-budget", 0, "serve mode: registry artifact byte budget (0 unbounded); LRU eviction + lazy rebuild past it")
+	artifactDir := flag.String("artifact-dir", "", "serve mode: back the registry with an on-disk artifact store in this directory (restarts load instead of re-encode; eviction spills instead of drops)")
 	seed := flag.Int64("seed", 42, "model weight seed")
 	serveAddr := flag.String("serve", "", "run a serving engine on this TCP address")
 	connectAddr := flag.String("connect", "", "connect a client session to a serving engine")
@@ -61,7 +65,7 @@ func main() {
 		if *modelsFlag == "" {
 			names = []string{*modelName}
 		}
-		runServe(names, *seed, *serveAddr, *variantFlag, *registryBudget, *buffer, *budget, *workers)
+		runServe(names, *seed, *serveAddr, *variantFlag, *registryBudget, *artifactDir, *buffer, *budget, *workers)
 	case *connectAddr != "":
 		runConnect(buildModel(*modelName, *seed), *modelName, *connectAddr, *n)
 	default:
@@ -91,7 +95,7 @@ func buildModel(name string, seed int64) *privinf.Model {
 // runServe hosts a multi-client, multi-model serving engine until
 // interrupted. Every name in names becomes a registry entry clients can
 // request; the first is the default model.
-func runServe(names []string, seed int64, addr, variantFlag string, registryBudget int64, buffer, budget, workers int) {
+func runServe(names []string, seed int64, addr, variantFlag string, registryBudget int64, artifactDir string, buffer, budget, workers int) {
 	var variant privinf.Variant
 	switch variantFlag {
 	case "cg":
@@ -101,7 +105,14 @@ func runServe(names []string, seed int64, addr, variantFlag string, registryBudg
 	default:
 		log.Fatalf("pirun: unknown -variant %q (want cg or sg)", variantFlag)
 	}
-	reg := serve.NewRegistry(registryBudget)
+	var store *serve.ArtifactStore
+	if artifactDir != "" {
+		var err error
+		if store, err = serve.NewArtifactStore(artifactDir); err != nil {
+			log.Fatal(err)
+		}
+	}
+	reg := serve.NewRegistryWithStore(registryBudget, store)
 	maxLinear := 0
 	for _, name := range names {
 		name = strings.TrimSpace(name)
@@ -132,6 +143,9 @@ func runServe(names []string, seed int64, addr, variantFlag string, registryBudg
 	fmt.Printf("serving %s, models %s (default %s) on %s\n", variant, strings.Join(reg.Names(), ","), strings.TrimSpace(names[0]), ln.Addr())
 	fmt.Printf("scheduler: buffer/session %d, storage budget %d slots, %d offline workers; registry budget %s\n",
 		buffer, budget, workers, humanBudget(registryBudget))
+	if store != nil {
+		fmt.Printf("artifact store: %s (restarts load instead of re-encode; eviction spills)\n", store.Dir())
+	}
 
 	go func() {
 		if err := eng.Serve(ln); err != nil {
@@ -147,9 +161,10 @@ func runServe(names []string, seed int64, addr, variantFlag string, registryBudg
 		select {
 		case <-tick.C:
 			st := eng.Stats()
-			fmt.Printf("sessions %d  buffered %d (refilling %d)  precomputes %d  inferences %d  registry %s (hits %d, misses %d, evictions %d)\n",
+			fmt.Printf("sessions %d  buffered %d (refilling %d)  precomputes %d  inferences %d  registry %s (hits %d, misses %d, evictions %d, spills %d, reloads %d, load errors %d)\n",
 				st.ActiveSessions, st.TotalBuffered, st.RefillsInFlight, st.TotalPrecomputes, st.TotalInferences,
-				human(uint64(st.RegistryBytes)), st.RegistryHits, st.RegistryMisses, st.RegistryEvictions)
+				human(uint64(st.RegistryBytes)), st.RegistryHits, st.RegistryMisses, st.RegistryEvictions,
+				st.RegistrySpills, st.RegistryReloads, st.RegistryLoadErrors)
 			for _, m := range st.Models {
 				if m.Sessions > 0 || m.Resident {
 					fmt.Printf("  model %-8s sessions %d  buffered %d  resident %v (%s)\n",

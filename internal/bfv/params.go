@@ -25,6 +25,7 @@ package bfv
 
 import (
 	"fmt"
+	"sync"
 
 	"privinf/internal/ringq"
 )
@@ -42,10 +43,31 @@ type Params struct {
 // the degree GAZELLE/DELPHI use for their packed linear layers.
 const DefaultN = 4096
 
+// MaxRingDegree bounds the ring degree NewParams accepts. Real HE parameter
+// sets stop well short of this; the bound exists so degree fields read from
+// untrusted bytes (deserialized plans and artifacts route through
+// NewParams) cannot demand gigabyte NTT tables or overflow the
+// primitive-root search before validation rejects them.
+const MaxRingDegree = 1 << 17
+
+// nttCache memoizes NTT twiddle tables by ring degree. Params construction
+// is dominated by these tables (a primitive-root search plus two degree-N
+// power tables); they depend only on N, are immutable after construction,
+// and are already shared by every copy of a Params value, so handing the
+// same tables to every caller is safe and makes repeated NewParams calls —
+// one per matvec plan when decoding a persisted model artifact — O(1)
+// after the first. Keying by N alone (not (N, T)) bounds the cache to the
+// handful of power-of-two degrees under MaxRingDegree even though T is
+// reachable from wire and artifact-file input.
+var nttCache sync.Map // int -> *ringq.NTT
+
 // NewParams validates and precomputes scheme parameters.
 func NewParams(n int, t uint64) (Params, error) {
 	if n <= 0 || n&(n-1) != 0 {
 		return Params{}, fmt.Errorf("bfv: ring degree %d is not a power of two", n)
+	}
+	if n > MaxRingDegree {
+		return Params{}, fmt.Errorf("bfv: ring degree %d exceeds the supported maximum %d", n, MaxRingDegree)
 	}
 	if t < 2 || t >= ringq.Q {
 		return Params{}, fmt.Errorf("bfv: plaintext modulus %d out of range", t)
@@ -56,10 +78,14 @@ func NewParams(n int, t uint64) (Params, error) {
 	if t > 1<<22 {
 		return Params{}, fmt.Errorf("bfv: plaintext modulus %d exceeds the 2^22 noise budget for a single 64-bit ciphertext modulus", t)
 	}
+	ntt, ok := nttCache.Load(n)
+	if !ok {
+		ntt, _ = nttCache.LoadOrStore(n, ringq.NewNTT(n))
+	}
 	return Params{
 		N:     n,
 		T:     t,
-		ntt:   ringq.NewNTT(n),
+		ntt:   ntt.(*ringq.NTT),
 		delta: ringq.Q / t,
 	}, nil
 }

@@ -31,8 +31,11 @@ func (ct *Ciphertext) UnmarshalBinary(data []byte) error {
 	if len(data) < 8 {
 		return fmt.Errorf("bfv: ciphertext truncated")
 	}
+	// Compare against a degree derived from the actual payload length, so a
+	// wild stored degree cannot overflow the size arithmetic and slip past
+	// into allocation.
 	n := int(binary.LittleEndian.Uint64(data))
-	if n <= 0 || len(data) != 8+16*n {
+	if rem := len(data) - 8; n <= 0 || rem%16 != 0 || n != rem/16 {
 		return fmt.Errorf("bfv: ciphertext length %d inconsistent with degree %d", len(data), n)
 	}
 	ct.c0 = make([]uint64, n)
@@ -46,6 +49,116 @@ func (ct *Ciphertext) UnmarshalBinary(data []byte) error {
 		ct.c1[i] = binary.LittleEndian.Uint64(data[off:])
 		off += 8
 	}
+	return nil
+}
+
+// MarshalBinary encodes the plaintext (its coefficient vector, in whatever
+// domain it is in — the domain is a property of how the plaintext will be
+// used, not of the encoding). Model-artifact persistence serializes the
+// NTT-domain weight plaintexts this way.
+func (p Plaintext) MarshalBinary() ([]byte, error) {
+	return p.AppendBinary(make([]byte, 0, 8+8*len(p.coeffs)))
+}
+
+// AppendBinary appends the MarshalBinary encoding to b and returns the
+// extended slice (encoding.BinaryAppender). Artifact serialization encodes
+// thousands of weight plaintexts into one buffer; appending in place
+// avoids a per-plaintext temporary.
+func (p Plaintext) AppendBinary(b []byte) ([]byte, error) {
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], uint64(len(p.coeffs)))
+	b = append(b, w[:]...)
+	for _, v := range p.coeffs {
+		binary.LittleEndian.PutUint64(w[:], v)
+		b = append(b, w[:]...)
+	}
+	return b, nil
+}
+
+// UnmarshalBinary decodes a plaintext produced by MarshalBinary.
+func (p *Plaintext) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("bfv: plaintext truncated")
+	}
+	n := int(binary.LittleEndian.Uint64(data))
+	if rem := len(data) - 8; n <= 0 || rem%8 != 0 || n != rem/8 {
+		return fmt.Errorf("bfv: plaintext length %d inconsistent with degree %d", len(data), n)
+	}
+	return p.UnmarshalBinaryBuffer(data, make([]uint64, n))
+}
+
+// UnmarshalBinaryBuffer is UnmarshalBinary decoding into buf — whose length
+// must equal the encoded degree — instead of allocating; the plaintext
+// retains buf. Artifact loading decodes thousands of plaintexts and carves
+// their buffers from one backing array, which replaces per-plaintext
+// allocation, zeroing, and GC tracking with a single slab.
+func (p *Plaintext) UnmarshalBinaryBuffer(data []byte, buf []uint64) error {
+	if len(data) < 8 {
+		return fmt.Errorf("bfv: plaintext truncated")
+	}
+	n := int(binary.LittleEndian.Uint64(data))
+	if rem := len(data) - 8; n <= 0 || rem%8 != 0 || n != rem/8 {
+		return fmt.Errorf("bfv: plaintext length %d inconsistent with degree %d", len(data), n)
+	}
+	if n != len(buf) {
+		return fmt.Errorf("bfv: plaintext degree %d does not fit buffer of %d", n, len(buf))
+	}
+	body := data[8:]
+	for i := range buf {
+		buf[i] = binary.LittleEndian.Uint64(body[i*8:])
+	}
+	p.coeffs = buf
+	return nil
+}
+
+// MatVecPlanBytes is the fixed serialized size of a MatVecPlan: N, T, In,
+// Out, Chunk, RowsPer as 8-byte words. Exposed so enclosing codecs
+// (delphi's SharedModel format) can frame plan records without a length
+// prefix.
+const MatVecPlanBytes = 6 * 8
+
+// MarshalBinary encodes the plan's parameters and packing geometry. The HE
+// parameters are stored as (N, T) and revalidated on decode, so a plan
+// round-trips through disk without trusting the file.
+func (pl MatVecPlan) MarshalBinary() ([]byte, error) {
+	out := make([]byte, MatVecPlanBytes)
+	binary.LittleEndian.PutUint64(out[0:], uint64(pl.Params.N))
+	binary.LittleEndian.PutUint64(out[8:], pl.Params.T)
+	binary.LittleEndian.PutUint64(out[16:], uint64(pl.In))
+	binary.LittleEndian.PutUint64(out[24:], uint64(pl.Out))
+	binary.LittleEndian.PutUint64(out[32:], uint64(pl.Chunk))
+	binary.LittleEndian.PutUint64(out[40:], uint64(pl.RowsPer))
+	return out, nil
+}
+
+// UnmarshalBinary decodes a plan produced by MarshalBinary, reconstructing
+// the HE parameters (NewParams revalidates them) and checking the packing
+// geometry against what PlanMatVec would choose for the same shape.
+func (pl *MatVecPlan) UnmarshalBinary(data []byte) error {
+	if len(data) != MatVecPlanBytes {
+		return fmt.Errorf("bfv: matvec plan payload %d bytes, want %d", len(data), MatVecPlanBytes)
+	}
+	n := int(binary.LittleEndian.Uint64(data[0:]))
+	t := binary.LittleEndian.Uint64(data[8:])
+	params, err := NewParams(n, t)
+	if err != nil {
+		return fmt.Errorf("bfv: matvec plan: %w", err)
+	}
+	got := MatVecPlan{
+		Params:  params,
+		In:      int(binary.LittleEndian.Uint64(data[16:])),
+		Out:     int(binary.LittleEndian.Uint64(data[24:])),
+		Chunk:   int(binary.LittleEndian.Uint64(data[32:])),
+		RowsPer: int(binary.LittleEndian.Uint64(data[40:])),
+	}
+	if got.In <= 0 || got.Out <= 0 {
+		return fmt.Errorf("bfv: matvec plan shape %dx%d invalid", got.Out, got.In)
+	}
+	if want := PlanMatVec(params, got.Out, got.In); got.Chunk != want.Chunk || got.RowsPer != want.RowsPer {
+		return fmt.Errorf("bfv: matvec plan geometry (chunk=%d, rowsPer=%d) inconsistent with shape %dx%d under N=%d",
+			got.Chunk, got.RowsPer, got.Out, got.In, n)
+	}
+	*pl = got
 	return nil
 }
 
@@ -72,7 +185,7 @@ func (pk *PublicKey) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("bfv: public key truncated")
 	}
 	n := int(binary.LittleEndian.Uint64(data))
-	if n <= 0 || len(data) != 8+16*n {
+	if rem := len(data) - 8; n <= 0 || rem%16 != 0 || n != rem/16 {
 		return fmt.Errorf("bfv: public key length %d inconsistent with degree %d", len(data), n)
 	}
 	pk.b = make([]uint64, n)

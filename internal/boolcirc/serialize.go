@@ -1,0 +1,116 @@
+package boolcirc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary serialization for circuits, used by model-artifact persistence:
+// built ReLU circuits are part of the on-disk SharedModel format, so a
+// server restart (or a registry reload after eviction) skips the circuit
+// build. The layout is little-endian: a fixed header (NumInputs, NumWires,
+// gate count, output count), then gates as (op, a, b, out) words, then the
+// output wire indices. Decoding revalidates the topology — wire indices in
+// range, gates in topological order — so a corrupted file fails cleanly
+// instead of producing a circuit that panics mid-evaluation.
+
+const (
+	circuitHeaderBytes = 4 * 8
+	gateBytes          = 4 * 8
+)
+
+// MarshalBinary encodes the circuit.
+func (c *Circuit) MarshalBinary() ([]byte, error) {
+	out := make([]byte, circuitHeaderBytes+gateBytes*len(c.Gates)+8*len(c.Outputs))
+	binary.LittleEndian.PutUint64(out[0:], uint64(c.NumInputs))
+	binary.LittleEndian.PutUint64(out[8:], uint64(c.NumWires))
+	binary.LittleEndian.PutUint64(out[16:], uint64(len(c.Gates)))
+	binary.LittleEndian.PutUint64(out[24:], uint64(len(c.Outputs)))
+	off := circuitHeaderBytes
+	for _, g := range c.Gates {
+		binary.LittleEndian.PutUint64(out[off:], uint64(g.Op))
+		binary.LittleEndian.PutUint64(out[off+8:], uint64(g.A))
+		binary.LittleEndian.PutUint64(out[off+16:], uint64(g.B))
+		binary.LittleEndian.PutUint64(out[off+24:], uint64(g.Out))
+		off += gateBytes
+	}
+	for _, w := range c.Outputs {
+		binary.LittleEndian.PutUint64(out[off:], uint64(w))
+		off += 8
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a circuit produced by MarshalBinary, validating
+// the topology.
+func (c *Circuit) UnmarshalBinary(data []byte) error {
+	if len(data) < circuitHeaderBytes {
+		return fmt.Errorf("boolcirc: circuit truncated")
+	}
+	numInputs := int(binary.LittleEndian.Uint64(data[0:]))
+	numWires := int(binary.LittleEndian.Uint64(data[8:]))
+	numGates := int(binary.LittleEndian.Uint64(data[16:]))
+	numOutputs := int(binary.LittleEndian.Uint64(data[24:]))
+	if numInputs < 1 || numWires < numInputs || numGates < 0 || numOutputs < 0 {
+		return fmt.Errorf("boolcirc: circuit header inconsistent (inputs=%d, wires=%d, gates=%d, outputs=%d)",
+			numInputs, numWires, numGates, numOutputs)
+	}
+	// Bound the counts by what the payload can actually carry before any
+	// size arithmetic, so a wild header cannot overflow the total and slip
+	// past into allocation.
+	body := len(data) - circuitHeaderBytes
+	if numGates > body/gateBytes || numOutputs > body/8 {
+		return fmt.Errorf("boolcirc: header claims %d gates and %d outputs, more than %d payload bytes can hold",
+			numGates, numOutputs, body)
+	}
+	if numWires != numInputs+numGates {
+		return fmt.Errorf("boolcirc: %d wires for %d inputs and %d gates", numWires, numInputs, numGates)
+	}
+	want := circuitHeaderBytes + gateBytes*numGates + 8*numOutputs
+	if len(data) != want {
+		return fmt.Errorf("boolcirc: circuit payload %d bytes, want %d", len(data), want)
+	}
+	var gates []Gate
+	if numGates > 0 {
+		gates = make([]Gate, numGates)
+	}
+	off := circuitHeaderBytes
+	for i := range gates {
+		g := Gate{
+			Op:  Op(binary.LittleEndian.Uint64(data[off:])),
+			A:   int(binary.LittleEndian.Uint64(data[off+8:])),
+			B:   int(binary.LittleEndian.Uint64(data[off+16:])),
+			Out: int(binary.LittleEndian.Uint64(data[off+24:])),
+		}
+		off += gateBytes
+		if g.Op != XOR && g.Op != AND {
+			return fmt.Errorf("boolcirc: gate %d has unknown op %d", i, g.Op)
+		}
+		// Gates are emitted in topological order with dense output wires:
+		// gate i writes wire numInputs+i and may read any earlier wire.
+		if g.Out != numInputs+i {
+			return fmt.Errorf("boolcirc: gate %d writes wire %d, want %d", i, g.Out, numInputs+i)
+		}
+		if g.A < 0 || g.A >= g.Out || g.B < 0 || g.B >= g.Out {
+			return fmt.Errorf("boolcirc: gate %d reads wire (%d, %d) at or past its output %d", i, g.A, g.B, g.Out)
+		}
+		gates[i] = g
+	}
+	var outputs []int
+	if numOutputs > 0 {
+		outputs = make([]int, numOutputs)
+	}
+	for i := range outputs {
+		w := int(binary.LittleEndian.Uint64(data[off:]))
+		off += 8
+		if w < 0 || w >= numWires {
+			return fmt.Errorf("boolcirc: output %d references wire %d of %d", i, w, numWires)
+		}
+		outputs[i] = w
+	}
+	c.NumInputs = numInputs
+	c.NumWires = numWires
+	c.Gates = gates
+	c.Outputs = outputs
+	return nil
+}

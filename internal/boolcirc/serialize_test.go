@@ -1,0 +1,131 @@
+package boolcirc
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestCircuitRoundTrip: the DELPHI ReLU circuits the protocol actually
+// garbles, plus hand-built circuits exercising every builder primitive,
+// marshal → unmarshal → deep-equal.
+func TestCircuitRoundTrip(t *testing.T) {
+	circuits := map[string]*Circuit{
+		"relu p17 f5":  BuildReLU(ReLUSpec{P: 65537, Frac: 5}),
+		"relu p20 f8":  BuildReLU(ReLUSpec{P: 786433, Frac: 8}),
+		"relu p20 f10": BuildReLU(ReLUSpec{P: 786433, Frac: 10}),
+	}
+	b := NewBuilder(3)
+	x, y, z := b.Input(0), b.Input(1), b.Input(2)
+	b.SetOutputs([]int{b.Or(b.And(x, y), b.Not(z)), b.Xor(x, b.Zero())})
+	circuits["builder mix"] = b.Finish()
+
+	for name, c := range circuits {
+		raw, err := c.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := new(Circuit)
+		if err := got.UnmarshalBinary(raw); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(c, got) {
+			t.Fatalf("%s did not round-trip", name)
+		}
+	}
+}
+
+// TestCircuitRoundTripEvaluates: a decoded circuit is not just structurally
+// equal — it evaluates identically on random inputs.
+func TestCircuitRoundTripEvaluates(t *testing.T) {
+	c := BuildReLU(ReLUSpec{P: 65537, Frac: 5})
+	raw, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := new(Circuit)
+	if err := got.UnmarshalBinary(raw); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 32; i++ {
+		in := make([]bool, c.NumInputs)
+		in[ConstOne] = true
+		for j := 1; j < len(in); j++ {
+			in[j] = rng.Intn(2) == 1
+		}
+		want := c.Eval(in)
+		have := got.Eval(in)
+		if !reflect.DeepEqual(want, have) {
+			t.Fatalf("decoded circuit diverged on input %d", i)
+		}
+	}
+}
+
+// TestCircuitUnmarshalRejectsDamage: every class of structural damage —
+// truncation, bad ops, out-of-order gates, forward references, wild output
+// wires — errors cleanly. A circuit that decoded from a corrupt file must
+// never panic inside Eval or the garbler.
+func TestCircuitUnmarshalRejectsDamage(t *testing.T) {
+	c := BuildReLU(ReLUSpec{P: 65537, Frac: 5})
+	raw, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mutate := func(f func(b []byte)) []byte {
+		b := append([]byte(nil), raw...)
+		f(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"empty":          {},
+		"header only":    raw[:circuitHeaderBytes-1],
+		"truncated body": raw[:len(raw)-4],
+		"trailing junk":  append(append([]byte(nil), raw...), 0xAB),
+		"unknown op": mutate(func(b []byte) {
+			b[circuitHeaderBytes] = 7 // first gate's op
+		}),
+		"forward reference": mutate(func(b []byte) {
+			// First gate reads its own output wire.
+			copy(b[circuitHeaderBytes+8:], b[circuitHeaderBytes+24:circuitHeaderBytes+32])
+		}),
+		"non-dense output wire": mutate(func(b []byte) {
+			b[circuitHeaderBytes+24]++ // first gate's out
+		}),
+		"wire count mismatch": mutate(func(b []byte) {
+			b[8]++ // NumWires
+		}),
+		// Gate count chosen so gateBytes*numGates wraps to 0: the total-size
+		// check would pass and make() would panic if counts were not bounded
+		// by the payload length first.
+		"gate count overflow": func() []byte {
+			b := make([]byte, circuitHeaderBytes)
+			binary.LittleEndian.PutUint64(b[0:], 1)       // inputs
+			binary.LittleEndian.PutUint64(b[8:], 1+1<<59) // wires
+			binary.LittleEndian.PutUint64(b[16:], 1<<59)  // gates
+			binary.LittleEndian.PutUint64(b[24:], 0)      // outputs
+			return b
+		}(),
+		"output count overflow": func() []byte {
+			b := make([]byte, circuitHeaderBytes)
+			binary.LittleEndian.PutUint64(b[0:], 1)
+			binary.LittleEndian.PutUint64(b[8:], 1)
+			binary.LittleEndian.PutUint64(b[16:], 0)
+			binary.LittleEndian.PutUint64(b[24:], 1<<61) // 8*outputs wraps to 0
+			return b
+		}(),
+		"output out of range": mutate(func(b []byte) {
+			// Point the first output at NumWires.
+			off := circuitHeaderBytes + gateBytes*len(c.Gates)
+			copy(b[off:off+8], b[8:16])
+		}),
+	}
+	for name, data := range cases {
+		got := new(Circuit)
+		if err := got.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: unmarshal accepted damaged circuit", name)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package delphi
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"privinf/internal/bfv"
+	"privinf/internal/field"
+	"privinf/internal/nn"
+	"privinf/internal/transport"
+)
+
+func codecModel(t *testing.T, seed int64) (*nn.Lowered, bfv.Params) {
+	t.Helper()
+	model, err := nn.DemoMLP(field.New(field.P20), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := bfv.NewParams(bfv.DefaultN, model.F.P())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model, params
+}
+
+// TestSharedModelRoundTrip: the full artifact — params, meta, plans,
+// NTT-domain weight plaintexts, circuits — marshals and unmarshals to a
+// deep-equal value, reporting the identical resident footprint, and
+// preserves the circuit sharing buildCircuits establishes between layers
+// with equal shifts.
+func TestSharedModelRoundTrip(t *testing.T) {
+	model, params := codecModel(t, 21)
+	sm, err := NewSharedModel(params, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := sm.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSharedModel(raw, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.model != model {
+		t.Fatal("decoded artifact not attached to the supplied model")
+	}
+	if !reflect.DeepEqual(sm.meta, got.meta) {
+		t.Fatalf("meta did not round-trip: %+v vs %+v", sm.meta, got.meta)
+	}
+	if !reflect.DeepEqual(sm.plans, got.plans) {
+		t.Fatal("plans did not round-trip")
+	}
+	if !reflect.DeepEqual(sm.weights, got.weights) {
+		t.Fatal("encoded weights did not round-trip")
+	}
+	if !reflect.DeepEqual(sm.circuits, got.circuits) {
+		t.Fatal("circuits did not round-trip")
+	}
+	if got.SizeBytes() != sm.SizeBytes() {
+		t.Fatalf("reloaded artifact reports %d bytes, built one %d", got.SizeBytes(), sm.SizeBytes())
+	}
+	if got.Params().N != sm.Params().N || got.Params().T != sm.Params().T {
+		t.Fatal("params did not round-trip")
+	}
+	// buildCircuits shares one circuit across equal-shift layers; the codec
+	// must preserve that sharing, not expand it into copies.
+	for i := 1; i < len(sm.circuits); i++ {
+		if (sm.circuits[i] == sm.circuits[0]) != (got.circuits[i] == got.circuits[0]) {
+			t.Fatalf("circuit sharing for layer %d not preserved", i)
+		}
+	}
+}
+
+// TestSharedModelCodecRejectsWrongModel: an artifact persisted for one
+// model must not decode against another (different seed ⇒ same shapes but
+// semantically different weights is NOT catchable — what is catchable and
+// checked is any metadata difference: field, dims, shifts).
+func TestSharedModelCodecRejectsWrongModel(t *testing.T) {
+	model, params := codecModel(t, 22)
+	sm, err := NewSharedModel(params, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := sm.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	other, err := nn.DemoCNN(field.New(field.P20), 22) // different architecture
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalSharedModel(raw, other); err == nil {
+		t.Fatal("decode accepted an artifact persisted for a different architecture")
+	}
+	if _, err := UnmarshalSharedModel(raw, nil); err == nil {
+		t.Fatal("decode accepted a nil model")
+	}
+}
+
+// TestSharedModelCodecRejectsDamage: version flips and truncation anywhere
+// in the payload error cleanly. (The on-disk store's checksum catches these
+// first; the codec must still hold the line when fed raw bytes.)
+func TestSharedModelCodecRejectsDamage(t *testing.T) {
+	model, params := codecModel(t, 23)
+	sm, err := NewSharedModel(params, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := sm.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wrongVersion := append([]byte(nil), raw...)
+	wrongVersion[0] = sharedModelCodecVersion + 1
+	if _, err := UnmarshalSharedModel(wrongVersion, model); err == nil {
+		t.Error("decode accepted a wrong codec version")
+	}
+
+	// A hostile ring degree (here 2^32: a power of two large enough to
+	// overflow the primitive-root search, were it reached) must error via
+	// parameter validation, not panic or allocate NTT tables. This is the
+	// "hostile payload errors rather than panics" contract.
+	hostileN := append([]byte(nil), raw...)
+	binary.LittleEndian.PutUint64(hostileN[8:], 1<<32)
+	if _, err := UnmarshalSharedModel(hostileN, model); err == nil {
+		t.Error("decode accepted a hostile ring degree")
+	}
+
+	// Truncate at a spread of offsets, including mid-header, mid-weights
+	// and one byte short.
+	for _, cut := range []int{0, 4, 17, 100, len(raw) / 2, len(raw) - 1} {
+		if _, err := UnmarshalSharedModel(raw[:cut], model); err == nil {
+			t.Errorf("decode accepted payload truncated to %d bytes", cut)
+		}
+	}
+	if _, err := UnmarshalSharedModel(append(append([]byte(nil), raw...), 9), model); err == nil {
+		t.Error("decode accepted trailing bytes")
+	}
+}
+
+// TestSharedModelRoundTripServesInference: a decoded artifact is
+// functionally identical — a server built on it produces bit-exact
+// outputs. This is the in-package half of the live-session guarantee; the
+// end-to-end restart test lives in the root package.
+func TestSharedModelRoundTripServesInference(t *testing.T) {
+	model, params := codecModel(t, 24)
+	sm, err := NewSharedModel(params, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := sm.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := UnmarshalSharedModel(raw, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	x := make([]uint64, model.InputLen())
+	for i := range x {
+		x[i] = uint64((3*i + 1) % 17)
+	}
+	want := model.Forward(x)
+	for _, art := range []*SharedModel{sm, reloaded} {
+		out := runPairShared(t, art, x)
+		if !reflect.DeepEqual(out, want) {
+			t.Fatal("artifact inference diverged from plaintext")
+		}
+	}
+}
+
+// runPairShared runs one full private inference on an artifact-backed
+// server over an in-process pipe and returns the output.
+func runPairShared(t *testing.T, art *SharedModel, x []uint64) []uint64 {
+	t.Helper()
+	cfg := Config{Variant: ClientGarbler, HEParams: art.Params(), LPHEWorkers: 2}
+	cc, sc := transport.Pipe()
+	server, err := NewServerShared(sc, cfg, art, newSeeded(3003))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(cc, cfg, art.Meta(), newSeeded(4004))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &session{client: client, server: server, model: art.Model()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.Setup() }()
+	if err := client.Setup(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	out, _, _, _, _ := s.inferPrivately(t, x)
+	return out
+}

@@ -67,10 +67,16 @@ func NewSharedModel(params bfv.Params, model *nn.Lowered) (*SharedModel, error) 
 		sm.weights[i] = flat
 	}
 	sm.circuits = buildCircuits(meta)
+	sm.computeSize()
+	return sm, nil
+}
 
-	// The dominant terms are the NTT-domain weight plaintexts and the built
-	// circuits; the plans are a few words each and counted as one cache
-	// line apiece.
+// computeSize fills sm.size from the built artifact. The dominant terms are
+// the NTT-domain weight plaintexts and the built circuits; the plans are a
+// few words each and counted as one cache line apiece. Shared with the
+// disk codec (UnmarshalSharedModel) so a reloaded artifact reports the same
+// footprint as a freshly built one.
+func (sm *SharedModel) computeSize() {
 	const planBytes = 64
 	sm.size = uint64(len(sm.plans)) * planBytes
 	for _, layer := range sm.weights {
@@ -81,7 +87,6 @@ func NewSharedModel(params bfv.Params, model *nn.Lowered) (*SharedModel, error) 
 	for _, c := range sm.circuits {
 		sm.size += c.SizeBytes()
 	}
-	return sm, nil
 }
 
 // SizeBytes returns the artifact's resident memory footprint: encoded

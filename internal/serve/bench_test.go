@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -123,5 +124,117 @@ func BenchmarkRegistryHitVsColdBuild(b *testing.B) {
 			reg.mu.Unlock()
 			b.StartTimer()
 		}
+	})
+}
+
+// BenchmarkArtifactLoadVsBuild measures the restart-cost lever the artifact
+// store exists for, on the standard demo CNN: building the shared artifact
+// from scratch (one NTT per weight plaintext plus circuit construction) vs
+// reloading the serialized artifact from disk (checksum + linear decode).
+// The ratio is what every server restart — and every spill/reload eviction
+// cycle — saves per model.
+func BenchmarkArtifactLoadVsBuild(b *testing.B) {
+	model, err := nn.DemoCNN(field.New(field.P20), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("build", func(b *testing.B) {
+		// One untimed warmup so a single-iteration run (CI's bench smoke)
+		// measures steady-state build cost, not scratch-pool and NTT-table
+		// first-touch.
+		if _, err := buildArtifact(model); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := buildArtifact(model); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("load", func(b *testing.B) {
+		store, err := NewArtifactStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		art, err := buildArtifact(model)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := store.Save("m", art); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := store.Load("m", model); err != nil { // untimed warmup
+			b.Fatal(err)
+		}
+		// Settle the heap so a GC cycle provoked by the setup's builds does
+		// not land inside a short timed run (a load is ~10 GC-free µs of
+		// actual work per 100 µs of wall time at steady state).
+		runtime.GC()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := store.Load("m", model); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRegistrySpillReload measures a full eviction round trip under a
+// one-artifact budget — exactly the churn TestRegistryReloadUnderEvictionChurn
+// exercises — with and without a disk store. Each iteration alternates two
+// models, so every Get is a miss: memory-only pays a rebuild, store-backed
+// pays a disk reload.
+func BenchmarkRegistrySpillReload(b *testing.B) {
+	modelA, err := nn.DemoMLP(field.New(field.P20), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	modelB, err := nn.DemoMLP(field.New(field.P20), 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	artA, err := buildArtifact(modelA)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(b *testing.B, store *ArtifactStore) {
+		reg := NewRegistryWithStore(int64(artA.SizeBytes()), store)
+		for name, m := range map[string]*nn.Lowered{"a": modelA, "b": modelB} {
+			if err := reg.Register(name, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Warm both entries (and, with a store, both files) once.
+		for _, name := range []string{"a", "b"} {
+			if _, err := reg.Get(name); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			name := "a"
+			if i%2 == 1 {
+				name = "b"
+			}
+			if _, err := reg.Get(name); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("store=none", func(b *testing.B) { run(b, nil) })
+	b.Run("store=disk", func(b *testing.B) {
+		store, err := NewArtifactStore(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, store)
 	})
 }

@@ -48,6 +48,13 @@ type Config struct {
 	// builds its own registry from Model/Artifact (<= 0 unbounded). Ignored
 	// when Registry is set — the caller's registry carries its own budget.
 	RegistryBudget int64
+	// ArtifactDir, when non-empty, backs the engine's private registry with
+	// a disk artifact store rooted there (see ArtifactStore): misses load
+	// from disk before building, builds are written through, and eviction
+	// spills instead of dropping. Applies to the Model/Artifact
+	// configurations; mutually exclusive with Registry — a caller-built
+	// registry carries its own store (NewRegistryWithStore).
+	ArtifactDir string
 
 	// Model is the single network to serve (the one-model configuration):
 	// the engine wraps it in a private registry under DefaultModelName.
@@ -151,6 +158,9 @@ func New(cfg Config) (*Engine, error) {
 		if cfg.Model != nil || cfg.Artifact != nil {
 			return nil, fmt.Errorf("serve: cfg.Registry is mutually exclusive with cfg.Model/cfg.Artifact")
 		}
+		if cfg.ArtifactDir != "" {
+			return nil, fmt.Errorf("serve: cfg.Registry is mutually exclusive with cfg.ArtifactDir; back the registry itself with NewRegistryWithStore")
+		}
 		if reg.Len() == 0 {
 			return nil, fmt.Errorf("serve: empty model registry")
 		}
@@ -158,7 +168,14 @@ func New(cfg Config) (*Engine, error) {
 		if cfg.Artifact != nil && cfg.Model != nil && cfg.Artifact.Model() != cfg.Model {
 			return nil, fmt.Errorf("serve: cfg.Artifact was built from a different model than cfg.Model")
 		}
-		reg = NewRegistry(cfg.RegistryBudget)
+		var store *ArtifactStore
+		if cfg.ArtifactDir != "" {
+			var err error
+			if store, err = NewArtifactStore(cfg.ArtifactDir); err != nil {
+				return nil, err
+			}
+		}
+		reg = NewRegistryWithStore(cfg.RegistryBudget, store)
 		switch {
 		case cfg.Artifact != nil:
 			if err := reg.RegisterArtifact(DefaultModelName, cfg.Artifact); err != nil {
@@ -556,13 +573,21 @@ type ModelStats struct {
 	// Resident reports whether the built artifact is currently held by the
 	// registry, and SizeBytes its footprint (0 when evicted or not yet
 	// built). Sessions opened before an eviction keep serving from the
-	// evicted artifact.
+	// evicted artifact. OnDisk reports whether THIS process has confirmed a
+	// current copy in the backing store (written or reloaded since start-up);
+	// it is false for a model whose file exists but has not been resolved
+	// yet this run, and always false on memory-only registries.
 	Resident  bool
+	OnDisk    bool
 	SizeBytes int64
 	// Hits, Misses and Evictions are the registry's lifetime counters for
-	// this model: a miss paid an artifact (re)build, an eviction dropped
-	// the built artifact under byte-budget pressure.
+	// this model: a miss paid an artifact resolve (disk reload or rebuild),
+	// an eviction dropped the built artifact under byte-budget pressure.
 	Hits, Misses, Evictions uint64
+	// Spills, Reloads, LoadErrors and SpillErrors are the disk layer's
+	// counters for this model (see RegistryStats).
+	Spills, Reloads         uint64
+	LoadErrors, SpillErrors uint64
 }
 
 // Stats is an engine-wide metrics snapshot.
@@ -584,12 +609,17 @@ type Stats struct {
 	TotalInferences  uint64
 	// RegistryBudget and RegistryBytes are the artifact cache's byte budget
 	// (<= 0 unbounded) and current resident footprint; the counters are
-	// registry lifetime totals across all models.
-	RegistryBudget    int64
-	RegistryBytes     int64
-	RegistryHits      uint64
-	RegistryMisses    uint64
-	RegistryEvictions uint64
+	// registry lifetime totals across all models. The Spill/Reload/LoadError
+	// counters are the disk layer's totals (zero without an artifact store).
+	RegistryBudget      int64
+	RegistryBytes       int64
+	RegistryHits        uint64
+	RegistryMisses      uint64
+	RegistryEvictions   uint64
+	RegistrySpills      uint64
+	RegistryReloads     uint64
+	RegistryLoadErrors  uint64
+	RegistrySpillErrors uint64
 }
 
 // Stats snapshots per-session, per-model and aggregate metrics. Lifetime
@@ -606,15 +636,19 @@ func (e *Engine) Stats() Stats {
 	}
 
 	st := Stats{
-		ActiveSessions:    len(sess),
-		RefillsInFlight:   inflight,
-		TotalPrecomputes:  e.retiredPrecomputes,
-		TotalInferences:   e.retiredInferences,
-		RegistryBudget:    rst.Budget,
-		RegistryBytes:     rst.BytesResident,
-		RegistryHits:      rst.Hits,
-		RegistryMisses:    rst.Misses,
-		RegistryEvictions: rst.Evictions,
+		ActiveSessions:      len(sess),
+		RefillsInFlight:     inflight,
+		TotalPrecomputes:    e.retiredPrecomputes,
+		TotalInferences:     e.retiredInferences,
+		RegistryBudget:      rst.Budget,
+		RegistryBytes:       rst.BytesResident,
+		RegistryHits:        rst.Hits,
+		RegistryMisses:      rst.Misses,
+		RegistryEvictions:   rst.Evictions,
+		RegistrySpills:      rst.Spills,
+		RegistryReloads:     rst.Reloads,
+		RegistryLoadErrors:  rst.LoadErrors,
+		RegistrySpillErrors: rst.SpillErrors,
 	}
 	// Partition the engine per model: start from the registry's per-model
 	// cache counters, then fold in each live session.

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -22,23 +23,44 @@ import (
 // any number of sessions. Eviction drops only the registry's reference: a
 // SharedModel is immutable, so sessions already serving from an evicted
 // artifact keep working, and its memory is reclaimed when the last such
-// session disconnects. The next request for an evicted name rebuilds the
-// artifact lazily, which counts as a miss.
+// session disconnects. The next request for an evicted name re-resolves the
+// artifact, which counts as a miss.
 //
-// All methods are safe for concurrent use. Builds run outside the registry
-// lock, and concurrent requests for the same cold model share one build.
+// A registry may be backed by an ArtifactStore (NewRegistryWithStore), in
+// which case the miss path tries a disk load before paying a build (a
+// reload), every freshly built artifact is written through to disk (a
+// spill), and eviction becomes spill/reload instead of drop/re-encode.
+// Store failures never fail a Get: a damaged or stale file is counted
+// (LoadErrors) and the artifact is rebuilt; a failed write is counted
+// (SpillErrors) and the artifact is served from memory as usual.
+//
+// All methods are safe for concurrent use. Loads and builds run outside
+// the registry lock — a cold resolve on one model never blocks hits on
+// others — and concurrent requests for the same cold model share one
+// resolve (single-flight).
 type Registry struct {
 	// budget caps total resident artifact bytes; <= 0 means unbounded. The
 	// artifact being returned by a Get is never evicted by that Get, so a
 	// single artifact larger than the budget is still served (the registry
 	// then temporarily holds just that artifact, over budget).
 	budget int64
+	// store is the optional disk layer; nil means memory-only (eviction
+	// drops, misses rebuild).
+	store *ArtifactStore
 
-	mu                      sync.Mutex
-	entries                 map[string]*regEntry
-	lru                     *list.List // of *regEntry; front = most recently used resident
-	bytes                   int64
+	// resolveHook, when non-nil, runs at the start of every miss-path
+	// resolve, outside the registry lock (test seam: tests block here to
+	// hold a resolve in flight and assert other models stay servable).
+	resolveHook func(name string)
+
+	mu      sync.Mutex
+	entries map[string]*regEntry
+	lru     *list.List // of *regEntry; front = most recently used resident
+	bytes   int64
+
 	hits, misses, evictions uint64
+	spills, reloads         uint64
+	loadErrors, spillErrors uint64
 }
 
 // regEntry is one registered model. The source model persists for the life
@@ -50,25 +72,55 @@ type regEntry struct {
 	art  *delphi.SharedModel
 	size int64
 	elem *list.Element // non-nil iff art != nil
+	// spilled records that the store holds a current copy of the artifact,
+	// so eviction can drop the memory without a disk write. spilling marks
+	// a deferred spill job already queued but not yet written, so a
+	// concurrent eviction does not queue (and count) a duplicate write of
+	// the same artifact.
+	spilled, spilling bool
 
 	building bool
-	ready    chan struct{} // closed when an in-flight build finishes
+	ready    chan struct{} // closed when an in-flight resolve finishes
 
 	hits, misses, evictions uint64
+	spills, reloads         uint64
+	loadErrors, spillErrors uint64
 }
 
-// NewRegistry returns an empty registry holding built artifacts under
-// budgetBytes (<= 0 means unbounded).
+// spillJob is one deferred disk write: an artifact evicted (or registered)
+// before the store held a current copy. Writes happen outside the registry
+// lock; the job carries the artifact pointer because the entry may already
+// have dropped it.
+type spillJob struct {
+	entry *regEntry
+	art   *delphi.SharedModel
+}
+
+// NewRegistry returns an empty memory-only registry holding built artifacts
+// under budgetBytes (<= 0 means unbounded).
 func NewRegistry(budgetBytes int64) *Registry {
+	return NewRegistryWithStore(budgetBytes, nil)
+}
+
+// NewRegistryWithStore returns an empty registry backed by an optional
+// artifact store (nil store means memory-only). With a store, misses try a
+// disk load before building, built artifacts are written through to disk,
+// and eviction spills instead of dropping.
+func NewRegistryWithStore(budgetBytes int64, store *ArtifactStore) *Registry {
 	return &Registry{
 		budget:  budgetBytes,
+		store:   store,
 		entries: map[string]*regEntry{},
 		lru:     list.New(),
 	}
 }
 
-// Register adds a named model whose artifact is built lazily on first
-// request (and rebuilt after eviction).
+// Store returns the registry's artifact store (nil when memory-only).
+func (r *Registry) Store() *ArtifactStore { return r.store }
+
+// Register adds a named model whose artifact is resolved lazily on first
+// request (and re-resolved after eviction): loaded from the store when a
+// valid file exists, built otherwise.
 func (r *Registry) Register(name string, model *nn.Lowered) error {
 	if name == "" {
 		return fmt.Errorf("serve: registry: empty model name")
@@ -90,7 +142,9 @@ func (r *Registry) Register(name string, model *nn.Lowered) error {
 
 // RegisterArtifact adds a named model with a pre-built artifact, resident
 // immediately. The artifact still participates in LRU eviction; its source
-// model is retained so it can be rebuilt lazily afterwards.
+// model is retained so it can be re-resolved lazily afterwards. With a
+// store, the artifact is written through to disk before RegisterArtifact
+// returns.
 func (r *Registry) RegisterArtifact(name string, art *delphi.SharedModel) error {
 	if name == "" {
 		return fmt.Errorf("serve: registry: empty model name")
@@ -99,22 +153,33 @@ func (r *Registry) RegisterArtifact(name string, art *delphi.SharedModel) error 
 		return fmt.Errorf("serve: registry: nil artifact %q", name)
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, ok := r.entries[name]; ok {
+		r.mu.Unlock()
 		return fmt.Errorf("serve: registry: model %q already registered", name)
 	}
 	e := &regEntry{name: name, model: art.Model(), art: art, size: int64(art.SizeBytes())}
 	r.entries[name] = e
 	e.elem = r.lru.PushFront(e)
 	r.bytes += e.size
-	r.evictOver(e)
+	jobs := r.evictOver(e)
+	if r.store != nil && !e.spilling {
+		e.spilling = true
+		jobs = append(jobs, spillJob{entry: e, art: art})
+	}
+	r.mu.Unlock()
+	r.runSpills(jobs)
 	return nil
 }
 
-// Get returns the built artifact for name, building it first if it is not
-// resident (a miss; registry-level and per-model counters record both
-// outcomes). Unknown names return an error satisfying
-// errors.Is(err, ErrUnknownModel).
+// Get returns the built artifact for name, resolving it first if it is not
+// resident: a miss loads from the backing store when possible (a reload)
+// and builds otherwise, then writes fresh builds through to the store (a
+// spill). Registry-level and per-model counters record every outcome.
+// Unknown names return an error satisfying errors.Is(err, ErrUnknownModel).
+//
+// The resolve runs outside the registry lock, so a cold model never blocks
+// hits on other models; concurrent Gets for the same cold model share one
+// resolve.
 func (r *Registry) Get(name string) (*delphi.SharedModel, error) {
 	r.mu.Lock()
 	for {
@@ -132,10 +197,10 @@ func (r *Registry) Get(name string) (*delphi.SharedModel, error) {
 			return art, nil
 		}
 		if e.building {
-			// Another request is already building this artifact; wait for
-			// it and re-resolve (the finished build may itself have been
+			// Another request is already resolving this artifact; wait for
+			// it and re-resolve (the finished artifact may itself have been
 			// evicted by a concurrent request before we re-acquire the
-			// lock, in which case the loop builds again).
+			// lock, in which case the loop resolves again).
 			ready := e.ready
 			r.mu.Unlock()
 			<-ready
@@ -149,22 +214,111 @@ func (r *Registry) Get(name string) (*delphi.SharedModel, error) {
 		r.misses++
 		r.mu.Unlock()
 
-		art, err := buildArtifact(e.model)
+		res := r.resolve(e)
 
 		r.mu.Lock()
 		e.building = false
 		close(e.ready)
-		if err != nil {
-			r.mu.Unlock()
-			return nil, err
+		if res.loadFailed {
+			e.loadErrors++
+			r.loadErrors++
 		}
-		e.art = art
-		e.size = int64(art.SizeBytes())
+		if res.err != nil {
+			r.mu.Unlock()
+			return nil, res.err
+		}
+		if res.reloaded {
+			e.reloads++
+			r.reloads++
+		}
+		if res.spilled {
+			e.spills++
+			r.spills++
+		}
+		if res.spillFailed {
+			e.spillErrors++
+			r.spillErrors++
+		}
+		e.art = res.art
+		e.size = int64(res.art.SizeBytes())
+		e.spilled = res.reloaded || res.spilled
 		e.elem = r.lru.PushFront(e)
 		r.bytes += e.size
-		r.evictOver(e)
+		jobs := r.evictOver(e)
 		r.mu.Unlock()
-		return art, nil
+		r.runSpills(jobs)
+		return res.art, nil
+	}
+}
+
+// resolveResult is the outcome of one miss-path resolve.
+type resolveResult struct {
+	art *delphi.SharedModel
+	err error
+	// reloaded: the artifact came from the store. loadFailed: the store had
+	// a file but it was unusable (corrupt, stale, wrong version). spilled /
+	// spillFailed: the write-through of a fresh build succeeded / failed.
+	reloaded, loadFailed bool
+	spilled, spillFailed bool
+}
+
+// resolve materializes one entry's artifact outside the registry lock:
+// store load first (when backed), build otherwise, write-through after a
+// fresh build. Store failures in either direction degrade to the
+// memory-only behavior rather than failing the Get.
+func (r *Registry) resolve(e *regEntry) resolveResult {
+	if r.resolveHook != nil {
+		r.resolveHook(e.name)
+	}
+	var res resolveResult
+	if r.store != nil {
+		art, err := r.store.Load(e.name, e.model)
+		if err == nil {
+			res.art = art
+			res.reloaded = true
+			return res
+		}
+		if !errors.Is(err, ErrArtifactNotFound) {
+			res.loadFailed = true
+		}
+	}
+	art, err := buildArtifact(e.model)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	res.art = art
+	if r.store != nil {
+		// Write-through: with the disk copy current from build time, a later
+		// eviction drops the memory for free and a process restart loads
+		// instead of encoding.
+		if err := r.store.Save(e.name, art); err != nil {
+			res.spillFailed = true
+		} else {
+			res.spilled = true
+		}
+	}
+	return res
+}
+
+// runSpills performs deferred disk writes (evicted or registered artifacts
+// the store does not hold yet) and folds the outcomes into the counters.
+// Runs outside the registry lock — spilling a multi-megabyte artifact must
+// not block hits.
+func (r *Registry) runSpills(jobs []spillJob) {
+	for _, job := range jobs {
+		err := r.store.Save(job.entry.name, job.art)
+		r.mu.Lock()
+		job.entry.spilling = false
+		if err != nil {
+			job.entry.spillErrors++
+			r.spillErrors++
+		} else {
+			job.entry.spilled = true
+			job.entry.spills++
+			r.spills++
+		}
+		r.mu.Unlock()
 	}
 }
 
@@ -180,20 +334,27 @@ func buildArtifact(model *nn.Lowered) (*delphi.SharedModel, error) {
 
 // evictOver drops least-recently-used resident artifacts until the byte
 // budget holds, never evicting pinned (the artifact the caller is about to
-// hand out). Called with r.mu held.
-func (r *Registry) evictOver(pinned *regEntry) {
+// hand out). With a store, an eviction whose disk copy is not current
+// becomes a spill job for the caller to run after unlocking — eviction
+// itself only ever drops memory. Called with r.mu held.
+func (r *Registry) evictOver(pinned *regEntry) []spillJob {
 	if r.budget <= 0 {
-		return
+		return nil
 	}
+	var jobs []spillJob
 	for r.bytes > r.budget {
 		el := r.lru.Back()
 		for el != nil && el.Value.(*regEntry) == pinned {
 			el = el.Prev()
 		}
 		if el == nil {
-			return
+			return jobs
 		}
 		e := el.Value.(*regEntry)
+		if r.store != nil && !e.spilled && !e.spilling {
+			e.spilling = true
+			jobs = append(jobs, spillJob{entry: e, art: e.art})
+		}
 		r.lru.Remove(el)
 		e.elem = nil
 		e.art = nil
@@ -202,6 +363,7 @@ func (r *Registry) evictOver(pinned *regEntry) {
 		e.evictions++
 		r.evictions++
 	}
+	return jobs
 }
 
 // Has reports whether name is registered (resident or not).
@@ -240,9 +402,20 @@ type RegistryStats struct {
 	Budget        int64
 	BytesResident int64
 	// Hits, Misses and Evictions are lifetime registry totals. A miss is a
-	// request that had to build the artifact (first use, or reuse after
-	// eviction).
+	// request that had to resolve the artifact (first use, or reuse after
+	// eviction); an eviction dropped a resident artifact under byte-budget
+	// pressure.
 	Hits, Misses, Evictions uint64
+	// Spills and Reloads count the disk layer's traffic: a spill wrote an
+	// artifact to the store (write-through after a build, or at eviction
+	// for an artifact the store did not hold), a reload served a miss from
+	// disk instead of a build. Zero on memory-only registries.
+	Spills, Reloads uint64
+	// LoadErrors counts store files that existed but could not be used
+	// (truncated, checksum mismatch, wrong format version, stale metadata);
+	// each one fell back to a fresh build. SpillErrors counts failed disk
+	// writes; each left the artifact memory-resident as usual.
+	LoadErrors, SpillErrors uint64
 	Models                  []ModelStats // sorted by name
 }
 
@@ -256,15 +429,24 @@ func (r *Registry) Stats() RegistryStats {
 		Hits:          r.hits,
 		Misses:        r.misses,
 		Evictions:     r.evictions,
+		Spills:        r.spills,
+		Reloads:       r.reloads,
+		LoadErrors:    r.loadErrors,
+		SpillErrors:   r.spillErrors,
 	}
 	for _, e := range r.entries {
 		st.Models = append(st.Models, ModelStats{
-			Name:      e.name,
-			Resident:  e.art != nil,
-			SizeBytes: e.size,
-			Hits:      e.hits,
-			Misses:    e.misses,
-			Evictions: e.evictions,
+			Name:        e.name,
+			Resident:    e.art != nil,
+			OnDisk:      e.spilled,
+			SizeBytes:   e.size,
+			Hits:        e.hits,
+			Misses:      e.misses,
+			Evictions:   e.evictions,
+			Spills:      e.spills,
+			Reloads:     e.reloads,
+			LoadErrors:  e.loadErrors,
+			SpillErrors: e.spillErrors,
 		})
 	}
 	sort.Slice(st.Models, func(i, j int) bool { return st.Models[i].Name < st.Models[j].Name })

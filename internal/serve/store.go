@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+
+	"privinf/internal/delphi"
+	"privinf/internal/nn"
+)
+
+// ArtifactStore is the disk half of the model-artifact cache: a directory
+// of serialized delphi.SharedModel artifacts, one file per model name. A
+// registry backed by a store turns server restarts into O(load) instead of
+// O(encode) — the dominant setup cost the paper's §5.2 identifies — and
+// turns LRU eviction into spill/reload instead of drop/re-encode.
+//
+// Each file is framed as
+//
+//	magic "PIAF" | format version (u32) | payload length (u64) |
+//	CRC-32C(payload) (u32) | payload (delphi SharedModel codec)
+//
+// and written atomically (temp file + rename), so a crashed writer never
+// leaves a half-written artifact where a reader will find it. Load verifies
+// the checksum before handing a byte to the codec and distinguishes "not
+// there" (ErrArtifactNotFound — a plain cache miss) from "there but
+// unusable" (ErrArtifactCorrupt / ErrArtifactVersion — counted by the
+// registry as load errors); every failure mode falls back to a fresh build.
+// CRC-32C (Castagnoli, hardware-accelerated on amd64/arm64) targets the
+// store's actual threat — torn writes and disk corruption — and keeps the
+// verify cost far below the decode it guards; the store directory is
+// trusted local state, not an adversarial input channel, so a
+// cryptographic digest would buy nothing here.
+//
+// An ArtifactStore is safe for concurrent use: Save's rename is atomic and
+// Load reads a snapshot of whichever version the rename published.
+type ArtifactStore struct {
+	dir string
+}
+
+// Sentinel errors distinguishing the store's failure modes; match with
+// errors.Is.
+var (
+	// ErrArtifactNotFound reports that no artifact is stored under the name
+	// (a plain cache miss, not a failure).
+	ErrArtifactNotFound = errors.New("serve: artifact not found")
+	// ErrArtifactCorrupt reports a damaged file: truncation, framing
+	// inconsistency, or checksum mismatch.
+	ErrArtifactCorrupt = errors.New("serve: artifact corrupt")
+	// ErrArtifactVersion reports a file written under a different store
+	// format version.
+	ErrArtifactVersion = errors.New("serve: artifact format version mismatch")
+)
+
+// storeFormatVersion is bumped whenever the file framing or the embedded
+// codec layout changes; readers reject any other version (the registry then
+// rebuilds and Save overwrites the stale file).
+const storeFormatVersion = 1
+
+var storeMagic = [4]byte{'P', 'I', 'A', 'F'}
+
+// storeChecksum is the payload checksum: CRC-32C over the payload bytes.
+func storeChecksum(payload []byte) uint32 {
+	return crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli))
+}
+
+// storeHeaderBytes is the fixed frame before the payload: magic, version,
+// payload length, CRC-32C digest.
+const storeHeaderBytes = 4 + 4 + 8 + 4
+
+// NewArtifactStore opens (creating if necessary) an artifact store rooted
+// at dir.
+func NewArtifactStore(dir string) (*ArtifactStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("serve: artifact store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: artifact store: %w", err)
+	}
+	return &ArtifactStore{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (st *ArtifactStore) Dir() string { return st.dir }
+
+// Path returns the file path an artifact name maps to. Names are
+// URL-path-escaped so arbitrary registry names (slashes included) stay
+// within the store directory.
+func (st *ArtifactStore) Path(name string) string {
+	return filepath.Join(st.dir, url.PathEscape(name)+".piart")
+}
+
+// Has reports whether an artifact file exists under name (without
+// validating it).
+func (st *ArtifactStore) Has(name string) bool {
+	_, err := os.Stat(st.Path(name))
+	return err == nil
+}
+
+// Remove deletes the stored artifact for name, if any.
+func (st *ArtifactStore) Remove(name string) error {
+	err := os.Remove(st.Path(name))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// Save serializes the artifact and atomically publishes it under name,
+// replacing any previous version.
+func (st *ArtifactStore) Save(name string, art *delphi.SharedModel) error {
+	if art == nil {
+		return fmt.Errorf("serve: artifact store: nil artifact %q", name)
+	}
+	payload, err := art.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("serve: artifact store: encode %q: %w", name, err)
+	}
+	var header [storeHeaderBytes]byte
+	copy(header[0:4], storeMagic[:])
+	binary.LittleEndian.PutUint32(header[4:], storeFormatVersion)
+	binary.LittleEndian.PutUint64(header[8:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(header[16:], storeChecksum(payload))
+
+	// Write-then-rename: a reader either sees the old complete file or the
+	// new complete file, never a torn write. The header and payload go out
+	// as two writes rather than one concatenated buffer — the payload is
+	// multi-megabyte for real models and runs inside the single-flight
+	// window, so an extra full copy here would be paid by every waiter.
+	tmp, err := os.CreateTemp(st.dir, "."+url.PathEscape(name)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("serve: artifact store: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(header[:]); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("serve: artifact store: write %q: %w", name, err)
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("serve: artifact store: write %q: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("serve: artifact store: write %q: %w", name, err)
+	}
+	if err := os.Rename(tmpName, st.Path(name)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("serve: artifact store: publish %q: %w", name, err)
+	}
+	return nil
+}
+
+// Load reads, verifies and decodes the artifact stored under name,
+// attaching it to its source model (the registry retains the model for the
+// life of a registration; the store persists only the expensive encoded
+// form). Absent files return ErrArtifactNotFound; damaged or incompatible
+// files return errors matching ErrArtifactCorrupt or ErrArtifactVersion.
+func (st *ArtifactStore) Load(name string, model *nn.Lowered) (*delphi.SharedModel, error) {
+	data, err := os.ReadFile(st.Path(name))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %q", ErrArtifactNotFound, name)
+		}
+		return nil, fmt.Errorf("serve: artifact store: read %q: %w", name, err)
+	}
+	if len(data) < storeHeaderBytes {
+		return nil, fmt.Errorf("%w: %q: %d-byte file shorter than the %d-byte header",
+			ErrArtifactCorrupt, name, len(data), storeHeaderBytes)
+	}
+	if [4]byte(data[0:4]) != storeMagic {
+		return nil, fmt.Errorf("%w: %q: bad magic", ErrArtifactCorrupt, name)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != storeFormatVersion {
+		return nil, fmt.Errorf("%w: %q: file version %d, store speaks %d", ErrArtifactVersion, name, v, storeFormatVersion)
+	}
+	plen := binary.LittleEndian.Uint64(data[8:])
+	if plen != uint64(len(data)-storeHeaderBytes) {
+		return nil, fmt.Errorf("%w: %q: header claims %d payload bytes, file carries %d",
+			ErrArtifactCorrupt, name, plen, len(data)-storeHeaderBytes)
+	}
+	payload := data[storeHeaderBytes:]
+	if got := binary.LittleEndian.Uint32(data[16:]); got != storeChecksum(payload) {
+		return nil, fmt.Errorf("%w: %q: checksum mismatch", ErrArtifactCorrupt, name)
+	}
+	art, err := delphi.UnmarshalSharedModel(payload, model)
+	if err != nil {
+		// The checksum held, so the payload is intact but semantically wrong
+		// for this model or codec — still a corrupt-class failure for
+		// fallback purposes.
+		return nil, fmt.Errorf("%w: %q: %v", ErrArtifactCorrupt, name, err)
+	}
+	return art, nil
+}

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"privinf/internal/delphi"
+	"privinf/internal/field"
+	"privinf/internal/nn"
+)
+
+func testCNN(t *testing.T, seed int64) *nn.Lowered {
+	t.Helper()
+	model, err := nn.DemoCNN(field.New(field.P20), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+// storeWithArtifact saves one freshly built artifact and returns the store,
+// the artifact, and its source model's seed-id name.
+func storeWithArtifact(t *testing.T, seed int64) (*ArtifactStore, *delphi.SharedModel, string) {
+	t.Helper()
+	st, err := NewArtifactStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := testModel(t, seed)
+	art, err := delphi.NewSharedModel(mustParams(t, model), model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save("m", art); err != nil {
+		t.Fatal(err)
+	}
+	return st, art, "m"
+}
+
+// TestArtifactStoreSaveLoadRoundTrip: save → load reproduces a deep-equal
+// artifact attached to the supplied model, and Has/Path/Remove behave.
+func TestArtifactStoreSaveLoadRoundTrip(t *testing.T) {
+	st, art, name := storeWithArtifact(t, 110)
+	if !st.Has(name) {
+		t.Fatal("Has reports a just-saved artifact missing")
+	}
+	got, err := st.Load(name, art.Model())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SizeBytes() != art.SizeBytes() {
+		t.Fatalf("loaded artifact reports %d bytes, saved one %d", got.SizeBytes(), art.SizeBytes())
+	}
+	if got.Model() != art.Model() {
+		t.Fatal("loaded artifact not attached to the supplied model")
+	}
+	if !reflect.DeepEqual(got.Meta(), art.Meta()) {
+		t.Fatal("meta did not survive the store")
+	}
+	if err := st.Remove(name); err != nil {
+		t.Fatal(err)
+	}
+	if st.Has(name) {
+		t.Fatal("Has reports a removed artifact present")
+	}
+	if _, err := st.Load(name, art.Model()); !errors.Is(err, ErrArtifactNotFound) {
+		t.Fatalf("Load after Remove = %v, want ErrArtifactNotFound", err)
+	}
+}
+
+// TestArtifactStoreNameEscaping: registry names with path separators and
+// metacharacters stay inside the store directory and round-trip.
+func TestArtifactStoreNameEscaping(t *testing.T) {
+	st, err := NewArtifactStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := testModel(t, 111)
+	art, err := delphi.NewSharedModel(mustParams(t, model), model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"models/prod/resnet", "../escape", "a b%c"} {
+		if got := st.Path(name); filepath.Dir(got) != st.Dir() {
+			t.Fatalf("name %q maps outside the store: %s", name, got)
+		}
+		if err := st.Save(name, art); err != nil {
+			t.Fatalf("save %q: %v", name, err)
+		}
+		if _, err := st.Load(name, model); err != nil {
+			t.Fatalf("load %q: %v", name, err)
+		}
+	}
+}
+
+// corruptFile applies f to the stored artifact's bytes and writes them
+// back.
+func corruptFile(t *testing.T, st *ArtifactStore, name string, f func([]byte) []byte) {
+	t.Helper()
+	path := st.Path(name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, f(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestArtifactStoreDetectsTruncation: a file cut anywhere — inside the
+// header or inside the payload — loads as ErrArtifactCorrupt.
+func TestArtifactStoreDetectsTruncation(t *testing.T) {
+	for _, frac := range []float64{0, 0.2, 0.5, 0.99} {
+		st, art, name := storeWithArtifact(t, 112)
+		corruptFile(t, st, name, func(b []byte) []byte {
+			return b[:int(float64(len(b))*frac)]
+		})
+		if _, err := st.Load(name, art.Model()); !errors.Is(err, ErrArtifactCorrupt) {
+			t.Fatalf("truncation to %.0f%%: Load = %v, want ErrArtifactCorrupt", frac*100, err)
+		}
+	}
+}
+
+// TestArtifactStoreDetectsBitFlips: flipping one byte in the checksum, the
+// payload, or the magic is caught before the codec sees a byte.
+func TestArtifactStoreDetectsBitFlips(t *testing.T) {
+	offsets := map[string]int{
+		"magic":    0,
+		"checksum": 17,
+		"payload":  storeHeaderBytes + 64,
+	}
+	for which, off := range offsets {
+		st, art, name := storeWithArtifact(t, 113)
+		corruptFile(t, st, name, func(b []byte) []byte {
+			b[off] ^= 0x40
+			return b
+		})
+		if _, err := st.Load(name, art.Model()); !errors.Is(err, ErrArtifactCorrupt) {
+			t.Fatalf("%s flip: Load = %v, want ErrArtifactCorrupt", which, err)
+		}
+	}
+}
+
+// TestArtifactStoreDetectsVersionMismatch: a file written under another
+// format version is rejected with the typed sentinel, distinguishable from
+// corruption.
+func TestArtifactStoreDetectsVersionMismatch(t *testing.T) {
+	st, art, name := storeWithArtifact(t, 114)
+	corruptFile(t, st, name, func(b []byte) []byte {
+		b[4] = storeFormatVersion + 1
+		return b
+	})
+	_, err := st.Load(name, art.Model())
+	if !errors.Is(err, ErrArtifactVersion) {
+		t.Fatalf("Load = %v, want ErrArtifactVersion", err)
+	}
+	if errors.Is(err, ErrArtifactCorrupt) || errors.Is(err, ErrArtifactNotFound) {
+		t.Fatal("version mismatch must not match the other sentinels")
+	}
+}
+
+// TestArtifactStoreRejectsWrongModel: a valid file loaded against a
+// mismatched model (different architecture ⇒ different metadata) fails as
+// corrupt-class, not as a panic or a silently wrong artifact.
+func TestArtifactStoreRejectsWrongModel(t *testing.T) {
+	st, _, name := storeWithArtifact(t, 115)
+	other := testCNN(t, 115)
+	if _, err := st.Load(name, other); !errors.Is(err, ErrArtifactCorrupt) {
+		t.Fatalf("Load with mismatched model = %v, want ErrArtifactCorrupt", err)
+	}
+}
+
+// TestArtifactStoreEmptyDir: loading from a fresh store directory is a
+// clean not-found, and Save then creates the directory contents from
+// nothing.
+func TestArtifactStoreEmptyDir(t *testing.T) {
+	st, err := NewArtifactStore(filepath.Join(t.TempDir(), "nested", "dir"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := testModel(t, 116)
+	if _, err := st.Load("anything", model); !errors.Is(err, ErrArtifactNotFound) {
+		t.Fatalf("Load from empty store = %v, want ErrArtifactNotFound", err)
+	}
+}

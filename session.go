@@ -91,12 +91,53 @@ type LocalEngine struct {
 // models, keyed by the names sessions will request. budgetBytes caps the
 // registry's resident artifact footprint (<= 0 unbounded; compare against
 // SharedModel.SizeBytes to size it). Artifacts build lazily on each
-// model's first session. entropy may be nil (crypto/rand).
+// model's first session. entropy may be nil (crypto/rand). For a
+// disk-backed artifact cache, use NewLocalEngineConfig with ArtifactDir.
 func NewLocalEngine(models map[string]*Model, variant Variant, budgetBytes int64, entropy io.Reader) (*LocalEngine, error) {
+	return NewLocalEngineConfig(LocalEngineConfig{
+		Models:      models,
+		Variant:     variant,
+		BudgetBytes: budgetBytes,
+		Entropy:     entropy,
+	})
+}
+
+// LocalEngineConfig parameterizes NewLocalEngineConfig.
+type LocalEngineConfig struct {
+	// Models are the networks to serve, keyed by the names sessions will
+	// request.
+	Models map[string]*Model
+	// Variant selects which party garbles.
+	Variant Variant
+	// BudgetBytes caps the registry's resident artifact footprint (<= 0
+	// unbounded).
+	BudgetBytes int64
+	// ArtifactDir, when non-empty, backs the registry with an on-disk
+	// artifact store: encoded models persist across engine restarts
+	// (restart cost is O(load) instead of O(encode)) and LRU eviction
+	// spills to disk instead of dropping, so re-requesting an evicted
+	// model reloads rather than re-encodes. Damaged or stale files fall
+	// back to a fresh build automatically.
+	ArtifactDir string
+	// Entropy seeds all cryptographic randomness; nil means crypto/rand.
+	Entropy io.Reader
+}
+
+// NewLocalEngineConfig starts an in-process multi-model engine from a full
+// configuration; NewLocalEngine is the memory-only shorthand.
+func NewLocalEngineConfig(cfg LocalEngineConfig) (*LocalEngine, error) {
+	models := cfg.Models
 	if len(models) == 0 {
 		return nil, fmt.Errorf("privinf: no models to serve")
 	}
-	reg := serve.NewRegistry(budgetBytes)
+	var store *serve.ArtifactStore
+	if cfg.ArtifactDir != "" {
+		var err error
+		if store, err = serve.NewArtifactStore(cfg.ArtifactDir); err != nil {
+			return nil, err
+		}
+	}
+	reg := serve.NewRegistryWithStore(cfg.BudgetBytes, store)
 	maxLinear := 0
 	for name, m := range models {
 		if err := reg.Register(name, m); err != nil {
@@ -106,7 +147,8 @@ func NewLocalEngine(models map[string]*Model, variant Variant, budgetBytes int64
 			maxLinear = len(m.Linear)
 		}
 	}
-	entropy = delphi.LockedEntropy(entropy)
+	variant := cfg.Variant
+	entropy := delphi.LockedEntropy(cfg.Entropy)
 	eng, err := serve.New(serve.Config{
 		Registry:    reg,
 		Variant:     variant,

@@ -1,6 +1,9 @@
 package privinf
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 func TestSessionBufferedInference(t *testing.T) {
 	model, err := NewDemoMLP(9)
@@ -53,5 +56,70 @@ func TestSessionRejectsInvalidModel(t *testing.T) {
 	bad := &Model{}
 	if _, err := NewLocalSession(bad, ServerGarbler, nil); err == nil {
 		t.Fatal("invalid model must be rejected")
+	}
+}
+
+// TestEngineRestartServesReloadedArtifact is the end-to-end persistence
+// guarantee: an engine restarted over the same artifact directory serves
+// its model from the disk artifact (a reload, not a re-encode), and a live
+// session on the reloaded artifact produces bitwise-identical inference
+// results to a session on the freshly built one.
+func TestEngineRestartServesReloadedArtifact(t *testing.T) {
+	model, err := NewDemoMLP(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	inputs := make([][]uint64, 3)
+	for i := range inputs {
+		inputs[i] = make([]uint64, model.InputLen())
+		for j := range inputs[i] {
+			inputs[i][j] = uint64((j*3 + i) % 13)
+		}
+	}
+
+	runOnce := func(entropySeed int64) ([][]uint64, bool) {
+		eng, err := NewLocalEngineConfig(LocalEngineConfig{
+			Models:      map[string]*Model{"m": model},
+			Variant:     ClientGarbler,
+			ArtifactDir: dir,
+			Entropy:     newSeeded(entropySeed),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		sess, err := eng.Connect("m")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Close()
+		outs := make([][]uint64, len(inputs))
+		for i, x := range inputs {
+			res, err := sess.Infer(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Verified {
+				t.Fatalf("inference %d failed verification", i)
+			}
+			outs[i] = res.Output
+		}
+		st := eng.Stats()
+		return outs, st.RegistryReloads > 0
+	}
+
+	fresh, reloadedFirst := runOnce(32)
+	if reloadedFirst {
+		t.Fatal("first engine run reloaded from a directory that started empty")
+	}
+	// "Restart": a new engine over the same directory must reload, and the
+	// reloaded artifact must serve bit-identical outputs.
+	again, reloadedSecond := runOnce(33)
+	if !reloadedSecond {
+		t.Fatal("restarted engine re-encoded the model instead of reloading the stored artifact")
+	}
+	if !reflect.DeepEqual(fresh, again) {
+		t.Fatal("reloaded artifact produced different inference outputs than the freshly built one")
 	}
 }
