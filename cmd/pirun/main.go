@@ -11,18 +11,25 @@
 // Usage:
 //
 //	pirun [-model cnn|mlp] [-seed N]
-//	pirun -serve ADDR [-models cnn,mlp] [-registry-budget BYTES] [-artifact-dir DIR] [-variant cg|sg] [-buffer N] [-budget N] [-workers N]
-//	pirun -connect ADDR [-model NAME] [-n N]
+//	pirun -serve ADDR [-models cnn,mlp] [-registry-budget BYTES] [-artifact-dir DIR] [-artifact-disk-budget BYTES]
+//	      [-pin-default] [-ticket-ttl D] [-ticket-budget BYTES] [-variant cg|sg] [-buffer N] [-budget N] [-workers N]
+//	pirun -connect ADDR [-model NAME] [-n N] [-reconnect N]
 //
 // A server hosts every model named in -models (default: just -model) from
 // one registry; built artifacts stay resident up to -registry-budget bytes
 // (0 = unbounded) with LRU eviction and lazy rebuild. With -artifact-dir
 // the registry is backed by an on-disk artifact store: encoded models
 // persist across server restarts (restart cost is O(load), not O(encode))
-// and eviction spills to disk instead of dropping. A client requests
-// one registry entry by -model name, rebuilds the same demo model locally
-// from -model/-seed, and verifies outputs against plaintext inference;
-// point it at a server started with the same -seed.
+// and eviction spills to disk instead of dropping; -artifact-disk-budget
+// keeps that directory under a byte budget. -pin-default exempts the
+// default model from eviction and pre-builds it. Repeat clients get OT
+// resumption tickets (TTL -ticket-ttl, cache budget -ticket-budget;
+// -ticket-ttl -1s disables), so reconnects skip the base OTs. A client
+// requests one registry entry by -model name, rebuilds the same demo model
+// locally from -model/-seed, and verifies outputs against plaintext
+// inference; point it at a server started with the same -seed. With
+// -reconnect N the client closes its session and reconnects N times
+// through a session preamble, printing the cold vs resumed connect times.
 package main
 
 import (
@@ -47,6 +54,10 @@ func main() {
 	modelsFlag := flag.String("models", "", "serve mode: comma-separated demo models to serve (default: just -model)")
 	registryBudget := flag.Int64("registry-budget", 0, "serve mode: registry artifact byte budget (0 unbounded); LRU eviction + lazy rebuild past it")
 	artifactDir := flag.String("artifact-dir", "", "serve mode: back the registry with an on-disk artifact store in this directory (restarts load instead of re-encode; eviction spills instead of drops)")
+	artifactDiskBudget := flag.Int64("artifact-disk-budget", 0, "serve mode: keep -artifact-dir under this many bytes, sweeping least-recently-written artifacts (0 unbounded)")
+	pinDefault := flag.Bool("pin-default", false, "serve mode: pin the default model's artifact (never evicted, pre-built at start)")
+	ticketTTL := flag.Duration("ticket-ttl", 0, "serve mode: OT resumption ticket lifetime (0 = default 15m, negative disables resumption)")
+	ticketBudget := flag.Int64("ticket-budget", 0, "serve mode: resumption ticket cache byte budget (0 = default 4 MiB, negative unbounded)")
 	seed := flag.Int64("seed", 42, "model weight seed")
 	serveAddr := flag.String("serve", "", "run a serving engine on this TCP address")
 	connectAddr := flag.String("connect", "", "connect a client session to a serving engine")
@@ -55,6 +66,7 @@ func main() {
 	budget := flag.Int("budget", -1, "serve mode: global storage budget in pre-compute slots (-1 unbounded, 0 storage-starved)")
 	workers := flag.Int("workers", runtime.NumCPU(), "serve mode: concurrent background offline phases")
 	n := flag.Int("n", 3, "connect mode: number of inferences to run")
+	reconnect := flag.Int("reconnect", 0, "connect mode: after the first session, reconnect this many times through a session preamble (resumed connects)")
 	flag.Parse()
 
 	switch {
@@ -65,9 +77,14 @@ func main() {
 		if *modelsFlag == "" {
 			names = []string{*modelName}
 		}
-		runServe(names, *seed, *serveAddr, *variantFlag, *registryBudget, *artifactDir, *buffer, *budget, *workers)
+		runServe(serveOpts{
+			names: names, seed: *seed, addr: *serveAddr, variant: *variantFlag,
+			registryBudget: *registryBudget, artifactDir: *artifactDir, artifactDiskBudget: *artifactDiskBudget,
+			pinDefault: *pinDefault, ticketTTL: *ticketTTL, ticketBudget: *ticketBudget,
+			buffer: *buffer, budget: *budget, workers: *workers,
+		})
 	case *connectAddr != "":
-		runConnect(buildModel(*modelName, *seed), *modelName, *connectAddr, *n)
+		runConnect(buildModel(*modelName, *seed), *modelName, *connectAddr, *n, *reconnect)
 	default:
 		runLocal(buildModel(*modelName, *seed), *modelName)
 	}
@@ -92,31 +109,45 @@ func buildModel(name string, seed int64) *privinf.Model {
 	return model
 }
 
+// serveOpts bundles the serve-mode flags.
+type serveOpts struct {
+	names                   []string
+	seed                    int64
+	addr, variant           string
+	registryBudget          int64
+	artifactDir             string
+	artifactDiskBudget      int64
+	pinDefault              bool
+	ticketTTL               time.Duration
+	ticketBudget            int64
+	buffer, budget, workers int
+}
+
 // runServe hosts a multi-client, multi-model serving engine until
 // interrupted. Every name in names becomes a registry entry clients can
 // request; the first is the default model.
-func runServe(names []string, seed int64, addr, variantFlag string, registryBudget int64, artifactDir string, buffer, budget, workers int) {
+func runServe(o serveOpts) {
 	var variant privinf.Variant
-	switch variantFlag {
+	switch o.variant {
 	case "cg":
 		variant = privinf.ClientGarbler
 	case "sg":
 		variant = privinf.ServerGarbler
 	default:
-		log.Fatalf("pirun: unknown -variant %q (want cg or sg)", variantFlag)
+		log.Fatalf("pirun: unknown -variant %q (want cg or sg)", o.variant)
 	}
 	var store *serve.ArtifactStore
-	if artifactDir != "" {
+	if o.artifactDir != "" {
 		var err error
-		if store, err = serve.NewArtifactStore(artifactDir); err != nil {
+		if store, err = serve.NewArtifactStoreBudget(o.artifactDir, o.artifactDiskBudget); err != nil {
 			log.Fatal(err)
 		}
 	}
-	reg := serve.NewRegistryWithStore(registryBudget, store)
+	reg := serve.NewRegistryWithStore(o.registryBudget, store)
 	maxLinear := 0
-	for _, name := range names {
+	for _, name := range o.names {
 		name = strings.TrimSpace(name)
-		model := buildModel(name, seed)
+		model := buildModel(name, o.seed)
 		if err := reg.Register(name, model); err != nil {
 			log.Fatal(err)
 		}
@@ -126,25 +157,35 @@ func runServe(names []string, seed int64, addr, variantFlag string, registryBudg
 	}
 	eng, err := serve.New(serve.Config{
 		Registry:         reg,
-		DefaultModel:     strings.TrimSpace(names[0]),
+		DefaultModel:     strings.TrimSpace(o.names[0]),
 		Variant:          variant,
 		LPHEWorkers:      maxLinear,
-		BufferPerSession: buffer,
-		StorageBudget:    budget,
-		OfflineWorkers:   workers,
+		BufferPerSession: o.buffer,
+		StorageBudget:    o.budget,
+		OfflineWorkers:   o.workers,
+		TicketTTL:        o.ticketTTL,
+		TicketBudget:     o.ticketBudget,
+		PinDefaultModel:  o.pinDefault,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ln, err := transport.Listen(addr)
+	ln, err := transport.Listen(o.addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("serving %s, models %s (default %s) on %s\n", variant, strings.Join(reg.Names(), ","), strings.TrimSpace(names[0]), ln.Addr())
+	fmt.Printf("serving %s, models %s (default %s%s) on %s\n", variant, strings.Join(reg.Names(), ","),
+		strings.TrimSpace(o.names[0]), map[bool]string{true: ", pinned", false: ""}[o.pinDefault], ln.Addr())
 	fmt.Printf("scheduler: buffer/session %d, storage budget %d slots, %d offline workers; registry budget %s\n",
-		buffer, budget, workers, humanBudget(registryBudget))
+		o.buffer, o.budget, o.workers, humanBudget(o.registryBudget))
 	if store != nil {
-		fmt.Printf("artifact store: %s (restarts load instead of re-encode; eviction spills)\n", store.Dir())
+		fmt.Printf("artifact store: %s, disk budget %s (restarts load instead of re-encode; eviction spills)\n",
+			store.Dir(), humanBudget(o.artifactDiskBudget))
+	}
+	if o.ticketTTL >= 0 {
+		fmt.Printf("resumption: tickets on (reconnects skip base OTs)\n")
+	} else {
+		fmt.Printf("resumption: disabled\n")
 	}
 
 	go func() {
@@ -165,6 +206,9 @@ func runServe(names []string, seed int64, addr, variantFlag string, registryBudg
 				st.ActiveSessions, st.TotalBuffered, st.RefillsInFlight, st.TotalPrecomputes, st.TotalInferences,
 				human(uint64(st.RegistryBytes)), st.RegistryHits, st.RegistryMisses, st.RegistryEvictions,
 				st.RegistrySpills, st.RegistryReloads, st.RegistryLoadErrors)
+			fmt.Printf("  tickets %d (%s): issued %d, resumed %d, expired %d, unknown %d, evicted %d\n",
+				st.Tickets.Tickets, human(uint64(st.Tickets.Bytes)),
+				st.Tickets.Issued, st.Tickets.Resumed, st.Tickets.Expired, st.Tickets.Unknown, st.Tickets.Evicted)
 			for _, m := range st.Models {
 				if m.Sessions > 0 || m.Resident {
 					fmt.Printf("  model %-8s sessions %d  buffered %d  resident %v (%s)\n",
@@ -187,17 +231,36 @@ func humanBudget(b int64) string {
 	return human(uint64(b))
 }
 
-// runConnect runs one client session against a remote engine, requesting
-// the named registry entry.
-func runConnect(model *privinf.Model, name, addr string, n int) {
-	c, err := serve.DialModel(addr, name, nil)
-	if err != nil {
-		if errors.Is(err, serve.ErrUnknownModel) {
-			log.Fatalf("pirun: engine does not serve model %q: %v", name, err)
+// runConnect runs client sessions against a remote engine, requesting the
+// named registry entry. The first session connects cold through a session
+// preamble; with reconnects > 0 it then closes and reconnects that many
+// times, each resumed connect skipping the base OTs.
+func runConnect(model *privinf.Model, name, addr string, n, reconnects int) {
+	p := serve.NewPreamble()
+	dial := func() *serve.Client {
+		hadTicket := p.HasTicket() // snapshot: the handshake itself may store one
+		start := time.Now()
+		c, err := serve.DialOpts(addr, serve.ConnectOptions{Model: name, Preamble: p})
+		if err != nil {
+			if errors.Is(err, serve.ErrUnknownModel) {
+				log.Fatalf("pirun: engine does not serve model %q: %v", name, err)
+			}
+			log.Fatal(err)
 		}
-		log.Fatal(err)
+		tier := "cold"
+		if resumed, reject := c.ResumeOutcome(); resumed {
+			tier = "resumed"
+		} else if reject != "" {
+			tier = "cold (ticket rejected: " + reject + ")"
+		} else if hadTicket {
+			tier = "artifact-warm"
+		}
+		fmt.Printf("connect (%s): %.0f ms\n", tier, time.Since(start).Seconds()*1000)
+		return c
 	}
-	defer c.Close()
+
+	c := dial()
+	defer func() { c.Close() }()
 	meta := c.Meta()
 	fmt.Printf("connected to %s engine at %s, serving model %q (%d linear layers)\n", c.Variant(), addr, c.Model(), len(meta.Dims))
 	if meta.Dims[0].In != model.InputLen() || meta.P != model.F.P() {
@@ -205,7 +268,7 @@ func runConnect(model *privinf.Model, name, addr string, n int) {
 			meta.Dims[0].In, meta.P, model.InputLen(), model.F.P())
 	}
 
-	for i := 0; i < n; i++ {
+	infer := func(i int) {
 		x := make([]uint64, model.InputLen())
 		for j := range x {
 			x[j] = uint64((j*7 + 3 + i) % 16)
@@ -229,6 +292,14 @@ func runConnect(model *privinf.Model, name, addr string, n int) {
 		if !verified {
 			log.Fatal("pirun: output diverged from plaintext inference (mismatched -model/-seed?)")
 		}
+	}
+	for i := 0; i < n; i++ {
+		infer(i)
+	}
+	for r := 0; r < reconnects; r++ {
+		c.Close()
+		c = dial()
+		infer(n + r)
 	}
 }
 

@@ -27,16 +27,20 @@ type Client struct {
 	sk      bfv.SecretKey
 	enc     *bfv.Encryptor
 	dec     *bfv.Decryptor
-	plans   []bfv.MatVecPlan
 	encoder *bfv.Encoder
+
+	// shared is the immutable client-side model artifact (matvec plans,
+	// ReLU circuits). It may be private to this session (NewClient) or
+	// reused across all of this client's sessions of the model
+	// (NewClientWithShared); either way the Client only reads it.
+	shared *ClientShared
 
 	otSend *ot.ExtSender
 	otRecv *ot.ExtReceiver
 
 	// pres is the FIFO buffer of completed pre-computes; RunOffline
 	// appends one, RunOnline consumes the oldest.
-	pres    []*clientPre
-	circuit []*boolcirc.Circuit
+	pres []*clientPre
 }
 
 // clientPre is one buffered pre-compute's client-side state.
@@ -47,33 +51,47 @@ type clientPre struct {
 	encs   [][]garble.Encoding // CG: garbler encodings
 }
 
-// NewClient constructs the client side. entropy may be nil (crypto/rand).
+// NewClient constructs the client side with a private model artifact — the
+// convenience path for one-off sessions. Repeat clients should build the
+// artifact once with NewClientShared and use NewClientWithShared, so
+// reconnects skip the per-session plan and circuit construction. entropy
+// may be nil (crypto/rand).
 func NewClient(conn transport.MsgConn, cfg Config, meta ModelMeta, entropy io.Reader) (*Client, error) {
-	if err := meta.Validate(); err != nil {
+	shared, err := NewClientShared(cfg.HEParams, meta)
+	if err != nil {
 		return nil, err
 	}
-	if cfg.HEParams.T != meta.P {
-		return nil, fmt.Errorf("delphi: HE plaintext modulus %d != model field %d", cfg.HEParams.T, meta.P)
+	return NewClientWithShared(conn, cfg, shared, entropy)
+}
+
+// NewClientWithShared constructs the client side on a pre-built client
+// artifact: no per-session plan layout or circuit building happens, so
+// session setup cost is independent of model size. entropy may be nil
+// (crypto/rand).
+func NewClientWithShared(conn transport.MsgConn, cfg Config, shared *ClientShared, entropy io.Reader) (*Client, error) {
+	if shared == nil {
+		return nil, fmt.Errorf("delphi: nil shared client artifact")
+	}
+	if cfg.HEParams.T != shared.params.T || cfg.HEParams.N != shared.params.N {
+		return nil, fmt.Errorf("delphi: session HE params (N=%d, T=%d) != artifact params (N=%d, T=%d)",
+			cfg.HEParams.N, cfg.HEParams.T, shared.params.N, shared.params.T)
 	}
 	c := &Client{
 		conn:    conn,
 		cfg:     cfg,
-		meta:    meta,
-		f:       meta.fieldOf(),
+		meta:    shared.meta,
+		f:       shared.meta.fieldOf(),
 		entropy: entropy,
 		encoder: bfv.NewEncoder(cfg.HEParams),
+		shared:  shared,
 	}
 	c.sharing = ss.New(c.f, entropy)
-	c.plans = make([]bfv.MatVecPlan, len(meta.Dims))
-	for i, d := range meta.Dims {
-		c.plans[i] = bfv.PlanMatVec(cfg.HEParams, d.Out, d.In)
-	}
-	c.circuit = buildCircuits(meta)
 	return c, nil
 }
 
-// Setup generates HE keys, sends the public key, and runs base-OT setup.
-func (c *Client) Setup() error {
+// setupKeys generates the per-session HE keys and sends the public key —
+// the key-dependent setup work both the full and the resumed paths pay.
+func (c *Client) setupKeys() error {
 	var pk bfv.PublicKey
 	c.sk, pk = bfv.KeyGen(c.cfg.HEParams, c.entropy)
 	c.enc = bfv.NewEncryptor(c.cfg.HEParams, pk, c.entropy)
@@ -85,7 +103,15 @@ func (c *Client) Setup() error {
 	if err := c.conn.Send(raw); err != nil {
 		return fmt.Errorf("delphi: client setup: %w", err)
 	}
+	return nil
+}
 
+// Setup generates HE keys, sends the public key, and runs base-OT setup.
+func (c *Client) Setup() error {
+	if err := c.setupKeys(); err != nil {
+		return err
+	}
+	var err error
 	switch c.cfg.Variant {
 	case ServerGarbler:
 		c.otRecv, err = ot.NewExtReceiver(c.conn, c.entropy)
@@ -150,7 +176,7 @@ func (c *Client) offlineHE(pre *clientPre) error {
 	pre.r = make([][]uint64, L)
 	for i := 0; i < L; i++ {
 		pre.r[i] = c.sharing.RandomVec(c.meta.Dims[i].In)
-		for _, ct := range c.plans[i].EncryptVector(c.enc, pre.r[i]) {
+		for _, ct := range c.shared.plans[i].EncryptVector(c.enc, pre.r[i]) {
 			raw, err := ct.MarshalBinary()
 			if err != nil {
 				return err
@@ -163,7 +189,7 @@ func (c *Client) offlineHE(pre *clientPre) error {
 
 	pre.cshare = make([][]uint64, L)
 	for i := 0; i < L; i++ {
-		plan := c.plans[i]
+		plan := c.shared.plans[i]
 		decs := make([][]uint64, plan.NumOutputCts())
 		for oc := range decs {
 			raw, err := c.conn.Recv()
@@ -186,7 +212,7 @@ func (c *Client) offlineHE(pre *clientPre) error {
 func (c *Client) offlineReceiveGC(pre *clientPre) error {
 	pre.stored = make([]storedLayer, c.meta.NumReLULayers())
 	for layer := 0; layer < c.meta.NumReLULayers(); layer++ {
-		circ := c.circuit[layer]
+		circ := c.shared.circuits[layer]
 		units := c.meta.Dims[layer].Out
 		payload, err := c.conn.Recv()
 		if err != nil {
@@ -254,7 +280,7 @@ func (c *Client) offlineGarbleSend(pre *clientPre) error {
 	width := c.f.Bits()
 	pre.encs = make([][]garble.Encoding, c.meta.NumReLULayers())
 	for layer := 0; layer < c.meta.NumReLULayers(); layer++ {
-		circ := c.circuit[layer]
+		circ := c.shared.circuits[layer]
 		units := c.meta.Dims[layer].Out
 		pre.encs[layer] = make([]garble.Encoding, units)
 		perUnit := garble.TableBytes(circ) + garble.LabelSize + len(circ.Outputs) + 2*width*garble.LabelSize
@@ -324,7 +350,7 @@ func (c *Client) RunOnline(x []uint64) ([]uint64, OnlineReport, error) {
 			if err != nil {
 				return nil, rep, err
 			}
-			circ := c.circuit[layer]
+			circ := c.shared.circuits[layer]
 			st := pre.stored[layer]
 			outBits := make([]bool, 0, units*width)
 			inputs := make([]garble.Label, circ.NumInputs)

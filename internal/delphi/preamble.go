@@ -1,0 +1,180 @@
+package delphi
+
+import (
+	"fmt"
+
+	"privinf/internal/bfv"
+	"privinf/internal/boolcirc"
+	"privinf/internal/ot"
+)
+
+// ClientShared is the client-side analog of SharedModel: the immutable,
+// secret-free per-model state a client needs for any number of sessions of
+// one model under one HE parameter set — the matvec packing plans and the
+// built ReLU boolean circuits. Neither depends on session keys or on the
+// weights (the plans are shape-only, the circuits public), so a repeat
+// client builds this once per model and reuses it across every session,
+// the same way a serving engine reuses a SharedModel.
+//
+// A ClientShared is strictly read-only after construction and therefore
+// safe for unbounded concurrent use.
+type ClientShared struct {
+	params bfv.Params
+	meta   ModelMeta
+
+	plans    []bfv.MatVecPlan
+	circuits []*boolcirc.Circuit
+	size     uint64
+}
+
+// NewClientShared validates the metadata against the HE parameters and
+// builds the artifact: matvec plans and ReLU circuits.
+func NewClientShared(params bfv.Params, meta ModelMeta) (*ClientShared, error) {
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+	if params.T != meta.P {
+		return nil, fmt.Errorf("delphi: HE plaintext modulus %d != model field %d", params.T, meta.P)
+	}
+	cs := &ClientShared{params: params, meta: meta}
+	cs.plans = make([]bfv.MatVecPlan, len(meta.Dims))
+	for i, d := range meta.Dims {
+		cs.plans[i] = bfv.PlanMatVec(params, d.Out, d.In)
+	}
+	cs.circuits = buildCircuits(meta)
+	// Same accounting convention as SharedModel.computeSize: circuits
+	// dominate, plans count as one cache line apiece.
+	const planBytes = 64
+	cs.size = uint64(len(cs.plans)) * planBytes
+	for _, c := range cs.circuits {
+		cs.size += c.SizeBytes()
+	}
+	return cs, nil
+}
+
+// Meta returns the public model metadata the artifact was built from.
+func (cs *ClientShared) Meta() ModelMeta { return cs.meta }
+
+// Params returns the HE parameter set the plans were laid out under.
+func (cs *ClientShared) Params() bfv.Params { return cs.params }
+
+// SizeBytes returns the artifact's resident memory footprint, the unit a
+// client-side preamble cache budgets alongside server artifacts.
+func (cs *ClientShared) SizeBytes() uint64 { return cs.size }
+
+// Equal reports whether two model descriptions are identical — the
+// compatibility check for reusing a cached ClientShared across sessions.
+func (m ModelMeta) Equal(o ModelMeta) bool {
+	if m.P != o.P || m.Frac != o.Frac || len(m.Dims) != len(o.Dims) || len(m.Shifts) != len(o.Shifts) {
+		return false
+	}
+	for i := range m.Dims {
+		if m.Dims[i] != o.Dims[i] {
+			return false
+		}
+	}
+	for i := range m.Shifts {
+		if m.Shifts[i] != o.Shifts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OTResume is one party's cached base-OT material for session resumption.
+// Exactly one field is set, matching the role the party's variant assigns
+// (Server-Garbler: server sends, client receives; Client-Garbler: the
+// reverse). It pairs with the peer's matching state: both sides must
+// resume from states exported by the same original session, under the same
+// fresh per-session nonce.
+type OTResume struct {
+	Sender   *ot.SenderState
+	Receiver *ot.ReceiverState
+}
+
+// SizeBytes returns the seed material's resident footprint, the unit a
+// resumption ticket cache budgets.
+func (r *OTResume) SizeBytes() int64 {
+	var n int64
+	if r.Sender != nil {
+		n += r.Sender.SizeBytes()
+	}
+	if r.Receiver != nil {
+		n += r.Receiver.SizeBytes()
+	}
+	return n
+}
+
+// OTResume exports the client's resumable base-OT material after a
+// successful Setup (nil before Setup). Cache it alongside the server's
+// resumption ticket and pass it to SetupResume on the next session.
+func (c *Client) OTResume() *OTResume {
+	switch {
+	case c.otRecv != nil:
+		return &OTResume{Receiver: c.otRecv.State()}
+	case c.otSend != nil:
+		return &OTResume{Sender: c.otSend.State()}
+	}
+	return nil
+}
+
+// OTResume exports the server's resumable base-OT material after a
+// successful Setup (nil before Setup).
+func (s *Server) OTResume() *OTResume {
+	switch {
+	case s.otSend != nil:
+		return &OTResume{Sender: s.otSend.State()}
+	case s.otRecv != nil:
+		return &OTResume{Receiver: s.otRecv.State()}
+	}
+	return nil
+}
+
+// SetupResume is Setup with the base OTs replaced by local expansion from
+// cached material: HE keys are still generated and the public key still
+// crosses the wire (keys are per-session), but the ~kappa public-key
+// operations and their three network flights disappear. res must be this
+// party's export from a previous session against the same peer, and nonce
+// must be the fresh per-session value both parties agreed on in their
+// application-level handshake.
+func (c *Client) SetupResume(res *OTResume, nonce []byte) error {
+	if err := c.setupKeys(); err != nil {
+		return err
+	}
+	if res == nil {
+		return fmt.Errorf("delphi: client resume: nil OT state")
+	}
+	var err error
+	switch c.cfg.Variant {
+	case ServerGarbler:
+		c.otRecv, err = ot.ResumeReceiver(c.conn, res.Receiver, nonce)
+	case ClientGarbler:
+		c.otSend, err = ot.ResumeSender(c.conn, res.Sender, nonce)
+	}
+	if err != nil {
+		return fmt.Errorf("delphi: client OT resume: %w", err)
+	}
+	return nil
+}
+
+// SetupResume is the server-side half of a resumed session; see the client
+// method.
+func (s *Server) SetupResume(res *OTResume, nonce []byte) error {
+	if err := s.recvClientKey(); err != nil {
+		return err
+	}
+	if res == nil {
+		return fmt.Errorf("delphi: server resume: nil OT state")
+	}
+	var err error
+	switch s.cfg.Variant {
+	case ServerGarbler:
+		s.otSend, err = ot.ResumeSender(s.conn, res.Sender, nonce)
+	case ClientGarbler:
+		s.otRecv, err = ot.ResumeReceiver(s.conn, res.Receiver, nonce)
+	}
+	if err != nil {
+		return fmt.Errorf("delphi: server OT resume: %w", err)
+	}
+	return nil
+}

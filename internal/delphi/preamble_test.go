@@ -1,0 +1,198 @@
+package delphi
+
+import (
+	"testing"
+
+	"privinf/internal/bfv"
+	"privinf/internal/field"
+	"privinf/internal/nn"
+	"privinf/internal/transport"
+)
+
+// newResumedSession runs one full session to harvest both parties' OT
+// resumption states, then opens a second session over a fresh pipe with
+// SetupResume on both sides.
+func newResumedSession(t *testing.T, variant Variant, model *nn.Lowered, nonce []byte) *session {
+	t.Helper()
+	first := newSession(t, variant, model, 0)
+	cliRes, srvRes := first.client.OTResume(), first.server.OTResume()
+	if cliRes == nil || srvRes == nil {
+		t.Fatal("OTResume returned nil after a completed Setup")
+	}
+
+	params, err := bfv.NewParams(bfv.DefaultN, model.F.P())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Variant: variant, HEParams: params}
+	cc, sc := transport.Pipe()
+	server, err := NewServerShared(sc, cfg, first.server.shared, newSeeded(1003))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClientWithShared(cc, cfg, first.client.shared, newSeeded(2004))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.SetupResume(srvRes, nonce) }()
+	if err := client.SetupResume(cliRes, nonce); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	return &session{client: client, server: server, model: model}
+}
+
+// TestResumedSessionMatchesPlaintext: a session resumed from cached OT
+// material (no base OTs) and shared client/server artifacts produces
+// inference outputs bit-exact with plaintext evaluation, in both variants.
+func TestResumedSessionMatchesPlaintext(t *testing.T) {
+	f := field.New(field.P20)
+	model, err := nn.DemoMLP(f, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, variant := range []Variant{ServerGarbler, ClientGarbler} {
+		t.Run(variant.String(), func(t *testing.T) {
+			s := newResumedSession(t, variant, model, []byte("resume-nonce-1"))
+			x := randomInput(f, model.InputLen(), 17)
+			got, _, _, _, _ := s.inferPrivately(t, x)
+			want := model.Forward(x)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("output %d: private %d, plaintext %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestClientSharedReuseAcrossSessions: one ClientShared serves several
+// sequential sessions (what a repeat client's preamble cache does) and the
+// artifact reports a nonzero budgetable footprint.
+func TestClientSharedReuseAcrossSessions(t *testing.T) {
+	f := field.New(field.P20)
+	model, err := nn.DemoMLP(f, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := bfv.NewParams(bfv.DefaultN, model.F.P())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := MetaOf(model)
+	cs, err := NewClientShared(params, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.SizeBytes() == 0 {
+		t.Fatal("client artifact reports zero size")
+	}
+	if !cs.Meta().Equal(meta) {
+		t.Fatal("client artifact metadata diverged from the model's")
+	}
+
+	shared, err := NewSharedModel(params, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Variant: ClientGarbler, HEParams: params}
+	x := randomInput(f, model.InputLen(), 23)
+	want := model.Forward(x)
+	for k := 0; k < 2; k++ {
+		cc, sc := transport.Pipe()
+		server, err := NewServerShared(sc, cfg, shared, newSeeded(int64(3000+k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, err := NewClientWithShared(cc, cfg, cs, newSeeded(int64(4000+k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		errCh := make(chan error, 1)
+		go func() { errCh <- server.Setup() }()
+		if err := client.Setup(); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+		s := &session{client: client, server: server, model: model}
+		got, _, _, _, _ := s.inferPrivately(t, x)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("session %d output %d: private %d, plaintext %d", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestClientSharedValidation: parameter and metadata mismatches are caught
+// at construction, not mid-protocol.
+func TestClientSharedValidation(t *testing.T) {
+	f := field.New(field.P20)
+	model, err := nn.DemoMLP(f, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := bfv.NewParams(bfv.DefaultN, model.F.P())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := MetaOf(model)
+
+	bad := meta
+	bad.P = meta.P + 2
+	if _, err := NewClientShared(params, bad); err == nil {
+		t.Fatal("NewClientShared accepted a field/params mismatch")
+	}
+	if _, err := NewClientWithShared(nil, Config{HEParams: params}, nil, nil); err == nil {
+		t.Fatal("NewClientWithShared accepted a nil artifact")
+	}
+
+	other := meta
+	other.Dims = append([]LayerDim(nil), meta.Dims...)
+	other.Dims[0].In++
+	if meta.Equal(other) {
+		t.Fatal("Equal missed a dimension change")
+	}
+	if !meta.Equal(MetaOf(model)) {
+		t.Fatal("Equal rejected an identical metadata")
+	}
+}
+
+// TestSetupResumeRejectsMismatchedState: a state for the wrong role (e.g. a
+// receiver state under a variant that needs a sender) fails cleanly.
+func TestSetupResumeRejectsMismatchedState(t *testing.T) {
+	f := field.New(field.P20)
+	model, err := nn.DemoMLP(f, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := newSession(t, ClientGarbler, model, 0)
+	cliRes := first.client.OTResume() // CG client exports a Sender state
+	if cliRes.Sender == nil || cliRes.Receiver != nil {
+		t.Fatalf("CG client state: %+v, want sender-only", cliRes)
+	}
+
+	params, err := bfv.NewParams(bfv.DefaultN, model.F.P())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, sc := transport.Pipe()
+	cfg := Config{Variant: ServerGarbler, HEParams: params}
+	client, err := NewClient(cc, cfg, MetaOf(model), newSeeded(5005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the public key the client sends before failing.
+	go sc.Recv()
+	if err := client.SetupResume(cliRes, []byte("n")); err == nil {
+		t.Fatal("SetupResume accepted a sender state for a receiver role")
+	}
+	if err := client.SetupResume(nil, []byte("n")); err == nil {
+		t.Fatal("SetupResume accepted a nil state")
+	}
+}

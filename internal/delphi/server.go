@@ -114,20 +114,27 @@ func buildCircuits(meta ModelMeta) []*boolcirc.Circuit {
 	return out
 }
 
-// Setup runs the session handshake: receives the client's HE public key and
-// performs base-OT setup. The model-side work (weight encoding, circuit
-// building) lives in the SharedModel artifact, so Setup does no per-session
-// model processing.
-func (s *Server) Setup() error {
+// recvClientKey receives and validates the client's per-session HE public
+// key — the key-dependent setup work both the full and the resumed paths
+// pay.
+func (s *Server) recvClientKey() error {
 	pkRaw, err := s.conn.Recv()
 	if err != nil {
 		return fmt.Errorf("delphi: server setup: %w", err)
 	}
 	var pk bfv.PublicKey
-	if err := pk.UnmarshalBinary(pkRaw); err != nil {
+	return pk.UnmarshalBinary(pkRaw)
+}
+
+// Setup runs the session handshake: receives the client's HE public key and
+// performs base-OT setup. The model-side work (weight encoding, circuit
+// building) lives in the SharedModel artifact, so Setup does no per-session
+// model processing.
+func (s *Server) Setup() error {
+	if err := s.recvClientKey(); err != nil {
 		return err
 	}
-
+	var err error
 	switch s.cfg.Variant {
 	case ServerGarbler:
 		// Server garbles, so it is the OT sender.

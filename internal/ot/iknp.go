@@ -27,6 +27,12 @@ type ExtSender struct {
 	sBlock  Message     // s packed into 16 bytes
 	streams [kappa]cipher.Stream
 	otIndex uint64 // global OT counter for hash-tweak uniqueness
+	// master holds the base-OT seeds for State export (resumption); the
+	// streams above are stateful and cannot be rewound, so the raw seeds
+	// are retained. On a resumed sender these are the original master
+	// seeds, not the nonce-derived per-session ones, so a re-exported
+	// state stays interchangeable with the first session's.
+	master [kappa]Message
 }
 
 // NewExtSender runs base-OT setup over conn. The peer must concurrently run
@@ -51,6 +57,7 @@ func NewExtSender(conn transport.MsgConn, src io.Reader) (*ExtSender, error) {
 		return nil, fmt.Errorf("ot: extension sender base OT: %w", err)
 	}
 	for i, seed := range seeds {
+		s.master[i] = seed
 		s.streams[i] = newPRG(seed)
 	}
 	return s, nil
@@ -106,6 +113,8 @@ type ExtReceiver struct {
 	streams0 [kappa]cipher.Stream
 	streams1 [kappa]cipher.Stream
 	otIndex  uint64
+	// master holds both base-OT seed pairs for State export (resumption).
+	master [kappa][2]Message
 }
 
 // NewExtReceiver runs base-OT setup over conn. The peer must concurrently
@@ -127,6 +136,7 @@ func NewExtReceiver(conn transport.MsgConn, src io.Reader) (*ExtReceiver, error)
 	if err := BaseSend(conn, pairs[:], src); err != nil {
 		return nil, fmt.Errorf("ot: extension receiver base OT: %w", err)
 	}
+	r.master = pairs
 	for i := range pairs {
 		r.streams0[i] = newPRG(pairs[i][0])
 		r.streams1[i] = newPRG(pairs[i][1])

@@ -1,0 +1,110 @@
+package ot
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"privinf/internal/transport"
+)
+
+// OT resumption: the expensive part of IKNP setup is the kappa public-key
+// base OTs (~0.6 s of modular exponentiation per session). Their output —
+// the sender's secret correlation bits s plus one PRG seed per column on
+// the sender side, both seeds per column on the receiver side — is
+// input-independent, so a party that completes one full setup can cache it
+// and open later sessions without re-running the base OTs at all.
+//
+// A cached state is never reused directly: each resumed session derives
+// fresh column seeds as H(master seed || nonce) for a nonce both parties
+// agree on (unique per session), so every session expands independent
+// pseudorandom streams. This is the standard amortization the IKNP
+// extension is built for — the base-OT correlation (s and the seed
+// pairing) is long-lived, only the symmetric expansion is per-session.
+// Reusing s across sessions is safe in the semi-honest model: s never
+// leaves the sender, and the correlation-robust hash breaks the
+// correlation before any label leaves the extension.
+
+// SenderState is the extension sender's cached base-OT outcome: the secret
+// correlation bits and the kappa seeds it received as base-OT chooser. It
+// contains secret material and must be held only by the party that ran the
+// setup (a serving engine's ticket cache, a client's preamble).
+type SenderState struct {
+	sBlock Message
+	seeds  [kappa]Message
+}
+
+// ReceiverState is the extension receiver's cached base-OT outcome: both
+// seeds of every column pair it sent as base-OT sender.
+type ReceiverState struct {
+	seeds [kappa][2]Message
+}
+
+// SizeBytes reports the state's resident footprint, the unit a resumption
+// ticket cache budgets.
+func (st *SenderState) SizeBytes() int64 { return KeySize * (kappa + 1) }
+
+// SizeBytes reports the state's resident footprint.
+func (st *ReceiverState) SizeBytes() int64 { return KeySize * kappa * 2 }
+
+// State exports the sender's resumable base-OT material. The returned
+// state is a copy; it stays valid after the session ends.
+func (s *ExtSender) State() *SenderState {
+	st := &SenderState{sBlock: s.sBlock, seeds: s.master}
+	return st
+}
+
+// State exports the receiver's resumable base-OT material.
+func (r *ExtReceiver) State() *ReceiverState {
+	return &ReceiverState{seeds: r.master}
+}
+
+// deriveSeed maps a master seed to a per-session seed under a session
+// nonce: SHA-256(tag || master || nonce) truncated to a PRG key. Distinct
+// nonces give computationally independent streams, so one cached base-OT
+// outcome serves any number of resumed sessions.
+func deriveSeed(master Message, nonce []byte) Message {
+	h := sha256.New()
+	h.Write([]byte("privinf/ot-resume/v1"))
+	h.Write(master[:])
+	h.Write(nonce)
+	var out Message
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// ResumeSender reconstructs an extension sender from cached base-OT
+// material without any network traffic: the per-session streams are
+// expanded locally from nonce-derived seeds. The peer must resume the
+// matching ReceiverState under the same nonce, and the nonce must be
+// unique per resumed session (reuse would replay identical streams).
+func ResumeSender(conn transport.MsgConn, st *SenderState, nonce []byte) (*ExtSender, error) {
+	if st == nil {
+		return nil, fmt.Errorf("ot: resume sender: nil state")
+	}
+	if len(nonce) == 0 {
+		return nil, fmt.Errorf("ot: resume sender: empty session nonce")
+	}
+	s := &ExtSender{conn: conn, sBlock: st.sBlock, master: st.seeds}
+	for i := 0; i < kappa; i++ {
+		s.s[i] = st.sBlock[i/8]>>(uint(i)%8)&1 == 1
+		s.streams[i] = newPRG(deriveSeed(st.seeds[i], nonce))
+	}
+	return s, nil
+}
+
+// ResumeReceiver reconstructs an extension receiver from cached base-OT
+// material; see ResumeSender.
+func ResumeReceiver(conn transport.MsgConn, st *ReceiverState, nonce []byte) (*ExtReceiver, error) {
+	if st == nil {
+		return nil, fmt.Errorf("ot: resume receiver: nil state")
+	}
+	if len(nonce) == 0 {
+		return nil, fmt.Errorf("ot: resume receiver: empty session nonce")
+	}
+	r := &ExtReceiver{conn: conn, master: st.seeds}
+	for i := 0; i < kappa; i++ {
+		r.streams0[i] = newPRG(deriveSeed(st.seeds[i][0], nonce))
+		r.streams1[i] = newPRG(deriveSeed(st.seeds[i][1], nonce))
+	}
+	return r, nil
+}

@@ -72,6 +72,66 @@ func BenchmarkSessionConnect(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionResume measures the connect-latency tiers the session
+// preamble subsystem creates. "cold" is a full connect: wire handshake, HE
+// keygen, client artifact build, and ~kappa public-key base OTs (the ~0.6 s
+// the ROADMAP calls out). "resumed" presents the ticket from a prior full
+// handshake: both sides expand cached OT seeds locally, so the base OTs —
+// and their three network flights — disappear, and the cached ClientShared
+// replaces circuit/plan construction. The acceptance bar is resumed ≥ 5×
+// faster than cold; in practice the gap is far larger.
+func BenchmarkSessionResume(b *testing.B) {
+	model, err := nn.DemoMLP(field.New(field.P20), 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := New(Config{Model: model, Variant: delphi.ClientGarbler, LPHEWorkers: len(model.Linear)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln := transport.NewPipeListener()
+	go eng.Serve(ln)
+	defer eng.Close()
+
+	connect := func(b *testing.B, p *Preamble) *Client {
+		conn, err := ln.Dial()
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := ConnectOpts(conn, ConnectOptions{Preamble: p})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := connect(b, nil)
+			b.StopTimer()
+			c.Close()
+			b.StartTimer()
+		}
+	})
+
+	b.Run("resumed", func(b *testing.B) {
+		p := NewPreamble()
+		connect(b, p).Close() // full handshake: ticket + artifacts cached
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c := connect(b, p)
+			b.StopTimer()
+			if !c.Resumed() {
+				b.Fatal("reconnect did not resume")
+			}
+			c.Close()
+			b.StartTimer()
+		}
+	})
+}
+
 // BenchmarkRegistryHitVsColdBuild measures the two registry outcomes a
 // handshake can hit: a resident artifact (pointer lookup + LRU bump) vs a
 // cold build (full weight encode + circuit build after eviction or first
@@ -210,12 +270,14 @@ func BenchmarkRegistrySpillReload(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		// Warm both entries (and, with a store, both files) once.
+		// Warm both entries (and, with a store, both files) once; Flush so
+		// the background write-throughs land before the timed loop.
 		for _, name := range []string{"a", "b"} {
 			if _, err := reg.Get(name); err != nil {
 				b.Fatal(err)
 			}
 		}
+		reg.Flush()
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {

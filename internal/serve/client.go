@@ -23,6 +23,11 @@ type Client struct {
 	meta    delphi.ModelMeta
 	model   string
 	variant delphi.Variant
+	// resumed / resumeReject are the handshake's typed resumption outcome:
+	// whether this session's OT setup was expanded from a ticket, and the
+	// welcome's reject code when a presented ticket was turned down.
+	resumed      bool
+	resumeReject string
 
 	buffered atomic.Int64
 
@@ -68,11 +73,17 @@ func Dial(addr string, entropy io.Reader) (*Client, error) {
 // that does not know the name rejects the handshake with an error matching
 // errors.Is(err, ErrUnknownModel). entropy may be nil (crypto/rand).
 func DialModel(addr, model string, entropy io.Reader) (*Client, error) {
+	return DialOpts(addr, ConnectOptions{Model: model, Entropy: entropy})
+}
+
+// DialOpts is DialModel with the full connect options (model, preamble,
+// entropy).
+func DialOpts(addr string, opts ConnectOptions) (*Client, error) {
 	conn, err := transport.Dial(addr)
 	if err != nil {
 		return nil, err
 	}
-	c, err := ConnectModel(conn, model, entropy)
+	c, err := ConnectOpts(conn, opts)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -93,7 +104,44 @@ func Connect(conn *transport.Conn, entropy io.Reader) (*Client, error) {
 // rejections surface as *HandshakeError: match errors.Is(err,
 // ErrUnknownModel) and errors.Is(err, ErrVersionMismatch).
 func ConnectModel(conn *transport.Conn, model string, entropy io.Reader) (*Client, error) {
-	if err := sendCtrl(conn, opHello, marshalJSON(helloMsg{Version: wireVersion, Model: model})); err != nil {
+	return ConnectOpts(conn, ConnectOptions{Model: model, Entropy: entropy})
+}
+
+// ConnectOptions parameterizes ConnectOpts/DialOpts.
+type ConnectOptions struct {
+	// Model names the registry entry to request; empty means the engine's
+	// default model.
+	Model string
+	// Preamble, when non-nil, carries the client's reusable session state:
+	// its resumption ticket rides in the hello (reconnects skip base OTs
+	// when the engine accepts it), cached shared artifacts replace circuit
+	// and plan construction, and the preamble is updated in place with
+	// whatever this handshake produces.
+	Preamble *Preamble
+	// Entropy seeds the session's randomness; nil means crypto/rand.
+	Entropy io.Reader
+}
+
+// ConnectOpts runs the session handshake with full options. A rejected
+// resumption ticket does not fail the connect — the session falls back to
+// the full base-OT path; ResumeOutcome reports what happened.
+func ConnectOpts(conn *transport.Conn, opts ConnectOptions) (*Client, error) {
+	var ticket []byte
+	var state *delphi.OTResume
+	if opts.Preamble != nil {
+		ticket, state = opts.Preamble.ticketSnapshot()
+	}
+	var nonce []byte
+	if len(ticket) > 0 {
+		nonce = randomID()
+	}
+	// The preamble frame and the hello pipeline: both go out before the
+	// first read, so the preamble costs no extra round trip.
+	if err := transport.SendPreamble(conn, transport.Preamble{Version: wireVersion}); err != nil {
+		return nil, err
+	}
+	hello := helloMsg{Version: wireVersion, Model: opts.Model, Ticket: ticket, Nonce: nonce}
+	if err := sendCtrl(conn, opHello, marshalJSON(hello)); err != nil {
 		return nil, err
 	}
 	op, body, err := recvCtrl(conn)
@@ -123,30 +171,69 @@ func ConnectModel(conn *transport.Conn, model string, entropy io.Reader) (*Clien
 	if err := w.Meta.Validate(); err != nil {
 		return nil, err
 	}
+	if w.Resumed && state == nil {
+		return nil, fmt.Errorf("serve: server resumed a ticket this client holds no state for")
+	}
 	params, err := bfv.NewParams(w.RingN, w.Meta.P)
 	if err != nil {
 		return nil, err
 	}
 
 	c := &Client{
-		m:        newMux(conn),
-		meta:     w.Meta,
-		model:    w.Model,
-		variant:  delphi.Variant(w.Variant),
-		loopDone: make(chan struct{}),
+		m:            newMux(conn),
+		meta:         w.Meta,
+		model:        w.Model,
+		variant:      delphi.Variant(w.Variant),
+		resumed:      w.Resumed,
+		resumeReject: w.ResumeReject,
+		loopDone:     make(chan struct{}),
 	}
 	dcfg := delphi.Config{Variant: c.variant, HEParams: params}
-	c.cli, err = delphi.NewClient(dataConn{c.m}, dcfg, w.Meta, delphi.LockedEntropy(entropy))
-	if err != nil {
-		c.m.close(err)
-		return nil, err
+	entropy := delphi.LockedEntropy(opts.Entropy)
+	if opts.Preamble != nil {
+		cs, err := opts.Preamble.sharedFor(w.Model, params, w.Meta)
+		if err != nil {
+			c.m.close(err)
+			return nil, err
+		}
+		c.cli, err = delphi.NewClientWithShared(dataConn{c.m}, dcfg, cs, entropy)
+		if err != nil {
+			c.m.close(err)
+			return nil, err
+		}
+	} else {
+		c.cli, err = delphi.NewClient(dataConn{c.m}, dcfg, w.Meta, entropy)
+		if err != nil {
+			c.m.close(err)
+			return nil, err
+		}
 	}
-	if err := c.cli.Setup(); err != nil {
+	if w.Resumed {
+		err = c.cli.SetupResume(state, joinNonce(nonce, w.Nonce))
+	} else {
+		err = c.cli.Setup()
+		if err == nil && opts.Preamble != nil && len(w.Ticket) > 0 {
+			opts.Preamble.storeTicket(w.Ticket, c.cli.OTResume())
+		}
+	}
+	if err != nil {
 		c.m.close(err)
 		return nil, err
 	}
 	go c.loop()
 	return c, nil
+}
+
+// Resumed reports whether this session's OT setup was expanded from a
+// resumption ticket (no base OTs ran).
+func (c *Client) Resumed() bool { return c.resumed }
+
+// ResumeOutcome returns the handshake's typed resumption outcome: whether
+// the session resumed, and the welcome's reject code ("unknown_ticket",
+// "expired_ticket", "resume_disabled", ...) when a presented ticket was
+// turned down. Both are zero when no ticket was presented.
+func (c *Client) ResumeOutcome() (resumed bool, rejectCode string) {
+	return c.resumed, c.resumeReject
 }
 
 // Meta returns the model's public metadata from the handshake.

@@ -84,6 +84,22 @@ type Config struct {
 	// OfflineWorkers bounds concurrent scheduled offline phases across
 	// sessions (the server's pre-processing parallelism). Minimum 1.
 	OfflineWorkers int
+	// TicketTTL bounds how long an OT resumption ticket stays redeemable
+	// (redeeming slides the window). 0 uses DefaultTicketTTL; < 0 disables
+	// resumption entirely — every connect runs full base OTs.
+	TicketTTL time.Duration
+	// TicketBudget caps the resumption cache's resident seed-material
+	// bytes, evicting least-recently-resumed tickets past it. 0 uses
+	// DefaultTicketBudget; < 0 means unbounded.
+	TicketBudget int64
+	// PinDefaultModel exempts the default model's artifact from registry
+	// LRU eviction and pre-builds it at engine construction, so the
+	// highest-traffic entry never pays the cold-build latency spike.
+	PinDefaultModel bool
+	// ArtifactDiskBudget caps the artifact store directory's bytes when
+	// ArtifactDir is set: every write sweeps least-recently-modified
+	// artifact files past the budget. <= 0 means unbounded.
+	ArtifactDiskBudget int64
 	// Entropy seeds all cryptographic randomness; nil means crypto/rand.
 	// It is locked internally so concurrent sessions may share it.
 	Entropy io.Reader
@@ -102,6 +118,9 @@ type Engine struct {
 	// defaultModel serves hellos that do not name a model; empty rejects
 	// them.
 	defaultModel string
+	// tickets is the OT resumption cache; nil when resumption is disabled
+	// (Config.TicketTTL < 0).
+	tickets *ticketCache
 
 	mu        sync.Mutex
 	sessions  map[uint64]*session
@@ -123,9 +142,12 @@ type session struct {
 	id    uint64
 	addr  string
 	model string // registry name resolved in the handshake
-	eng   *Engine
-	m     *mux
-	srv   *delphi.Server
+	// resumed marks a session whose OT setup was expanded from a cached
+	// ticket instead of running base OTs.
+	resumed bool
+	eng     *Engine
+	m       *mux
+	srv     *delphi.Server
 
 	refill chan struct{}
 
@@ -171,7 +193,7 @@ func New(cfg Config) (*Engine, error) {
 		var store *ArtifactStore
 		if cfg.ArtifactDir != "" {
 			var err error
-			if store, err = NewArtifactStore(cfg.ArtifactDir); err != nil {
+			if store, err = NewArtifactStoreBudget(cfg.ArtifactDir, cfg.ArtifactDiskBudget); err != nil {
 				return nil, err
 			}
 		}
@@ -205,6 +227,20 @@ func New(cfg Config) (*Engine, error) {
 	} else if !reg.Has(defaultModel) {
 		return nil, fmt.Errorf("serve: default model %q is not registered", defaultModel)
 	}
+	if cfg.PinDefaultModel {
+		if defaultModel == "" {
+			return nil, fmt.Errorf("serve: PinDefaultModel set but the engine has no default model")
+		}
+		if err := reg.Pin(defaultModel); err != nil {
+			return nil, err
+		}
+		// Warm-start: build (or reload) the pinned artifact now, so the
+		// first session never pays the ~4-orders-of-magnitude cold-build gap
+		// BenchmarkRegistryHitVsColdBuild measures.
+		if _, err := reg.Get(defaultModel); err != nil {
+			return nil, err
+		}
+	}
 	e := &Engine{
 		cfg:          cfg,
 		reg:          reg,
@@ -214,6 +250,9 @@ func New(cfg Config) (*Engine, error) {
 		sessions:     map[uint64]*session{},
 		conns:        map[*transport.Conn]struct{}{},
 		done:         make(chan struct{}),
+	}
+	if cfg.TicketTTL >= 0 {
+		e.tickets = newTicketCache(cfg.TicketTTL, cfg.TicketBudget)
 	}
 	return e, nil
 }
@@ -272,8 +311,26 @@ func (e *Engine) handle(conn *transport.Conn, addr string) {
 	}()
 
 	// Handshake happens on the raw connection, before the demultiplexer.
-	op, body, err := recvCtrl(conn)
+	// A v3 connection opens with a transport preamble frame, so the wire
+	// version is gated before any JSON is parsed; a first frame that is
+	// not a preamble is a legacy (v2 or older) peer's hello, which falls
+	// through to the JSON version check for the same typed rejection.
+	f, err := conn.Recv()
 	if err != nil {
+		return
+	}
+	var op byte
+	var body []byte
+	if transport.IsPreamble(f) {
+		pre, err := transport.DecodePreamble(f)
+		if err != nil || pre.Version != wireVersion {
+			sendReject(conn, rejectVersion, fmt.Sprintf("serve: client speaks wire version %d, server speaks %d", pre.Version, wireVersion))
+			return
+		}
+		if op, body, err = recvCtrl(conn); err != nil {
+			return
+		}
+	} else if op, body, err = parseCtrl(f); err != nil {
 		return
 	}
 	var hello helloMsg
@@ -305,12 +362,42 @@ func (e *Engine) handle(conn *transport.Conn, addr string) {
 		}
 		return
 	}
+	// Settle the session preamble: a presented ticket either resumes OT
+	// setup from cached seed material or is rejected with a typed code and
+	// the session falls back to the full base-OT path on this same
+	// connection. Full handshakes get a fresh ticket reserved here (it
+	// rides in the welcome) and published once setup produces its state.
+	var (
+		resume       *delphi.OTResume
+		resumeReject string
+		newTicket    []byte
+		serverNonce  []byte
+	)
+	if len(hello.Ticket) > 0 {
+		switch {
+		case e.tickets == nil:
+			resumeReject = resumeDisabled
+		case len(hello.Nonce) == 0:
+			resumeReject = resumeBadNonce
+		default:
+			resume, resumeReject = e.tickets.redeem(hello.Ticket, name)
+		}
+	}
+	if resume != nil {
+		serverNonce = randomID()
+	} else if e.tickets != nil {
+		newTicket = e.tickets.reserve()
+	}
 	welcome := marshalJSON(welcomeMsg{
-		Version: wireVersion,
-		Variant: int(e.cfg.Variant),
-		RingN:   artifact.Params().N,
-		Model:   name,
-		Meta:    artifact.Meta(),
+		Version:      wireVersion,
+		Variant:      int(e.cfg.Variant),
+		RingN:        artifact.Params().N,
+		Model:        name,
+		Meta:         artifact.Meta(),
+		Resumed:      resume != nil,
+		ResumeReject: resumeReject,
+		Ticket:       newTicket,
+		Nonce:        serverNonce,
 	})
 	if err := sendCtrl(conn, opWelcome, welcome); err != nil {
 		return
@@ -320,11 +407,12 @@ func (e *Engine) handle(conn *transport.Conn, addr string) {
 		addr = remote
 	}
 	s := &session{
-		addr:   addr,
-		model:  name,
-		eng:    e,
-		m:      newMux(conn),
-		refill: make(chan struct{}, 1),
+		addr:    addr,
+		model:   name,
+		resumed: resume != nil,
+		eng:     e,
+		m:       newMux(conn),
+		refill:  make(chan struct{}, 1),
 	}
 	dcfg := delphi.Config{Variant: e.cfg.Variant, HEParams: artifact.Params(), LPHEWorkers: e.cfg.LPHEWorkers}
 	s.srv, err = delphi.NewServerShared(dataConn{s.m}, dcfg, artifact, e.entropy)
@@ -332,7 +420,17 @@ func (e *Engine) handle(conn *transport.Conn, addr string) {
 		s.fail(err)
 		return
 	}
-	if err := s.srv.Setup(); err != nil {
+	if resume != nil {
+		// Both halves contribute to the per-session nonce, so neither party
+		// can force a stream replay on the other.
+		err = s.srv.SetupResume(resume, joinNonce(hello.Nonce, serverNonce))
+	} else {
+		err = s.srv.Setup()
+		if err == nil && newTicket != nil {
+			e.tickets.insert(newTicket, s.srv.OTResume(), name)
+		}
+	}
+	if err != nil {
 		s.fail(err)
 		return
 	}
@@ -537,6 +635,10 @@ func (e *Engine) Close() error {
 		c.Close()
 	}
 	e.wg.Wait()
+	// Clean shutdown drains the registry's background disk writes, so a
+	// restart over the same artifact directory finds every write-through
+	// the engine promised (the registry may be shared; waiting is safe).
+	e.reg.Flush()
 	return nil
 }
 
@@ -546,6 +648,9 @@ type SessionStats struct {
 	Addr string
 	// Model is the registry name of the model this session serves.
 	Model string
+	// Resumed marks a session whose OT setup was expanded from a
+	// resumption ticket instead of running base OTs.
+	Resumed bool
 	// Buffered is the session's current pre-compute buffer depth.
 	Buffered int
 	// QueueDepth counts inference requests accepted but not yet finished.
@@ -584,10 +689,20 @@ type ModelStats struct {
 	// this model: a miss paid an artifact resolve (disk reload or rebuild),
 	// an eviction dropped the built artifact under byte-budget pressure.
 	Hits, Misses, Evictions uint64
+	// Pinned reports whether the artifact is exempt from LRU eviction
+	// (Registry.Pin / Config.PinDefaultModel).
+	Pinned bool
 	// Spills, Reloads, LoadErrors and SpillErrors are the disk layer's
 	// counters for this model (see RegistryStats).
 	Spills, Reloads         uint64
 	LoadErrors, SpillErrors uint64
+	// TicketsIssued, Resumes and ResumeRejects are the resumption cache's
+	// counters attributed to sessions of this model (the seed material
+	// itself is model-independent; attribution follows the session's
+	// requested model).
+	TicketsIssued uint64
+	Resumes       uint64
+	ResumeRejects uint64
 }
 
 // Stats is an engine-wide metrics snapshot.
@@ -620,6 +735,9 @@ type Stats struct {
 	RegistryReloads     uint64
 	RegistryLoadErrors  uint64
 	RegistrySpillErrors uint64
+	// Tickets is the OT resumption cache's snapshot (zero-valued when
+	// resumption is disabled).
+	Tickets TicketStats
 }
 
 // Stats snapshots per-session, per-model and aggregate metrics. Lifetime
@@ -650,13 +768,23 @@ func (e *Engine) Stats() Stats {
 		RegistryLoadErrors:  rst.LoadErrors,
 		RegistrySpillErrors: rst.SpillErrors,
 	}
+	var ticketModels map[string]ticketModelCounters
+	if e.tickets != nil {
+		st.Tickets, ticketModels = e.tickets.stats()
+	}
 	// Partition the engine per model: start from the registry's per-model
-	// cache counters, then fold in each live session.
+	// cache counters, then fold in each live session and the resumption
+	// cache's per-model counters.
 	st.Models = rst.Models // already sorted by name
 	byModel := make(map[string]*ModelStats, len(st.Models))
 	for i := range st.Models {
 		ms := &st.Models[i]
 		ms.Buffered = bufferedByModel[ms.Name] // scheduler's per-model partition
+		if tc, ok := ticketModels[ms.Name]; ok {
+			ms.TicketsIssued = tc.issued
+			ms.Resumes = tc.resumed
+			ms.ResumeRejects = tc.rejected
+		}
 		byModel[ms.Name] = ms
 	}
 	for _, s := range sess {
@@ -665,6 +793,7 @@ func (e *Engine) Stats() Stats {
 			ID:          s.id,
 			Addr:        s.addr,
 			Model:       s.model,
+			Resumed:     s.resumed,
 			Buffered:    buffered[s],
 			QueueDepth:  int(s.queued.Load()),
 			Precomputes: s.precomputes,

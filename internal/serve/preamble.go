@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"privinf/internal/bfv"
+	"privinf/internal/delphi"
+)
+
+// Preamble is a client's reusable session-preamble state — everything a
+// repeat client can carry from one session into the next to collapse
+// connect latency:
+//
+//   - the OT resumption ticket from its last full handshake, paired with
+//     the client-side seed material it resumes from, so reconnects skip
+//     the ~0.6 s of public-key base OTs entirely; and
+//   - per-model shared client artifacts (delphi.ClientShared: ReLU
+//     circuits + matvec plans, no secrets), the client-side analog of the
+//     server's SharedModel, built once per model and reused across all of
+//     that client's sessions.
+//
+// Pass one Preamble to every ConnectOpts/DialOpts call of a logical
+// client; it is updated in place after each handshake (fresh ticket on a
+// full handshake, artifact cache fills on first use of a model). Safe for
+// concurrent use. A Preamble holds secret OT correlation material — it
+// belongs to one client and must not be shared between mutually
+// distrusting parties.
+type Preamble struct {
+	mu     sync.Mutex
+	ticket []byte
+	state  *delphi.OTResume
+	shared map[string]*delphi.ClientShared
+}
+
+// NewPreamble returns an empty preamble.
+func NewPreamble() *Preamble {
+	return &Preamble{shared: map[string]*delphi.ClientShared{}}
+}
+
+// HasTicket reports whether the preamble holds a resumption ticket.
+func (p *Preamble) HasTicket() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.ticket) > 0
+}
+
+// ForgetTicket drops the resumption ticket (and its seed material) while
+// keeping the shared artifacts — the artifact-warm tier: the next connect
+// runs full base OTs but still skips circuit and plan construction.
+func (p *Preamble) ForgetTicket() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ticket, p.state = nil, nil
+}
+
+// SizeBytes reports the preamble's resident footprint: cached shared
+// artifacts plus OT seed material.
+func (p *Preamble) SizeBytes() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n uint64
+	if p.state != nil {
+		n += uint64(p.state.SizeBytes())
+	}
+	for _, cs := range p.shared {
+		n += cs.SizeBytes()
+	}
+	return n
+}
+
+// ticketSnapshot returns the current ticket and its paired client-side
+// state (nil when none).
+func (p *Preamble) ticketSnapshot() ([]byte, *delphi.OTResume) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.ticket, p.state
+}
+
+// storeTicket replaces the ticket/state pair after a full handshake.
+func (p *Preamble) storeTicket(ticket []byte, state *delphi.OTResume) {
+	if len(ticket) == 0 || state == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.ticket = append([]byte(nil), ticket...)
+	p.state = state
+}
+
+// sharedFor returns the cached client artifact for a model name, building
+// and caching one when absent or when the engine's metadata for the name
+// changed (a re-registered model, or a colliding name on another engine).
+func (p *Preamble) sharedFor(model string, params bfv.Params, meta delphi.ModelMeta) (*delphi.ClientShared, error) {
+	p.mu.Lock()
+	cs, ok := p.shared[model]
+	p.mu.Unlock()
+	if ok && cs.Params().T == params.T && cs.Params().N == params.N && cs.Meta().Equal(meta) {
+		return cs, nil
+	}
+	cs, err := delphi.NewClientShared(params, meta)
+	if err != nil {
+		return nil, fmt.Errorf("serve: preamble artifact for %q: %w", model, err)
+	}
+	p.mu.Lock()
+	p.shared[model] = cs
+	p.mu.Unlock()
+	return cs, nil
+}

@@ -58,6 +58,16 @@ type Registry struct {
 	lru     *list.List // of *regEntry; front = most recently used resident
 	bytes   int64
 
+	// Background spill writer state: disk writes (write-through after a
+	// build, spill-before-drop at eviction) run on a lazily started worker
+	// goroutine, so neither the miss path nor an evicting Get waits on the
+	// disk. spillQ is the pending jobs, spillActive whether a worker is
+	// draining it, pendingSpills the queued+in-flight count Flush waits on.
+	spillQ        []spillJob
+	spillActive   bool
+	pendingSpills int
+	spillDone     *sync.Cond // signalled when pendingSpills reaches zero
+
 	hits, misses, evictions uint64
 	spills, reloads         uint64
 	loadErrors, spillErrors uint64
@@ -72,6 +82,8 @@ type regEntry struct {
 	art  *delphi.SharedModel
 	size int64
 	elem *list.Element // non-nil iff art != nil
+	// pinned exempts the artifact from LRU eviction (Registry.Pin).
+	pinned bool
 	// spilled records that the store holds a current copy of the artifact,
 	// so eviction can drop the memory without a disk write. spilling marks
 	// a deferred spill job already queued but not yet written, so a
@@ -107,12 +119,14 @@ func NewRegistry(budgetBytes int64) *Registry {
 // disk load before building, built artifacts are written through to disk,
 // and eviction spills instead of dropping.
 func NewRegistryWithStore(budgetBytes int64, store *ArtifactStore) *Registry {
-	return &Registry{
+	r := &Registry{
 		budget:  budgetBytes,
 		store:   store,
 		entries: map[string]*regEntry{},
 		lru:     list.New(),
 	}
+	r.spillDone = sync.NewCond(&r.mu)
+	return r
 }
 
 // Store returns the registry's artifact store (nil when memory-only).
@@ -143,8 +157,9 @@ func (r *Registry) Register(name string, model *nn.Lowered) error {
 // RegisterArtifact adds a named model with a pre-built artifact, resident
 // immediately. The artifact still participates in LRU eviction; its source
 // model is retained so it can be re-resolved lazily afterwards. With a
-// store, the artifact is written through to disk before RegisterArtifact
-// returns.
+// store, the artifact's write-through is queued on the background spill
+// writer; call Flush to wait for it when durability matters before the
+// next Get (Engine.Close drains it on clean shutdown).
 func (r *Registry) RegisterArtifact(name string, art *delphi.SharedModel) error {
 	if name == "" {
 		return fmt.Errorf("serve: registry: empty model name")
@@ -166,8 +181,32 @@ func (r *Registry) RegisterArtifact(name string, art *delphi.SharedModel) error 
 		e.spilling = true
 		jobs = append(jobs, spillJob{entry: e, art: art})
 	}
+	r.enqueueSpills(jobs)
 	r.mu.Unlock()
-	r.runSpills(jobs)
+	return nil
+}
+
+// Pin exempts a registered model's artifact from LRU eviction, so the
+// engine's highest-traffic entries never pay the cold-rebuild latency
+// spike. Pinned artifacts still count against the byte budget; a registry
+// whose pinned set exceeds the budget simply stays over it.
+func (r *Registry) Pin(name string) error {
+	return r.setPinned(name, true)
+}
+
+// Unpin returns a pinned model to normal LRU eviction.
+func (r *Registry) Unpin(name string) error {
+	return r.setPinned(name, false)
+}
+
+func (r *Registry) setPinned(name string, pinned bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	e.pinned = pinned
 	return nil
 }
 
@@ -231,22 +270,22 @@ func (r *Registry) Get(name string) (*delphi.SharedModel, error) {
 			e.reloads++
 			r.reloads++
 		}
-		if res.spilled {
-			e.spills++
-			r.spills++
-		}
-		if res.spillFailed {
-			e.spillErrors++
-			r.spillErrors++
-		}
 		e.art = res.art
 		e.size = int64(res.art.SizeBytes())
-		e.spilled = res.reloaded || res.spilled
+		e.spilled = res.reloaded
 		e.elem = r.lru.PushFront(e)
 		r.bytes += e.size
 		jobs := r.evictOver(e)
+		if r.store != nil && !res.reloaded && !e.spilling {
+			// Write-through rides the background writer: the first request
+			// gets its artifact as soon as the build finishes, and the disk
+			// copy (which makes a later eviction a free drop and the next
+			// restart a load) follows asynchronously.
+			e.spilling = true
+			jobs = append(jobs, spillJob{entry: e, art: res.art})
+		}
+		r.enqueueSpills(jobs)
 		r.mu.Unlock()
-		r.runSpills(jobs)
 		return res.art, nil
 	}
 }
@@ -256,16 +295,17 @@ type resolveResult struct {
 	art *delphi.SharedModel
 	err error
 	// reloaded: the artifact came from the store. loadFailed: the store had
-	// a file but it was unusable (corrupt, stale, wrong version). spilled /
-	// spillFailed: the write-through of a fresh build succeeded / failed.
+	// a file but it was unusable (corrupt, stale, wrong version).
 	reloaded, loadFailed bool
-	spilled, spillFailed bool
 }
 
 // resolve materializes one entry's artifact outside the registry lock:
-// store load first (when backed), build otherwise, write-through after a
-// fresh build. Store failures in either direction degrade to the
-// memory-only behavior rather than failing the Get.
+// store load first (when backed), build otherwise. A fresh build's
+// write-through does NOT happen here — the caller queues it on the
+// background spill writer, so the first request for a model returns as
+// soon as the encode finishes instead of also waiting on the disk. Store
+// load failures degrade to the memory-only behavior rather than failing
+// the Get.
 func (r *Registry) resolve(e *regEntry) resolveResult {
 	if r.resolveHook != nil {
 		r.resolveHook(e.name)
@@ -288,25 +328,33 @@ func (r *Registry) resolve(e *regEntry) resolveResult {
 		return res
 	}
 	res.art = art
-	if r.store != nil {
-		// Write-through: with the disk copy current from build time, a later
-		// eviction drops the memory for free and a process restart loads
-		// instead of encoding.
-		if err := r.store.Save(e.name, art); err != nil {
-			res.spillFailed = true
-		} else {
-			res.spilled = true
-		}
-	}
 	return res
 }
 
-// runSpills performs deferred disk writes (evicted or registered artifacts
-// the store does not hold yet) and folds the outcomes into the counters.
-// Runs outside the registry lock — spilling a multi-megabyte artifact must
-// not block hits.
-func (r *Registry) runSpills(jobs []spillJob) {
-	for _, job := range jobs {
+// enqueueSpills hands deferred disk writes (write-throughs of fresh
+// builds, evicted artifacts the store does not hold yet) to the background
+// spill writer, starting one if none is draining. Called with r.mu held.
+func (r *Registry) enqueueSpills(jobs []spillJob) {
+	if len(jobs) == 0 {
+		return
+	}
+	r.spillQ = append(r.spillQ, jobs...)
+	r.pendingSpills += len(jobs)
+	if !r.spillActive {
+		r.spillActive = true
+		go r.spillWorker()
+	}
+}
+
+// spillWorker drains the spill queue, writing outside the registry lock,
+// and exits when the queue empties (no long-lived goroutine per registry).
+// Outcomes fold into the spill counters; Flush waits on pendingSpills.
+func (r *Registry) spillWorker() {
+	r.mu.Lock()
+	for len(r.spillQ) > 0 {
+		job := r.spillQ[0]
+		r.spillQ = r.spillQ[1:]
+		r.mu.Unlock()
 		err := r.store.Save(job.entry.name, job.art)
 		r.mu.Lock()
 		job.entry.spilling = false
@@ -318,8 +366,24 @@ func (r *Registry) runSpills(jobs []spillJob) {
 			job.entry.spills++
 			r.spills++
 		}
-		r.mu.Unlock()
+		r.pendingSpills--
+		if r.pendingSpills == 0 {
+			r.spillDone.Broadcast()
+		}
 	}
+	r.spillActive = false
+	r.mu.Unlock()
+}
+
+// Flush blocks until every queued background disk write has completed —
+// the barrier restart-sensitive callers (and tests) use before trusting
+// the store's contents or the spill counters.
+func (r *Registry) Flush() {
+	r.mu.Lock()
+	for r.pendingSpills > 0 {
+		r.spillDone.Wait()
+	}
+	r.mu.Unlock()
 }
 
 // buildArtifact encodes one model into its shared artifact under the
@@ -333,18 +397,18 @@ func buildArtifact(model *nn.Lowered) (*delphi.SharedModel, error) {
 }
 
 // evictOver drops least-recently-used resident artifacts until the byte
-// budget holds, never evicting pinned (the artifact the caller is about to
-// hand out). With a store, an eviction whose disk copy is not current
-// becomes a spill job for the caller to run after unlocking — eviction
-// itself only ever drops memory. Called with r.mu held.
-func (r *Registry) evictOver(pinned *regEntry) []spillJob {
+// budget holds, never evicting hold (the artifact the caller is about to
+// hand out) or entries pinned with Registry.Pin. With a store, an eviction
+// whose disk copy is not current becomes a spill job for the caller to
+// queue — eviction itself only ever drops memory. Called with r.mu held.
+func (r *Registry) evictOver(hold *regEntry) []spillJob {
 	if r.budget <= 0 {
 		return nil
 	}
 	var jobs []spillJob
 	for r.bytes > r.budget {
 		el := r.lru.Back()
-		for el != nil && el.Value.(*regEntry) == pinned {
+		for el != nil && (el.Value.(*regEntry) == hold || el.Value.(*regEntry).pinned) {
 			el = el.Prev()
 		}
 		if el == nil {
@@ -439,6 +503,7 @@ func (r *Registry) Stats() RegistryStats {
 			Name:        e.name,
 			Resident:    e.art != nil,
 			OnDisk:      e.spilled,
+			Pinned:      e.pinned,
 			SizeBytes:   e.size,
 			Hits:        e.hits,
 			Misses:      e.misses,

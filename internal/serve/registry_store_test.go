@@ -33,16 +33,18 @@ func TestRegistrySpillReloadCycle(t *testing.T) {
 	size := mlpArtifactSize(t)
 	reg := storeBackedRegistry(t, t.TempDir(), size, map[string]int64{"a": 120, "b": 121})
 
-	builtA, err := reg.Get("a") // miss: build + write-through spill
+	builtA, err := reg.Get("a") // miss: build, write-through queued in background
 	if err != nil {
 		t.Fatal(err)
 	}
+	reg.Flush() // write-through is async; barrier before trusting the disk
 	if !reg.Store().Has("a") {
 		t.Fatal("built artifact was not written through to the store")
 	}
 	if _, err := reg.Get("b"); err != nil { // evicts a (disk copy current)
 		t.Fatal(err)
 	}
+	reg.Flush()
 	reloadedA, err := reg.Get("a") // must reload, not rebuild
 	if err != nil {
 		t.Fatal(err)
@@ -81,6 +83,7 @@ func TestRegistryRestartLoadsFromStore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	first.Flush() // the "process" must finish its background write before "exiting"
 
 	second := storeBackedRegistry(t, dir, 0, map[string]int64{"m": 122})
 	art, err := second.Get("m")
@@ -117,6 +120,7 @@ func TestRegistryFallsBackOnDamagedStore(t *testing.T) {
 			if _, err := seeder.Get("m"); err != nil { // populate the file
 				t.Fatal(err)
 			}
+			seeder.Flush()
 			corruptFile(t, seeder.Store(), "m", damage)
 
 			reg := storeBackedRegistry(t, dir, 0, map[string]int64{"m": 123})
@@ -127,6 +131,7 @@ func TestRegistryFallsBackOnDamagedStore(t *testing.T) {
 			if art == nil || art.SizeBytes() == 0 {
 				t.Fatal("fallback build produced a broken artifact")
 			}
+			reg.Flush() // the repairing write-through runs in the background
 			st := reg.Stats()
 			if st.LoadErrors != 1 {
 				t.Fatalf("LoadErrors = %d, want 1", st.LoadErrors)
@@ -165,6 +170,7 @@ func TestRegistryRejectsStaleWeightsSameArchitecture(t *testing.T) {
 	if _, err := old.Get("m"); err != nil { // persist seed-131 weights
 		t.Fatal(err)
 	}
+	old.Flush()
 
 	// Same architecture, different seed ⇒ different weights, equal metadata.
 	reg := storeBackedRegistry(t, dir, 0, map[string]int64{"m": 132})
@@ -193,6 +199,7 @@ func TestRegistryEmptyStoreDirFallsBack(t *testing.T) {
 	if _, err := reg.Get("m"); err != nil {
 		t.Fatal(err)
 	}
+	reg.Flush()
 	st := reg.Stats()
 	if st.LoadErrors != 0 {
 		t.Fatalf("an absent file is a miss, not a load error; LoadErrors = %d", st.LoadErrors)
@@ -212,6 +219,7 @@ func TestRegistrySingleFlightReload(t *testing.T) {
 	if _, err := seeder.Get("m"); err != nil {
 		t.Fatal(err)
 	}
+	seeder.Flush()
 
 	reg := storeBackedRegistry(t, dir, 0, map[string]int64{"m": 125})
 	const goroutines = 16
@@ -267,6 +275,15 @@ func TestRegistryReloadUnderEvictionChurn(t *testing.T) {
 	models := map[string]int64{"a": 126, "b": 127}
 	reg := storeBackedRegistry(t, dir, size, models)
 
+	// Warm both entries and let the background write-throughs land, so the
+	// churn below measures the steady state (every miss reloads from disk).
+	for _, name := range []string{"a", "b"} {
+		if _, err := reg.Get(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg.Flush()
+
 	const goroutines = 8
 	const iters = 6
 	var wg sync.WaitGroup
@@ -298,9 +315,10 @@ func TestRegistryReloadUnderEvictionChurn(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	reg.Flush()
 	st := reg.Stats()
-	if st.Hits+st.Misses != goroutines*iters {
-		t.Fatalf("lookups don't add up: hits=%d misses=%d, want %d total", st.Hits, st.Misses, goroutines*iters)
+	if st.Hits+st.Misses != goroutines*iters+2 { // +2 warm-up lookups
+		t.Fatalf("lookups don't add up: hits=%d misses=%d, want %d total", st.Hits, st.Misses, goroutines*iters+2)
 	}
 	if st.LoadErrors != 0 || st.SpillErrors != 0 {
 		t.Fatalf("store errors under churn: %+v", st)
@@ -319,6 +337,35 @@ func TestRegistryReloadUnderEvictionChurn(t *testing.T) {
 		t.Fatalf("%d builds under churn; the store should absorb re-resolves (misses=%d reloads=%d)",
 			builds, st.Misses, st.Reloads)
 	}
+}
+
+// TestRegistryBackgroundSpill pins the async write-through semantics: Get
+// returns the built artifact without waiting on the disk (the miss path
+// pays encode only), the spill lands on the background writer, and Flush
+// is the barrier after which the file, the counters, and OnDisk are all
+// current.
+func TestRegistryBackgroundSpill(t *testing.T) {
+	reg := storeBackedRegistry(t, t.TempDir(), 0, map[string]int64{"m": 133})
+	art, err := reg.Get("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art == nil || art.SizeBytes() == 0 {
+		t.Fatal("broken artifact")
+	}
+	reg.Flush()
+	if !reg.Store().Has("m") {
+		t.Fatal("background write-through never landed")
+	}
+	st := reg.Stats()
+	if st.Spills != 1 || st.SpillErrors != 0 {
+		t.Fatalf("spills=%d spillErrors=%d after Flush, want 1/0", st.Spills, st.SpillErrors)
+	}
+	if m := modelStats(t, st, "m"); !m.OnDisk || m.Spills != 1 {
+		t.Fatalf("per-model counters after Flush: %+v", m)
+	}
+	// Flush with nothing pending returns immediately (no deadlock).
+	reg.Flush()
 }
 
 // TestRegistryGetDoesNotHoldLockDuringResolve is the lock-scope regression
@@ -397,6 +444,7 @@ func TestRegistrySpillErrorDegradesToMemoryOnly(t *testing.T) {
 	if art == nil {
 		t.Fatal("nil artifact")
 	}
+	reg.Flush() // the failing write happens in the background
 	st := reg.Stats()
 	if st.SpillErrors != 1 {
 		t.Fatalf("SpillErrors = %d, want 1", st.SpillErrors)

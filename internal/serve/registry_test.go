@@ -128,6 +128,84 @@ func TestRegistryLazyRebuildAfterEviction(t *testing.T) {
 	}
 }
 
+// TestRegistryPinnedSurvivesEviction: a pinned artifact is never the LRU
+// victim — budget pressure evicts around it, and when nothing else is
+// evictable the registry simply stays over budget rather than dropping a
+// pinned entry.
+func TestRegistryPinnedSurvivesEviction(t *testing.T) {
+	size := mlpArtifactSize(t)
+	reg := registryWith(t, size, map[string]int64{"pinned": 105, "other": 106})
+	if err := reg.Pin("pinned"); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Pin("nope"); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("Pin(unknown) = %v, want ErrUnknownModel", err)
+	}
+
+	if _, err := reg.Get("pinned"); err != nil {
+		t.Fatal(err)
+	}
+	// Under a one-artifact budget, building "other" would normally evict
+	// the LRU "pinned"; with the pin it must not.
+	if _, err := reg.Get("other"); err != nil {
+		t.Fatal(err)
+	}
+	st := reg.Stats()
+	if p := modelStats(t, st, "pinned"); !p.Resident || !p.Pinned || p.Evictions != 0 {
+		t.Fatalf("pinned model: %+v, want resident, pinned, unevicted", p)
+	}
+	// "other" is the only evictable entry; with pinned+other over budget it
+	// is the one that goes on the NEXT insert pressure. Touch pinned again
+	// and rebuild other to exercise the skip path once more.
+	if _, err := reg.Get("pinned"); err != nil { // hit, stays resident
+		t.Fatal(err)
+	}
+
+	// Unpinning restores normal LRU behavior.
+	if err := reg.Unpin("pinned"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Get("other"); err != nil { // may now evict "pinned"
+		t.Fatal(err)
+	}
+	st = reg.Stats()
+	if p := modelStats(t, st, "pinned"); p.Pinned {
+		t.Fatalf("unpinned model still reports pinned: %+v", p)
+	}
+	if st.BytesResident > 2*size {
+		t.Fatalf("resident %d bytes, want at most two artifacts", st.BytesResident)
+	}
+}
+
+// TestEnginePinDefaultModel: the engine-level wiring — the default model is
+// pinned and pre-built at construction.
+func TestEnginePinDefaultModel(t *testing.T) {
+	reg := registryWith(t, mlpArtifactSize(t), map[string]int64{"a": 107, "b": 108})
+	eng, err := New(Config{
+		Registry:        reg,
+		DefaultModel:    "a",
+		Variant:         delphi.ClientGarbler,
+		LPHEWorkers:     2,
+		PinDefaultModel: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+
+	st := reg.Stats()
+	a := modelStats(t, st, "a")
+	if !a.Pinned || !a.Resident || a.Misses != 1 {
+		t.Fatalf("default model after construction: %+v, want pinned, warm-built", a)
+	}
+	if _, err := reg.Get("b"); err != nil { // budget pressure must skip "a"
+		t.Fatal(err)
+	}
+	if a := modelStats(t, reg.Stats(), "a"); !a.Resident || a.Evictions != 0 {
+		t.Fatalf("pinned default was evicted: %+v", a)
+	}
+}
+
 // TestRegistryUnknownModel: lookups of unregistered names fail with the
 // typed sentinel.
 func TestRegistryUnknownModel(t *testing.T) {

@@ -9,6 +9,10 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
 
 	"privinf/internal/delphi"
 	"privinf/internal/nn"
@@ -39,8 +43,20 @@ import (
 //
 // An ArtifactStore is safe for concurrent use: Save's rename is atomic and
 // Load reads a snapshot of whichever version the rename published.
+//
+// Opening a store sweeps orphaned temp files a crashed writer left behind,
+// and a store opened with a disk budget (NewArtifactStoreBudget) sweeps
+// least-recently-modified artifact files after every Save, so a registry
+// serving a rotating model population no longer grows the directory
+// unboundedly.
 type ArtifactStore struct {
 	dir string
+	// diskBudget caps total artifact-file bytes in dir; <= 0 unbounded.
+	// Save triggers a sweep past it, and Sweep can be called directly.
+	diskBudget int64
+	// sweepMu serializes sweeps so concurrent Saves do not race over the
+	// same directory listing.
+	sweepMu sync.Mutex
 }
 
 // Sentinel errors distinguishing the store's failure modes; match with
@@ -74,15 +90,119 @@ func storeChecksum(payload []byte) uint32 {
 const storeHeaderBytes = 4 + 4 + 8 + 4
 
 // NewArtifactStore opens (creating if necessary) an artifact store rooted
-// at dir.
+// at dir, with no disk budget.
 func NewArtifactStore(dir string) (*ArtifactStore, error) {
+	return NewArtifactStoreBudget(dir, 0)
+}
+
+// NewArtifactStoreBudget opens an artifact store whose directory is kept
+// under diskBudget bytes of artifact files (<= 0 means unbounded): every
+// Save sweeps least-recently-modified files past the budget. Opening also
+// deletes orphaned temp files left by crashed atomic writes.
+func NewArtifactStoreBudget(dir string, diskBudget int64) (*ArtifactStore, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("serve: artifact store: empty directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("serve: artifact store: %w", err)
 	}
-	return &ArtifactStore{dir: dir}, nil
+	st := &ArtifactStore{dir: dir, diskBudget: diskBudget}
+	st.sweepTemp()
+	return st, nil
+}
+
+// tempMaxAge is how old a temp file must be before the startup sweep
+// treats it as orphaned. A live writer in another process sharing the
+// directory finishes (or fails) its write-then-rename in well under this.
+const tempMaxAge = time.Hour
+
+// artifactSuffix is the extension every published artifact file carries.
+const artifactSuffix = ".piart"
+
+// sweepTemp removes orphaned atomic-write temp files (".<name>.tmp-*")
+// older than tempMaxAge — the debris a writer crashed between CreateTemp
+// and Rename leaves behind. Best-effort: a file that vanishes mid-sweep or
+// cannot be removed is simply skipped. Returns the number removed.
+func (st *ArtifactStore) sweepTemp() int {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return 0
+	}
+	cutoff := time.Now().Add(-tempMaxAge)
+	removed := 0
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasPrefix(name, ".") || !strings.Contains(name, ".tmp-") {
+			continue
+		}
+		// A published artifact always ends in artifactSuffix; a model whose
+		// escaped name happens to start with "." and contain ".tmp-" must
+		// not be mistaken for crash debris.
+		if strings.HasSuffix(name, artifactSuffix) {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		if os.Remove(filepath.Join(st.dir, name)) == nil {
+			removed++
+		}
+	}
+	return removed
+}
+
+// Sweep deletes least-recently-modified artifact files until the
+// directory's artifact bytes fit budget (<= 0 sweeps nothing). The
+// most-recently-modified file is never deleted, so the artifact a Save
+// just published always survives its own sweep. Temp files and foreign
+// files are untouched. Returns the number of files removed.
+//
+// Eviction order is by file modification time, which the registry's
+// write-through refreshes on every spill — so disk LRU tracks build
+// recency, an approximation of use recency that needs no extra metadata.
+func (st *ArtifactStore) Sweep(budget int64) (int, error) {
+	if budget <= 0 {
+		return 0, nil
+	}
+	st.sweepMu.Lock()
+	defer st.sweepMu.Unlock()
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return 0, fmt.Errorf("serve: artifact store sweep: %w", err)
+	}
+	type file struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var files []file
+	var total int64
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), artifactSuffix) {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue // vanished mid-listing
+		}
+		files = append(files, file{path: filepath.Join(st.dir, ent.Name()), size: info.Size(), mtime: info.ModTime()})
+		total += info.Size()
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	removed := 0
+	for i := 0; total > budget && i < len(files)-1; i++ {
+		if err := os.Remove(files[i].path); err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				total -= files[i].size
+				continue
+			}
+			return removed, fmt.Errorf("serve: artifact store sweep: %w", err)
+		}
+		total -= files[i].size
+		removed++
+	}
+	return removed, nil
 }
 
 // Dir returns the store's root directory.
@@ -92,7 +212,7 @@ func (st *ArtifactStore) Dir() string { return st.dir }
 // URL-path-escaped so arbitrary registry names (slashes included) stay
 // within the store directory.
 func (st *ArtifactStore) Path(name string) string {
-	return filepath.Join(st.dir, url.PathEscape(name)+".piart")
+	return filepath.Join(st.dir, url.PathEscape(name)+artifactSuffix)
 }
 
 // Has reports whether an artifact file exists under name (without
@@ -154,6 +274,12 @@ func (st *ArtifactStore) Save(name string, art *delphi.SharedModel) error {
 	if err := os.Rename(tmpName, st.Path(name)); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("serve: artifact store: publish %q: %w", name, err)
+	}
+	if st.diskBudget > 0 {
+		// Keep the directory under its budget; the just-published file is
+		// the newest and therefore never the one swept. Sweep failures do
+		// not fail the Save — the write itself succeeded.
+		st.Sweep(st.diskBudget)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 
 	"privinf/internal/delphi"
 	"privinf/internal/field"
@@ -184,5 +185,160 @@ func TestArtifactStoreEmptyDir(t *testing.T) {
 	model := testModel(t, 116)
 	if _, err := st.Load("anything", model); !errors.Is(err, ErrArtifactNotFound) {
 		t.Fatalf("Load from empty store = %v, want ErrArtifactNotFound", err)
+	}
+}
+
+// TestArtifactStoreSweepsOrphanedTemps: opening a store deletes stale
+// atomic-write temp files a crashed writer left, but spares fresh ones (a
+// live writer in another process) and published artifacts.
+func TestArtifactStoreSweepsOrphanedTemps(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewArtifactStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := testModel(t, 117)
+	art, err := delphi.NewSharedModel(mustParams(t, model), model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save("m", art); err != nil {
+		t.Fatal(err)
+	}
+
+	// An artifact whose model name starts with "." and contains ".tmp-"
+	// publishes to a file that pattern-matches crash debris; the suffix
+	// check must protect it.
+	if err := st.Save(".weird.tmp-name", art); err != nil {
+		t.Fatal(err)
+	}
+
+	stale := filepath.Join(dir, ".m.tmp-12345")
+	fresh := filepath.Join(dir, ".m.tmp-67890")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("half-written"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * tempMaxAge)
+	for _, p := range []string{stale, st.Path(".weird.tmp-name")} {
+		if err := os.Chtimes(p, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st2, err := NewArtifactStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("startup sweep left the orphaned temp file")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatal("startup sweep deleted a fresh temp file (possibly a live writer's)")
+	}
+	if _, err := st2.Load("m", art.Model()); err != nil {
+		t.Fatalf("published artifact damaged by the sweep: %v", err)
+	}
+	if !st2.Has(".weird.tmp-name") {
+		t.Fatal("startup sweep deleted a published artifact whose name mimics temp debris")
+	}
+}
+
+// TestArtifactStoreSweepBudget: Sweep deletes least-recently-modified
+// artifact files until the directory fits the budget, never the newest.
+func TestArtifactStoreSweepBudget(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewArtifactStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := testModel(t, 118)
+	art, err := delphi.NewSharedModel(mustParams(t, model), model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var size int64
+	for i, name := range []string{"old", "mid", "new"} {
+		if err := st.Save(name, art); err != nil {
+			t.Fatal(err)
+		}
+		info, err := os.Stat(st.Path(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		size = info.Size()
+		// Separate mtimes deterministically (filesystem timestamps can tie).
+		mt := time.Now().Add(time.Duration(i-3) * time.Hour)
+		if err := os.Chtimes(st.Path(name), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	removed, err := st.Sweep(size + size/2) // room for one file only
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("sweep removed %d files, want 2", removed)
+	}
+	if st.Has("old") || st.Has("mid") {
+		t.Fatal("sweep kept an older file over a newer one")
+	}
+	if !st.Has("new") {
+		t.Fatal("sweep deleted the newest file")
+	}
+
+	// Even an impossible budget never deletes the last (newest) file.
+	if _, err := st.Sweep(1); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Has("new") {
+		t.Fatal("sweep deleted the most recent artifact under an impossible budget")
+	}
+}
+
+// TestArtifactStoreDiskBudgetOnSave: a store opened with a disk budget
+// sweeps automatically after every Save.
+func TestArtifactStoreDiskBudgetOnSave(t *testing.T) {
+	dir := t.TempDir()
+	model := testModel(t, 119)
+	art, err := delphi.NewSharedModel(mustParams(t, model), model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := NewArtifactStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.Save("probe", art); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(probe.Path("probe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileSize := info.Size()
+
+	st, err := NewArtifactStoreBudget(dir, fileSize+fileSize/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range []string{"a", "b", "c"} {
+		if err := st.Save(name, art); err != nil {
+			t.Fatal(err)
+		}
+		// Backdate each publication so the next Save's sweep sees a strict
+		// LRU order even on coarse filesystem clocks.
+		mt := time.Now().Add(time.Duration(i-3) * time.Minute)
+		if err := os.Chtimes(st.Path(name), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Has("a") || st.Has("b") {
+		t.Fatal("disk budget not enforced on Save")
+	}
+	if !st.Has("c") {
+		t.Fatal("the just-saved artifact must survive its own sweep")
 	}
 }

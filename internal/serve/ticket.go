@@ -1,0 +1,247 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/rand"
+	"sync"
+	"time"
+
+	"privinf/internal/delphi"
+)
+
+// Resumption ticket cache defaults (see Config.TicketTTL / TicketBudget).
+const (
+	// DefaultTicketTTL is how long an issued resumption ticket stays
+	// redeemable when Config.TicketTTL is zero. Redeeming slides the
+	// window, so an active client never falls off the fast path.
+	DefaultTicketTTL = 15 * time.Minute
+	// DefaultTicketBudget caps the cache's resident seed material when
+	// Config.TicketBudget is zero: at ~2-4 KiB per ticket this holds on
+	// the order of a thousand repeat clients.
+	DefaultTicketBudget int64 = 4 << 20
+)
+
+// ticketIDBytes is the opaque ticket identifier length. 16 random bytes
+// keep blind guessing hopeless (the ticket is a bearer credential for the
+// cached OT correlation).
+const ticketIDBytes = 16
+
+// ticketCache is the server half of the OT resumption cache: it maps
+// opaque tickets to the engine's cached base-OT seed material
+// (delphi.OTResume), bounded by a TTL and a byte budget with LRU eviction
+// — the same budget discipline the model registry applies to artifacts,
+// applied to per-client correlation state. All methods are safe for
+// concurrent use.
+type ticketCache struct {
+	mu     sync.Mutex
+	ttl    time.Duration
+	budget int64 // <= 0 unbounded
+	bytes  int64
+
+	entries map[string]*ticketEntry
+	lru     *list.List // of *ticketEntry; front = most recently used
+
+	// now is a test seam for expiry.
+	now func() time.Time
+
+	issued, resumed, expired, unknown, evicted uint64
+	perModel                                   map[string]*ticketModelCounters
+}
+
+// ticketModelCounters partition the cache's traffic by the model the
+// session requested (the seed material itself is model-independent — one
+// ticket serves every model the engine hosts).
+type ticketModelCounters struct {
+	issued, resumed, rejected uint64
+}
+
+// ticketEntry is one cached client correlation.
+type ticketEntry struct {
+	id      string
+	state   *delphi.OTResume
+	expires time.Time
+	size    int64
+	elem    *list.Element
+}
+
+func newTicketCache(ttl time.Duration, budget int64) *ticketCache {
+	if ttl == 0 {
+		ttl = DefaultTicketTTL
+	}
+	if budget == 0 {
+		budget = DefaultTicketBudget
+	}
+	return &ticketCache{
+		ttl:      ttl,
+		budget:   budget,
+		entries:  map[string]*ticketEntry{},
+		lru:      list.New(),
+		now:      time.Now,
+		perModel: map[string]*ticketModelCounters{},
+	}
+}
+
+func (tc *ticketCache) model(name string) *ticketModelCounters {
+	c := tc.perModel[name]
+	if c == nil {
+		c = &ticketModelCounters{}
+		tc.perModel[name] = c
+	}
+	return c
+}
+
+// randomID returns 16 fresh random bytes — a ticket identifier or one
+// party's half of a resumption nonce.
+func randomID() []byte {
+	id := make([]byte, ticketIDBytes)
+	if _, err := rand.Read(id); err != nil {
+		// Tickets are an optimization; a broken system RNG should fail the
+		// session's real cryptography, not be papered over here.
+		panic("serve: ticket id entropy: " + err.Error())
+	}
+	return id
+}
+
+// joinNonce concatenates the two parties' nonce halves into the value the
+// OT layer derives per-session streams from.
+func joinNonce(client, server []byte) []byte {
+	out := make([]byte, 0, len(client)+len(server))
+	out = append(out, client...)
+	return append(out, server...)
+}
+
+// reserve generates a fresh opaque ticket identifier. The entry is not in
+// the cache yet — the welcome carries the ticket before the OT setup that
+// produces its seed material completes; insert publishes it afterwards.
+func (tc *ticketCache) reserve() []byte {
+	return randomID()
+}
+
+// insert publishes seed material under a reserved ticket and evicts LRU
+// entries past the byte budget (never the one just inserted).
+func (tc *ticketCache) insert(id []byte, state *delphi.OTResume, model string) {
+	if state == nil {
+		return
+	}
+	e := &ticketEntry{
+		id:      string(id),
+		state:   state,
+		expires: tc.now().Add(tc.ttl),
+		size:    state.SizeBytes(),
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	// Prune lapsed tickets eagerly: secret correlation seeds must not
+	// outlive their TTL just because the holder never reconnects and the
+	// byte budget never bites. Inserts happen at most once per full
+	// handshake (~0.6 s of base OTs each), so a linear scan is free.
+	now := tc.now()
+	for _, old := range tc.entries {
+		if now.After(old.expires) {
+			tc.drop(old)
+			tc.expired++
+		}
+	}
+	if old, ok := tc.entries[e.id]; ok {
+		// A reserved id collided with a live entry (astronomically unlikely);
+		// drop the old one rather than double-count.
+		tc.drop(old)
+	}
+	tc.entries[e.id] = e
+	e.elem = tc.lru.PushFront(e)
+	tc.bytes += e.size
+	tc.issued++
+	tc.model(model).issued++
+	if tc.budget > 0 {
+		for tc.bytes > tc.budget {
+			back := tc.lru.Back()
+			if back == nil || back.Value.(*ticketEntry) == e {
+				break
+			}
+			tc.drop(back.Value.(*ticketEntry))
+			tc.evicted++
+		}
+	}
+}
+
+// redeem exchanges a presented ticket for its cached seed material. On
+// success it returns the state, refreshes the TTL (a sliding window), and
+// bumps the LRU; otherwise it returns the typed welcome reject code. The
+// entry survives redemption — one ticket serves every reconnect until it
+// expires or is evicted.
+func (tc *ticketCache) redeem(id []byte, model string) (*delphi.OTResume, string) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	e, ok := tc.entries[string(id)]
+	if !ok {
+		tc.unknown++
+		tc.model(model).rejected++
+		return nil, resumeUnknownTicket
+	}
+	if tc.now().After(e.expires) {
+		tc.drop(e)
+		tc.expired++
+		tc.model(model).rejected++
+		return nil, resumeExpiredTicket
+	}
+	e.expires = tc.now().Add(tc.ttl)
+	tc.lru.MoveToFront(e.elem)
+	tc.resumed++
+	tc.model(model).resumed++
+	return e.state, ""
+}
+
+// remove deletes a ticket (a reserved id whose session setup failed, so
+// the welcome promised a ticket that never gained state — removing is a
+// no-op then — or an explicit invalidation).
+func (tc *ticketCache) remove(id []byte) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if e, ok := tc.entries[string(id)]; ok {
+		tc.drop(e)
+	}
+}
+
+// drop unlinks an entry. Caller holds tc.mu.
+func (tc *ticketCache) drop(e *ticketEntry) {
+	delete(tc.entries, e.id)
+	tc.lru.Remove(e.elem)
+	tc.bytes -= e.size
+}
+
+// TicketStats is a resumption-cache metrics snapshot.
+type TicketStats struct {
+	// TTL and Budget are the configured limits; Tickets and Bytes the
+	// current cache occupancy.
+	TTL     time.Duration
+	Budget  int64
+	Tickets int
+	Bytes   int64
+	// Issued counts tickets handed out on full handshakes; Resumed counts
+	// successful redemptions (base OTs skipped); Expired counts lapsed
+	// tickets (typed rejection at redeem, or pruned eagerly on the next
+	// insert) and Unknown the never-issued/evicted rejections; Evicted
+	// counts budget-pressure drops.
+	Issued, Resumed, Expired, Unknown, Evicted uint64
+}
+
+func (tc *ticketCache) stats() (TicketStats, map[string]ticketModelCounters) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	st := TicketStats{
+		TTL:     tc.ttl,
+		Budget:  tc.budget,
+		Tickets: len(tc.entries),
+		Bytes:   tc.bytes,
+		Issued:  tc.issued,
+		Resumed: tc.resumed,
+		Expired: tc.expired,
+		Unknown: tc.unknown,
+		Evicted: tc.evicted,
+	}
+	models := make(map[string]ticketModelCounters, len(tc.perModel))
+	for name, c := range tc.perModel {
+		models[name] = *c
+	}
+	return st, models
+}

@@ -26,7 +26,12 @@ import (
 const (
 	// wireVersion 2 added model-addressed handshakes (helloMsg.Model,
 	// welcomeMsg.Model) and typed handshake rejections (opReject).
-	wireVersion = 2
+	// wireVersion 3 added the session preamble: every connection opens with
+	// a transport.Preamble frame (version gating before any JSON), hellos
+	// may carry an OT resumption ticket plus a client nonce, and welcomes
+	// answer with the typed resumption outcome, a fresh ticket, and the
+	// server nonce.
+	wireVersion = 3
 
 	tagData byte = 0x00
 	tagCtrl byte = 0x01
@@ -63,21 +68,37 @@ type ctrlMsg struct {
 }
 
 // helloMsg opens the handshake. Model names the registry entry the client
-// wants to be served; empty means the engine's default model.
+// wants to be served; empty means the engine's default model. Ticket, when
+// present, asks to resume OT setup from the server's cached seed material;
+// Nonce is the client's half of the per-session resumption nonce and must
+// accompany a ticket.
 type helloMsg struct {
 	Version int    `json:"version"`
 	Model   string `json:"model,omitempty"`
+	Ticket  []byte `json:"ticket,omitempty"`
+	Nonce   []byte `json:"nonce,omitempty"`
 }
 
 // welcomeMsg answers it with everything the client needs to instantiate its
 // protocol endpoint: the variant, HE ring degree, the resolved model name,
-// and the public model metadata (weights never travel).
+// and the public model metadata (weights never travel). The resumption
+// fields settle the preamble before either party touches the OT layer:
+// Resumed says whether the hello's ticket was accepted (both sides then
+// expand cached seeds instead of running base OTs), ResumeReject carries
+// the typed reason when it was not (the session falls back to the full
+// base-OT path on the same connection), Ticket is a freshly issued
+// resumption ticket for the client's next connect (full handshakes only),
+// and Nonce is the server's half of the per-session nonce.
 type welcomeMsg struct {
-	Version int              `json:"version"`
-	Variant int              `json:"variant"`
-	RingN   int              `json:"ring_n"`
-	Model   string           `json:"model"`
-	Meta    delphi.ModelMeta `json:"meta"`
+	Version      int              `json:"version"`
+	Variant      int              `json:"variant"`
+	RingN        int              `json:"ring_n"`
+	Model        string           `json:"model"`
+	Meta         delphi.ModelMeta `json:"meta"`
+	Resumed      bool             `json:"resumed,omitempty"`
+	ResumeReject string           `json:"resume_reject,omitempty"`
+	Ticket       []byte           `json:"ticket,omitempty"`
+	Nonce        []byte           `json:"nonce,omitempty"`
 }
 
 // Handshake rejection codes carried in rejectMsg.Code.
@@ -85,6 +106,22 @@ const (
 	rejectVersion      = "version_mismatch"
 	rejectUnknownModel = "unknown_model"
 	rejectBadHello     = "bad_hello"
+)
+
+// Resumption outcome codes carried in welcomeMsg.ResumeReject. Unlike a
+// rejectMsg these are not handshake-fatal: a rejected ticket falls back to
+// the full base-OT path on the same connection, and the codes let clients
+// (and tests) distinguish why the fast path was missed.
+const (
+	// resumeUnknownTicket: the ticket is not in the server's cache — never
+	// issued by this engine, or evicted under ticket-budget pressure.
+	resumeUnknownTicket = "unknown_ticket"
+	// resumeExpiredTicket: the ticket was cached but its TTL had lapsed.
+	resumeExpiredTicket = "expired_ticket"
+	// resumeBadNonce: the hello carried a ticket without a client nonce.
+	resumeBadNonce = "bad_nonce"
+	// resumeDisabled: the engine runs with resumption turned off.
+	resumeDisabled = "resume_disabled"
 )
 
 // rejectMsg is a typed handshake rejection: a stable machine-readable code
@@ -148,6 +185,13 @@ func recvCtrl(c transport.MsgConn) (byte, []byte, error) {
 	if err != nil {
 		return 0, nil, err
 	}
+	return parseCtrl(f)
+}
+
+// parseCtrl interprets an already-received frame as a control frame (the
+// handshake path reads the first frame raw to check for a connection
+// preamble before knowing what it is).
+func parseCtrl(f []byte) (byte, []byte, error) {
 	if len(f) < 2 || f[0] != tagCtrl {
 		return 0, nil, fmt.Errorf("serve: expected control frame, got %d bytes tag %#x", len(f), first(f))
 	}

@@ -1,0 +1,71 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Connection preamble: a fixed-format first frame a client sends before
+// any higher-level (JSON) handshake message. It lets a server gate the
+// wire-protocol version with a 12-byte comparison instead of a JSON parse,
+// and gives mismatched peers a typed failure before either side commits
+// per-session resources. The serving engine's v3 handshake opens every
+// connection with one; a first frame that is not a preamble is handed to
+// the legacy handshake path unchanged, so older peers still get a clean
+// typed rejection rather than a framing error.
+//
+// Layout (little-endian): magic "PIWP" | protocol version (u32) | flags (u32).
+
+// Preamble is the decoded form of a connection preamble frame.
+type Preamble struct {
+	// Version is the wire-protocol version the sender speaks.
+	Version uint32
+	// Flags carries protocol-extension bits; zero today, reserved so a
+	// future capability (e.g. compression) does not need a version bump.
+	Flags uint32
+}
+
+// PreambleBytes is the exact encoded size of a preamble frame.
+const PreambleBytes = 12
+
+var preambleMagic = [4]byte{'P', 'I', 'W', 'P'}
+
+// ErrNotPreamble reports that a frame is not a connection preamble (a
+// legacy peer's first message, or a stray payload).
+var ErrNotPreamble = fmt.Errorf("transport: not a preamble frame")
+
+// Encode serializes the preamble into its fixed 12-byte frame payload.
+func (p Preamble) Encode() []byte {
+	out := make([]byte, PreambleBytes)
+	copy(out[0:4], preambleMagic[:])
+	binary.LittleEndian.PutUint32(out[4:], p.Version)
+	binary.LittleEndian.PutUint32(out[8:], p.Flags)
+	return out
+}
+
+// IsPreamble reports whether a received frame is a connection preamble
+// (without validating its contents beyond the magic).
+func IsPreamble(frame []byte) bool {
+	return len(frame) == PreambleBytes && [4]byte(frame[0:4]) == preambleMagic
+}
+
+// DecodePreamble parses a preamble frame. Frames that are not preambles
+// return ErrNotPreamble (match with errors.Is) so callers can fall back to
+// a legacy first-message path.
+func DecodePreamble(frame []byte) (Preamble, error) {
+	if !IsPreamble(frame) {
+		return Preamble{}, fmt.Errorf("%w (%d bytes)", ErrNotPreamble, len(frame))
+	}
+	return Preamble{
+		Version: binary.LittleEndian.Uint32(frame[4:]),
+		Flags:   binary.LittleEndian.Uint32(frame[8:]),
+	}, nil
+}
+
+// SendPreamble writes the preamble as the connection's opening frame.
+func SendPreamble(c MsgConn, p Preamble) error {
+	if err := c.Send(p.Encode()); err != nil {
+		return fmt.Errorf("transport: send preamble: %w", err)
+	}
+	return nil
+}

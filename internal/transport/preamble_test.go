@@ -1,0 +1,46 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPreambleRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	want := Preamble{Version: 3, Flags: 0x5}
+	if err := SendPreamble(a, want); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsPreamble(frame) {
+		t.Fatal("sent preamble not recognized")
+	}
+	got, err := DecodePreamble(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("decoded %+v, want %+v", got, want)
+	}
+}
+
+func TestPreambleRejectsNonPreambles(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       {},
+		"short":       []byte("PIWP"),
+		"wrong magic": append([]byte("NOPE"), make([]byte, 8)...),
+		"oversized":   append([]byte("PIWP"), make([]byte, 9)...),
+		"json hello":  []byte(`{"version":2}`),
+	}
+	for name, frame := range cases {
+		if IsPreamble(frame) {
+			t.Errorf("%s: IsPreamble = true", name)
+		}
+		if _, err := DecodePreamble(frame); !errors.Is(err, ErrNotPreamble) {
+			t.Errorf("%s: DecodePreamble = %v, want ErrNotPreamble", name, err)
+		}
+	}
+}

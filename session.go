@@ -102,6 +102,18 @@ func NewLocalEngine(models map[string]*Model, variant Variant, budgetBytes int64
 	})
 }
 
+// Preamble is a client's reusable session-preamble state: the OT
+// resumption ticket from its last full handshake plus per-model shared
+// client artifacts (ReLU circuits + matvec plans, no secrets). Pass one to
+// LocalEngine.ConnectPreamble (or serve.ConnectOpts/DialOpts for remote
+// engines) on every connect of a logical client: the first session runs a
+// full handshake and fills it, every later session resumes — skipping the
+// ~0.6 s of public-key base OTs and all client-side model processing.
+type Preamble = serve.Preamble
+
+// NewPreamble returns an empty session preamble.
+func NewPreamble() *Preamble { return serve.NewPreamble() }
+
 // LocalEngineConfig parameterizes NewLocalEngineConfig.
 type LocalEngineConfig struct {
 	// Models are the networks to serve, keyed by the names sessions will
@@ -119,6 +131,11 @@ type LocalEngineConfig struct {
 	// model reloads rather than re-encodes. Damaged or stale files fall
 	// back to a fresh build automatically.
 	ArtifactDir string
+	// ArtifactDiskBudget caps the artifact directory's bytes (<= 0
+	// unbounded): every write sweeps least-recently-modified artifact
+	// files past it, so a rotating model population cannot grow the
+	// directory without bound. Requires ArtifactDir.
+	ArtifactDiskBudget int64
 	// Entropy seeds all cryptographic randomness; nil means crypto/rand.
 	Entropy io.Reader
 }
@@ -133,7 +150,7 @@ func NewLocalEngineConfig(cfg LocalEngineConfig) (*LocalEngine, error) {
 	var store *serve.ArtifactStore
 	if cfg.ArtifactDir != "" {
 		var err error
-		if store, err = serve.NewArtifactStore(cfg.ArtifactDir); err != nil {
+		if store, err = serve.NewArtifactStoreBudget(cfg.ArtifactDir, cfg.ArtifactDiskBudget); err != nil {
 			return nil, err
 		}
 	}
@@ -172,11 +189,20 @@ func NewLocalEngineConfig(cfg LocalEngineConfig) (*LocalEngine, error) {
 // Closing the returned session leaves the engine (and its other sessions)
 // running.
 func (e *LocalEngine) Connect(name string) (*Session, error) {
+	return e.ConnectPreamble(name, nil)
+}
+
+// ConnectPreamble is Connect through a client preamble: the session
+// presents the preamble's resumption ticket (reconnects skip base OTs when
+// the engine accepts it), reuses its cached client artifacts, and updates
+// it in place with this handshake's outcome. A nil preamble is a plain
+// cold connect.
+func (e *LocalEngine) ConnectPreamble(name string, p *Preamble) (*Session, error) {
 	conn, err := e.ln.Dial()
 	if err != nil {
 		return nil, err
 	}
-	client, err := serve.ConnectModel(conn, name, e.entropy)
+	client, err := serve.ConnectOpts(conn, serve.ConnectOptions{Model: name, Preamble: p, Entropy: e.entropy})
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -234,6 +260,10 @@ func (s *Session) Stats() serve.Stats { return s.engine.Stats() }
 // Model returns the registry name of the model this session is served
 // ("default" for single-model sessions).
 func (s *Session) Model() string { return s.client.Model() }
+
+// Resumed reports whether this session's OT setup was expanded from a
+// preamble's resumption ticket instead of running base OTs.
+func (s *Session) Resumed() bool { return s.client.Resumed() }
 
 // Close tears the session down, and with it the engine when this session
 // owns one (NewLocalSession); sessions from a shared LocalEngine leave the

@@ -52,6 +52,60 @@ func TestSessionBufferedInference(t *testing.T) {
 	}
 }
 
+// TestSessionPreambleResume is the public-API view of the preamble
+// subsystem: the first session through a Preamble runs a full handshake,
+// the reconnect resumes (no base OTs), and both sessions' outputs verify
+// bit-exact against plaintext inference.
+func TestSessionPreambleResume(t *testing.T) {
+	model, err := NewDemoMLP(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewLocalEngine(map[string]*Model{"m": model}, ClientGarbler, 0, newSeeded(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	x := make([]uint64, model.InputLen())
+	for j := range x {
+		x[j] = uint64((j*5 + 1) % 12)
+	}
+
+	p := NewPreamble()
+	cold, err := eng.ConnectPreamble("m", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Resumed() {
+		t.Fatal("first session cannot resume")
+	}
+	coldRes, err := cold.Infer(x)
+	if err != nil || !coldRes.Verified {
+		t.Fatalf("cold inference: verified=%v err=%v", coldRes != nil && coldRes.Verified, err)
+	}
+	cold.Close()
+
+	resumed, err := eng.ConnectPreamble("m", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	if !resumed.Resumed() {
+		t.Fatal("reconnect through the preamble did not resume")
+	}
+	res, err := resumed.Infer(x)
+	if err != nil || !res.Verified {
+		t.Fatalf("resumed inference: verified=%v err=%v", res != nil && res.Verified, err)
+	}
+	if !reflect.DeepEqual(res.Output, coldRes.Output) {
+		t.Fatal("resumed session's output diverged from the cold session's")
+	}
+	if st := eng.Stats(); st.Tickets.Resumed != 1 {
+		t.Fatalf("engine ticket stats: %+v, want one resume", st.Tickets)
+	}
+}
+
 func TestSessionRejectsInvalidModel(t *testing.T) {
 	bad := &Model{}
 	if _, err := NewLocalSession(bad, ServerGarbler, nil); err == nil {
