@@ -1,0 +1,269 @@
+// Command piload is an open-loop load generator for the serving stack: it
+// fires session arrivals at a fleet on a Poisson (or burst) schedule,
+// independent of completions — the arrival process never slows down because
+// the server is struggling, which is what exposes tail latency.
+//
+// Two targets:
+//
+//	piload -fleet 4                 # in-process fleet of 4 replicas
+//	piload -addr host:9000          # an external engine (pirun -serve)
+//
+// Each session connects (optionally through a session preamble), runs
+// -infer inferences, and with -reconnect N closes and reconnects N times so
+// resumed connects and the resume-hit rate are measured. Output is the
+// p50/p99/p999 connect and inference latency split by cold vs resumed
+// connects, plus router placement counters for in-process fleets.
+//
+// Usage:
+//
+//	piload [-fleet N | -addr HOST:PORT] [-sessions N] [-rate R | -burst]
+//	       [-model cnn|mlp] [-seed N] [-infer K] [-reconnect N]
+//	       [-setup-workers N] [-spill F] [-assert-p99-connect D]
+//
+// -assert-p99-connect D exits nonzero when the cold p99 connect latency
+// exceeds D — the CI smoke gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"privinf"
+	"privinf/internal/fleet"
+	"privinf/internal/serve"
+)
+
+func main() {
+	fleetN := flag.Int("fleet", 1, "in-process fleet size (ignored with -addr)")
+	addr := flag.String("addr", "", "target an external engine instead of an in-process fleet")
+	sessions := flag.Int("sessions", 50, "total session arrivals")
+	rate := flag.Float64("rate", 0, "Poisson session arrival rate per second (0 = burst)")
+	burst := flag.Bool("burst", false, "all sessions arrive at t=0 (default when -rate is 0)")
+	modelName := flag.String("model", "mlp", "demo model: cnn or mlp")
+	seed := flag.Int64("seed", 42, "model weight seed (must match the server's with -addr)")
+	infer := flag.Int("infer", 1, "inferences per session")
+	reconnect := flag.Int("reconnect", 1, "preamble reconnects per session (resumed connects)")
+	setupWorkers := flag.Int("setup-workers", 1, "in-process fleet: concurrent full setups per replica (0 unbounded)")
+	spill := flag.Float64("spill", fleet.DefaultSpillFactor, "in-process fleet: router least-load spill factor")
+	assertP99 := flag.Duration("assert-p99-connect", 0, "exit nonzero when cold p99 connect exceeds this (0 disables)")
+	arrivalSeed := flag.Int64("arrival-seed", 1, "Poisson arrival schedule seed")
+	flag.Parse()
+
+	model := buildModel(*modelName, *seed)
+	dial := dialer(*addr, *modelName, *fleetN, *setupWorkers, *spill, model)
+
+	// Open loop: the arrival schedule is fixed up front (exponential
+	// inter-arrivals at -rate, or all at zero), then each arrival runs its
+	// whole session on its own goroutine regardless of how the previous
+	// ones are faring.
+	offsets := make([]time.Duration, *sessions)
+	if *rate > 0 && !*burst {
+		rng := rand.New(rand.NewSource(*arrivalSeed))
+		at := 0.0
+		for i := range offsets {
+			at += rng.ExpFloat64() / *rate
+			offsets[i] = time.Duration(at * float64(time.Second))
+		}
+		fmt.Printf("schedule: %d Poisson arrivals at %.1f/s over %.1fs\n", *sessions, *rate, offsets[len(offsets)-1].Seconds())
+	} else {
+		fmt.Printf("schedule: burst of %d arrivals\n", *sessions)
+	}
+
+	var mu sync.Mutex
+	var coldConnect, resumedConnect, inferLat []time.Duration
+	resumeHits, resumeTries, failures := 0, 0, 0
+	record := func(d time.Duration, bucket *[]time.Duration) {
+		mu.Lock()
+		*bucket = append(*bucket, d)
+		mu.Unlock()
+	}
+
+	runSession := func(id int) error {
+		p := serve.NewPreamble()
+		x := make([]uint64, model.InputLen())
+		for j := range x {
+			x[j] = uint64((j*7 + 3 + id) % 16)
+		}
+		for leg := 0; leg <= *reconnect; leg++ {
+			start := time.Now()
+			c, err := dial(serve.WithModel(*modelName), serve.WithPreamble(p))
+			if err != nil {
+				return err
+			}
+			connect := time.Since(start)
+			if leg == 0 {
+				record(connect, &coldConnect)
+			} else {
+				mu.Lock()
+				resumeTries++
+				if c.Resumed() {
+					resumeHits++
+				}
+				mu.Unlock()
+				record(connect, &resumedConnect)
+			}
+			for k := 0; k < *infer; k++ {
+				start = time.Now()
+				if _, _, _, err := c.Infer(x); err != nil {
+					c.Close()
+					return err
+				}
+				record(time.Since(start), &inferLat)
+			}
+			c.Close()
+		}
+		return nil
+	}
+
+	begin := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if d := offsets[i] - time.Since(begin); d > 0 {
+				time.Sleep(d)
+			}
+			if err := runSession(i); err != nil {
+				mu.Lock()
+				failures++
+				mu.Unlock()
+				log.Printf("session %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+
+	fmt.Printf("\n%d sessions in %.1fs (%d failed)\n", *sessions, elapsed.Seconds(), failures)
+	report("connect (cold)   ", coldConnect)
+	report("connect (resumed)", resumedConnect)
+	report("inference        ", inferLat)
+	if resumeTries > 0 {
+		fmt.Printf("resume-hit rate: %d/%d (%.0f%%)\n", resumeHits, resumeTries, 100*float64(resumeHits)/float64(resumeTries))
+	}
+	if stats := routerStats; stats != nil {
+		st := stats()
+		fmt.Printf("router: %d connects, %d ticket-routes, %d spills, %d retries, %d no-backend\n",
+			st.Connects, st.TicketRoutes, st.SpillRoutes, st.Retries, st.NoBackend)
+		for _, rs := range st.Replicas {
+			fmt.Printf("  replica %d (%s): load %d\n", rs.ID, rs.Addr, rs.Load)
+		}
+	}
+
+	if failures > 0 {
+		os.Exit(1)
+	}
+	if *assertP99 > 0 {
+		if p99 := percentile(coldConnect, 0.99); p99 > *assertP99 {
+			fmt.Printf("FAIL: cold p99 connect %v exceeds bound %v\n", p99, *assertP99)
+			os.Exit(1)
+		}
+		fmt.Printf("OK: cold p99 connect within %v\n", *assertP99)
+	}
+}
+
+// routerStats is set by the in-process dialer so the report can include
+// placement counters; nil when targeting an external address.
+var routerStats func() fleet.Stats
+
+// dialer returns the session connector: TCP dials against -addr, or pipe
+// dials into a freshly built in-process fleet of n replicas sharing one
+// registry.
+func dialer(addr, name string, n, setupWorkers int, spill float64, model *privinf.Model) func(...serve.Option) (*serve.Client, error) {
+	if addr != "" {
+		return func(opts ...serve.Option) (*serve.Client, error) { return serve.Dial(addr, opts...) }
+	}
+	shared, err := privinf.PrepareModel(model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// All replicas serve from one registry: a single encoded artifact copy
+	// fleet-wide, the way AddEngine-based fleets are meant to share.
+	reg := serve.NewRegistry(0)
+	if err := reg.RegisterArtifact(name, shared); err != nil {
+		log.Fatal(err)
+	}
+	router := fleet.NewRouter(fleet.Config{SpillFactor: spill})
+	newEngine := func() (*serve.Engine, error) {
+		return serve.New(serve.Config{
+			Registry:     reg,
+			DefaultModel: name,
+			Variant:      privinf.ClientGarbler,
+			LPHEWorkers:  runtime.NumCPU(),
+			SetupWorkers: setupWorkers,
+		})
+	}
+	for i := 0; i < n; i++ {
+		eng, err := newEngine()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := router.AddEngine(eng); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ln := router.ServePipe()
+	routerStats = router.Stats
+	fmt.Printf("in-process fleet: %d replicas, %d setup workers each, spill factor %.1f\n", n, setupWorkers, spill)
+	return func(opts ...serve.Option) (*serve.Client, error) {
+		conn, err := ln.Dial()
+		if err != nil {
+			return nil, err
+		}
+		return serve.Connect(conn, opts...)
+	}
+}
+
+func buildModel(name string, seed int64) *privinf.Model {
+	var (
+		model *privinf.Model
+		err   error
+	)
+	switch name {
+	case "cnn":
+		model, err = privinf.NewDemoCNN(seed)
+	case "mlp":
+		model, err = privinf.NewDemoMLP(seed)
+	default:
+		log.Fatalf("piload: unknown model %q", name)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	return model
+}
+
+func report(label string, lat []time.Duration) {
+	if len(lat) == 0 {
+		return
+	}
+	fmt.Printf("%s  n=%-4d p50 %8.1fms  p99 %8.1fms  p999 %8.1fms  max %8.1fms\n",
+		label, len(lat),
+		percentile(lat, 0.50).Seconds()*1000,
+		percentile(lat, 0.99).Seconds()*1000,
+		percentile(lat, 0.999).Seconds()*1000,
+		percentile(lat, 1).Seconds()*1000)
+}
+
+// percentile returns the q-quantile (0 < q <= 1) by the nearest-rank rule.
+func percentile(lat []time.Duration, q float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(math.Ceil(q*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return s[i]
+}

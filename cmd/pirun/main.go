@@ -13,6 +13,7 @@
 //	pirun [-model cnn|mlp] [-seed N]
 //	pirun -serve ADDR [-models cnn,mlp] [-registry-budget BYTES] [-artifact-dir DIR] [-artifact-disk-budget BYTES]
 //	      [-pin-default] [-ticket-ttl D] [-ticket-budget BYTES] [-variant cg|sg] [-buffer N] [-budget N] [-workers N]
+//	      [-fleet N] [-autoscale] [-max-replicas N] [-target-wait D] [-setup-workers N]
 //	pirun -connect ADDR [-model NAME] [-n N] [-reconnect N]
 //
 // A server hosts every model named in -models (default: just -model) from
@@ -30,9 +31,18 @@
 // inference; point it at a server started with the same -seed. With
 // -reconnect N the client closes its session and reconnects N times
 // through a session preamble, printing the cold vs resumed connect times.
+//
+// With -fleet N (or -autoscale) the server side becomes a replicated
+// fleet: N engine replicas sharing one registry behind the fleet router
+// (consistent-hash placement, ticket-sticky resumption, least-load
+// spill-over). -autoscale adds the M/M/c autoscaler, growing the set up
+// to -max-replicas whenever the modelled queueing delay exceeds
+// -target-wait and drain-then-stopping idle replicas back down.
+// -setup-workers bounds concurrent full session setups per replica.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -45,6 +55,7 @@ import (
 
 	"privinf"
 	"privinf/internal/delphi"
+	"privinf/internal/fleet"
 	"privinf/internal/serve"
 	"privinf/internal/transport"
 )
@@ -67,6 +78,11 @@ func main() {
 	workers := flag.Int("workers", runtime.NumCPU(), "serve mode: concurrent background offline phases")
 	n := flag.Int("n", 3, "connect mode: number of inferences to run")
 	reconnect := flag.Int("reconnect", 0, "connect mode: after the first session, reconnect this many times through a session preamble (resumed connects)")
+	fleetN := flag.Int("fleet", 1, "serve mode: replica count; > 1 serves through a fleet router (consistent hashing, ticket-sticky resumption, least-load spill)")
+	autoscale := flag.Bool("autoscale", false, "serve mode: grow/shrink the replica set with the M/M/c autoscaler (implies the fleet router)")
+	maxReplicas := flag.Int("max-replicas", 8, "serve mode: autoscaler replica ceiling")
+	targetWait := flag.Duration("target-wait", fleet.DefaultTargetWait, "serve mode: autoscaler queueing-delay target")
+	setupWorkers := flag.Int("setup-workers", 0, "serve mode: concurrent full session setups per replica (0 unbounded)")
 	flag.Parse()
 
 	switch {
@@ -82,6 +98,8 @@ func main() {
 			registryBudget: *registryBudget, artifactDir: *artifactDir, artifactDiskBudget: *artifactDiskBudget,
 			pinDefault: *pinDefault, ticketTTL: *ticketTTL, ticketBudget: *ticketBudget,
 			buffer: *buffer, budget: *budget, workers: *workers,
+			fleet: *fleetN, autoscale: *autoscale, maxReplicas: *maxReplicas,
+			targetWait: *targetWait, setupWorkers: *setupWorkers,
 		})
 	case *connectAddr != "":
 		runConnect(buildModel(*modelName, *seed), *modelName, *connectAddr, *n, *reconnect)
@@ -121,6 +139,10 @@ type serveOpts struct {
 	ticketTTL               time.Duration
 	ticketBudget            int64
 	buffer, budget, workers int
+	fleet, maxReplicas      int
+	setupWorkers            int
+	autoscale               bool
+	targetWait              time.Duration
 }
 
 // runServe hosts a multi-client, multi-model serving engine until
@@ -155,18 +177,26 @@ func runServe(o serveOpts) {
 			maxLinear = len(model.Linear)
 		}
 	}
-	eng, err := serve.New(serve.Config{
-		Registry:         reg,
-		DefaultModel:     strings.TrimSpace(o.names[0]),
-		Variant:          variant,
-		LPHEWorkers:      maxLinear,
-		BufferPerSession: o.buffer,
-		StorageBudget:    o.budget,
-		OfflineWorkers:   o.workers,
-		TicketTTL:        o.ticketTTL,
-		TicketBudget:     o.ticketBudget,
-		PinDefaultModel:  o.pinDefault,
-	})
+	makeEngine := func() (*serve.Engine, error) {
+		return serve.New(serve.Config{
+			Registry:         reg,
+			DefaultModel:     strings.TrimSpace(o.names[0]),
+			Variant:          variant,
+			LPHEWorkers:      maxLinear,
+			BufferPerSession: o.buffer,
+			StorageBudget:    o.budget,
+			OfflineWorkers:   o.workers,
+			SetupWorkers:     o.setupWorkers,
+			TicketTTL:        o.ticketTTL,
+			TicketBudget:     o.ticketBudget,
+			PinDefaultModel:  o.pinDefault,
+		})
+	}
+	if o.fleet > 1 || o.autoscale {
+		runFleetServe(o, reg, store, makeEngine)
+		return
+	}
+	eng, err := makeEngine()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -224,6 +254,96 @@ func runServe(o serveOpts) {
 	}
 }
 
+// runFleetServe hosts a replicated fleet behind the router: -fleet N
+// replicas (all sharing one registry, so the fleet keeps a single encoded
+// artifact copy per model), optionally resized live by the autoscaler.
+func runFleetServe(o serveOpts, reg *serve.Registry, store *serve.ArtifactStore, makeEngine func() (*serve.Engine, error)) {
+	router := fleet.NewRouter(fleet.Config{})
+	n := o.fleet
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		eng, err := makeEngine()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := router.AddEngine(eng); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ln, err := transport.Listen(o.addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet: %d replicas, models %s (default %s) on %s\n",
+		n, strings.Join(reg.Names(), ","), strings.TrimSpace(o.names[0]), ln.Addr())
+	fmt.Printf("per replica: buffer/session %d, storage budget %d slots, %d offline workers, %d setup workers; registry budget %s (shared)\n",
+		o.buffer, o.budget, o.workers, o.setupWorkers, humanBudget(o.registryBudget))
+	if store != nil {
+		fmt.Printf("artifact store: %s, disk budget %s\n", store.Dir(), humanBudget(o.artifactDiskBudget))
+	}
+	if o.autoscale {
+		slots := 0
+		if o.budget > 0 {
+			slots = o.budget // fleet-global: the autoscaler re-divides it per replica
+		}
+		scaler, err := fleet.NewAutoscaler(fleet.AutoscalerConfig{
+			Router:       router,
+			Spawn:        makeEngine,
+			MinReplicas:  n,
+			MaxReplicas:  o.maxReplicas,
+			TargetWait:   o.targetWait,
+			StorageSlots: slots,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go scaler.Run(ctx)
+		fmt.Printf("autoscaler: M/M/c target wait %v, replicas %d..%d\n", o.targetWait, n, o.maxReplicas)
+	}
+
+	go func() {
+		if err := router.Serve(ln); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	tick := time.NewTicker(10 * time.Second)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			st := router.Stats()
+			fmt.Printf("fleet: %d replicas, %d connects (%d ticket-routes, %d spills, %d retries, %d no-backend)\n",
+				len(st.Replicas), st.Connects, st.TicketRoutes, st.SpillRoutes, st.Retries, st.NoBackend)
+			for _, rep := range router.Replicas() {
+				eng := rep.Engine()
+				if eng == nil {
+					continue
+				}
+				es := eng.Stats()
+				fmt.Printf("  replica %d: load %d, sessions %d, buffered %d, inferences %d\n",
+					rep.ID, rep.Load(), es.ActiveSessions, es.TotalBuffered, es.TotalInferences)
+			}
+		case <-sig:
+			var total uint64
+			for _, rep := range router.Replicas() {
+				if eng := rep.Engine(); eng != nil {
+					total += eng.Stats().TotalInferences
+				}
+			}
+			router.Close()
+			fmt.Printf("\nfinal: %d inferences served across the fleet\n", total)
+			return
+		}
+	}
+}
+
 func humanBudget(b int64) string {
 	if b <= 0 {
 		return "unbounded"
@@ -240,7 +360,7 @@ func runConnect(model *privinf.Model, name, addr string, n, reconnects int) {
 	dial := func() *serve.Client {
 		hadTicket := p.HasTicket() // snapshot: the handshake itself may store one
 		start := time.Now()
-		c, err := serve.DialOpts(addr, serve.ConnectOptions{Model: name, Preamble: p})
+		c, err := serve.Dial(addr, serve.WithModel(name), serve.WithPreamble(p))
 		if err != nil {
 			if errors.Is(err, serve.ErrUnknownModel) {
 				log.Fatalf("pirun: engine does not serve model %q: %v", name, err)

@@ -1,0 +1,261 @@
+// Fleet serving: a front-tier router over N engine replicas, with
+// queue-model autoscaling.
+//
+// The paper's arrival-rate analysis (§5.2) treats the PI server as a
+// shared, capacity-limited resource; this example runs that shape live,
+// three ways:
+//
+//  1. Replica scaling. A burst of sessions connects against a fleet of 1
+//     and a fleet of 4 (each replica admission-bounded to one concurrent
+//     full setup, emulating one machine's capacity). The router places
+//     sessions by consistent hashing with least-load spill-over; with as
+//     many cores as replicas the 4-replica fleet cuts p99 connect latency
+//     ≥2× (on fewer cores the win shows in p50 — the tail is pinned by
+//     total compute).
+//
+//  2. Ticket-sticky resumption. Sessions reconnect through their session
+//     preamble; the router routes each ticket back to the replica whose
+//     cache holds it, so resumed connects skip the base OTs fleet-wide.
+//
+//  3. Autoscaling. An M/M/c queue model sized from live per-model
+//     telemetry (arrival rate, measured service time, queue depth) grows
+//     the replica set under load and, after a hysteresis window, drains
+//     and removes idle replicas — converging without oscillation.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"privinf"
+	"privinf/internal/fleet"
+	"privinf/internal/serve"
+)
+
+const (
+	modelName = "mlp"
+	sessions  = 8
+)
+
+func main() {
+	model, err := privinf.NewDemoMLP(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shared, err := privinf.PrepareModel(model)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("== replica scaling: burst of %d sessions ==\n", sessions)
+	p99Single := burst(model, shared, 1)
+	p99Fleet := burst(model, shared, 4)
+	fmt.Printf("p99 cold connect: 1 replica %.0f ms, 4 replicas %.0f ms (%.1fx)\n\n",
+		p99Single.Seconds()*1000, p99Fleet.Seconds()*1000,
+		p99Single.Seconds()/p99Fleet.Seconds())
+
+	fmt.Println("== ticket-sticky resumption across the fleet ==")
+	resumption(model, shared)
+
+	fmt.Println("== autoscaling: M/M/c sizing with drain-then-stop ==")
+	autoscale(model, shared)
+}
+
+func newFleet(shared *privinf.SharedModel, replicas int) (*fleet.Router, func(...serve.Option) (*serve.Client, error)) {
+	reg := serve.NewRegistry(0)
+	if err := reg.RegisterArtifact(modelName, shared); err != nil {
+		log.Fatal(err)
+	}
+	router := fleet.NewRouter(fleet.Config{SpillFactor: 1})
+	for i := 0; i < replicas; i++ {
+		eng, err := serve.New(serve.Config{
+			Registry:     reg,
+			DefaultModel: modelName,
+			Variant:      privinf.ClientGarbler,
+			SetupWorkers: 1, // one machine's worth of concurrent setups
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := router.AddEngine(eng); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ln := router.ServePipe()
+	return router, func(opts ...serve.Option) (*serve.Client, error) {
+		conn, err := ln.Dial()
+		if err != nil {
+			return nil, err
+		}
+		return serve.Connect(conn, opts...)
+	}
+}
+
+// burst fires a burst of cold sessions at a fleet of the given size and
+// returns the p99 connect latency.
+func burst(model *privinf.Model, shared *privinf.SharedModel, replicas int) time.Duration {
+	router, dial := newFleet(shared, replicas)
+	defer router.Close()
+
+	var mu sync.Mutex
+	var connects []time.Duration
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start := time.Now()
+			c, err := dial(serve.WithModel(modelName))
+			if err != nil {
+				log.Fatal(err)
+			}
+			d := time.Since(start)
+			defer c.Close()
+			x := make([]uint64, model.InputLen())
+			for j := range x {
+				x[j] = uint64((j + i) % 11)
+			}
+			if _, _, _, err := c.Infer(x); err != nil {
+				log.Fatal(err)
+			}
+			mu.Lock()
+			connects = append(connects, d)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	p99 := percentile(connects, 0.99)
+	fmt.Printf("  %d replica(s): p50 %6.0f ms  p99 %6.0f ms\n",
+		replicas, percentile(connects, 0.5).Seconds()*1000, p99.Seconds()*1000)
+	return p99
+}
+
+// resumption reconnects sessions through their preambles and shows the
+// router's ticket-sticky placement keeping the resume-hit rate at 100%.
+func resumption(model *privinf.Model, shared *privinf.SharedModel) {
+	router, dial := newFleet(shared, 3)
+	defer router.Close()
+
+	x := make([]uint64, model.InputLen())
+	hits, cold, resumed := 0, time.Duration(0), time.Duration(0)
+	const n = 3
+	for i := 0; i < n; i++ {
+		p := serve.NewPreamble()
+		start := time.Now()
+		c, err := dial(serve.WithModel(modelName), serve.WithPreamble(p))
+		if err != nil {
+			log.Fatal(err)
+		}
+		cold += time.Since(start)
+		if _, _, _, err := c.Infer(x); err != nil {
+			log.Fatal(err)
+		}
+		c.Close()
+
+		start = time.Now()
+		c, err = dial(serve.WithModel(modelName), serve.WithPreamble(p))
+		if err != nil {
+			log.Fatal(err)
+		}
+		resumed += time.Since(start)
+		if c.Resumed() {
+			hits++
+		}
+		c.Close()
+	}
+	st := router.Stats()
+	fmt.Printf("  %d/%d reconnects resumed (ticket-routes %d); mean connect cold %.0f ms vs resumed %.1f ms\n\n",
+		hits, n, st.TicketRoutes, cold.Seconds()/n*1000, resumed.Seconds()/n*1000)
+}
+
+// autoscale runs hand-driven control periods: load scales the fleet up,
+// idleness scales it down after the hysteresis window, and the final
+// periods agree — the no-oscillation convergence check.
+func autoscale(model *privinf.Model, shared *privinf.SharedModel) {
+	router, dial := newFleet(shared, 1)
+	defer router.Close()
+	scaler, err := fleet.NewAutoscaler(fleet.AutoscalerConfig{
+		Router:      router,
+		MinReplicas: 1,
+		MaxReplicas: 3,
+		TargetWait:  100 * time.Microsecond,
+		Period:      300 * time.Millisecond,
+		ShrinkAfter: 2,
+		Spawn: func() (*serve.Engine, error) {
+			reg := serve.NewRegistry(0)
+			if err := reg.RegisterArtifact(modelName, shared); err != nil {
+				return nil, err
+			}
+			return serve.New(serve.Config{
+				Registry: reg, DefaultModel: modelName,
+				Variant: privinf.ClientGarbler, SetupWorkers: 1,
+			})
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c, err := dial(serve.WithModel(modelName))
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := make([]uint64, model.InputLen())
+	ctx := context.Background()
+	tick := func(phase string) fleet.Decision {
+		d, err := scaler.Tick(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		action := "hold"
+		if d.ScaledUp {
+			action = "scale up"
+		} else if d.ScaledDown {
+			action = "scale down (drained)"
+		}
+		fmt.Printf("  [%s] replicas %d -> want %d, modelled wait %v, util %.2f: %s\n",
+			phase, d.Current, d.Desired, d.Wait.Round(time.Microsecond), d.Utilization, action)
+		return d
+	}
+
+	tick("baseline") // first period records telemetry baselines
+	for i := 0; i < 4; i++ {
+		if _, _, _, err := c.Infer(x); err != nil {
+			log.Fatal(err)
+		}
+	}
+	tick("load")
+	c.Close()
+
+	var sizes []int
+	for i := 0; i < 4; i++ {
+		tick("idle")
+		sizes = append(sizes, len(router.Replicas()))
+	}
+	last := sizes[len(sizes)-1]
+	converged := true
+	for _, s := range sizes[len(sizes)-3:] {
+		if s != last {
+			converged = false
+		}
+	}
+	fmt.Printf("  converged at %d replica(s) across final 3 periods: %v\n", last, converged)
+}
+
+func percentile(lat []time.Duration, q float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(math.Ceil(q*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return s[i]
+}

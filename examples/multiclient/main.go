@@ -66,7 +66,7 @@ func liveEngine() {
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			c, err := serve.Dial(ln.Addr(), nil)
+			c, err := serve.Dial(ln.Addr())
 			if err != nil {
 				log.Fatal(err)
 			}

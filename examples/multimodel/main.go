@@ -50,7 +50,7 @@ func main() {
 // twoModelsOneEngine serves both demo networks from one engine and runs a
 // verified inference on each from concurrent sessions.
 func twoModelsOneEngine(models map[string]*privinf.Model) {
-	eng, err := privinf.NewLocalEngine(models, privinf.ClientGarbler, 0, nil)
+	eng, err := privinf.NewLocalEngine(privinf.LocalEngineConfig{Models: models, Variant: privinf.ClientGarbler})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -132,7 +132,7 @@ func evictionUnderBudget(models map[string]*privinf.Model) {
 			log.Fatal(err)
 		}
 		t0 := time.Now()
-		c, err := serve.ConnectModel(conn, name, nil)
+		c, err := serve.Connect(conn, serve.WithModel(name))
 		if err != nil {
 			log.Fatal(err)
 		}

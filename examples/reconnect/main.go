@@ -39,7 +39,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := privinf.NewLocalEngine(map[string]*privinf.Model{"cnn": cnn}, privinf.ClientGarbler, 0, nil)
+	eng, err := privinf.NewLocalEngine(privinf.LocalEngineConfig{Models: map[string]*privinf.Model{"cnn": cnn}, Variant: privinf.ClientGarbler})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func main() {
 	p := privinf.NewPreamble()
 	connect := func(tier string) (*privinf.Session, time.Duration) {
 		start := time.Now()
-		sess, err := eng.ConnectPreamble("cnn", p)
+		sess, err := eng.Connect("cnn", privinf.WithPreamble(p))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -61,7 +61,7 @@ func liveStream() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		c, err := serve.Connect(conn, nil)
+		c, err := serve.Connect(conn)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,349 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"privinf/internal/serve"
+)
+
+// AutoscalerConfig parameterizes the control loop.
+type AutoscalerConfig struct {
+	// Router is the front tier whose replica set the autoscaler manages.
+	Router *Router
+	// Spawn builds one fresh replica engine for a scale-up (typically
+	// serve.New over a shared Registry, so replicas share artifacts via
+	// the disk store rather than re-encoding weights).
+	Spawn func() (*serve.Engine, error)
+	// MinReplicas and MaxReplicas bound the replica set. Min < 1 is
+	// treated as 1; Max < Min as Min.
+	MinReplicas int
+	MaxReplicas int
+	// TargetWait is the per-model queueing-delay target the M/M/c model
+	// sizes the fleet against: the expected time an inference request
+	// waits for a free server before service starts. 0 uses
+	// DefaultTargetWait.
+	TargetWait time.Duration
+	// Period is the control interval; 0 uses DefaultPeriod.
+	Period time.Duration
+	// ShrinkAfter is the scale-down hysteresis: the desired size must stay
+	// below the current size for this many consecutive control periods
+	// before a replica is removed (one per period). Scale-ups apply
+	// immediately. 0 uses DefaultShrinkAfter.
+	ShrinkAfter int
+	// StorageSlots is the fleet-global pre-compute storage budget, divided
+	// evenly across replicas after every resize
+	// (Engine.SetStorageBudget). 0 leaves replica budgets alone.
+	StorageSlots int
+	// ArtifactBytes is the fleet-global registry byte budget, divided
+	// evenly across replicas after every resize (Registry.SetBudget).
+	// 0 leaves registry budgets alone. Leave 0 when replicas share one
+	// registry — dividing a shared budget by the replica count would
+	// shrink it N times over.
+	ArtifactBytes int64
+	// ServiceTime optionally maps a model name to its expected online
+	// latency — the cost model's profile, used until measured MeanOnline
+	// telemetry exists (cold fleets). Nil models fall back to
+	// DefaultServiceTime.
+	ServiceTime func(model string) time.Duration
+	// DrainTimeout bounds a scale-down drain; 0 uses DefaultDrainTimeout.
+	DrainTimeout time.Duration
+}
+
+// Autoscaler control-loop defaults.
+const (
+	DefaultTargetWait   = 50 * time.Millisecond
+	DefaultPeriod       = 2 * time.Second
+	DefaultShrinkAfter  = 3
+	DefaultDrainTimeout = 30 * time.Second
+	DefaultServiceTime  = 20 * time.Millisecond
+)
+
+// ModelLoad is one model's measured load over a control period — the
+// queueing model's per-model input.
+type ModelLoad struct {
+	Model string
+	// Arrival is the measured inference arrival rate, per second.
+	Arrival float64
+	// Service is the expected per-inference online latency.
+	Service time.Duration
+	// Backlog is the queue depth observed at period end (requests accepted
+	// but unfinished); the planner treats it as extra arrivals to drain.
+	Backlog int
+}
+
+// Decision is one control period's outcome.
+type Decision struct {
+	// Current and Desired are the replica counts before the period's
+	// action and the planner's target.
+	Current int
+	Desired int
+	// Wait is the M/M/c expected queueing delay at the Desired size.
+	Wait time.Duration
+	// Utilization is offered load over capacity at the Desired size.
+	Utilization float64
+	// Loads are the per-model measurements the decision derives from,
+	// sorted by model name.
+	Loads []ModelLoad
+	// ScaledUp and ScaledDown report the action taken this period.
+	ScaledUp   bool
+	ScaledDown bool
+}
+
+// Autoscaler grows and shrinks a router's replica set. Drive it with Run,
+// or call Tick directly for step-by-step control (tests, benchmarks).
+type Autoscaler struct {
+	cfg AutoscalerConfig
+
+	// prev holds each replica's last-seen per-model lifetime counters, so
+	// a period's arrivals are the deltas. Keyed by replica ID — a removed
+	// replica's history dies with it (its retired sessions' counts would
+	// otherwise re-arrive as a phantom burst).
+	prev map[int]map[string]uint64
+	// below counts consecutive periods with desired < current.
+	below int
+}
+
+// NewAutoscaler validates the config and returns an idle autoscaler (no
+// control period has run; the replica set is whatever the router holds).
+func NewAutoscaler(cfg AutoscalerConfig) (*Autoscaler, error) {
+	if cfg.Router == nil {
+		return nil, fmt.Errorf("fleet: autoscaler needs a router")
+	}
+	if cfg.Spawn == nil {
+		return nil, fmt.Errorf("fleet: autoscaler needs a spawn function")
+	}
+	if cfg.MinReplicas < 1 {
+		cfg.MinReplicas = 1
+	}
+	if cfg.MaxReplicas < cfg.MinReplicas {
+		cfg.MaxReplicas = cfg.MinReplicas
+	}
+	if cfg.TargetWait <= 0 {
+		cfg.TargetWait = DefaultTargetWait
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = DefaultPeriod
+	}
+	if cfg.ShrinkAfter <= 0 {
+		cfg.ShrinkAfter = DefaultShrinkAfter
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = DefaultDrainTimeout
+	}
+	return &Autoscaler{cfg: cfg, prev: map[int]map[string]uint64{}}, nil
+}
+
+// Run executes control periods until ctx ends.
+func (a *Autoscaler) Run(ctx context.Context) error {
+	tick := time.NewTicker(a.cfg.Period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+			if _, err := a.Tick(ctx); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Tick runs one control period: measure, plan, resize by at most one
+// replica, re-divide the per-replica budgets.
+func (a *Autoscaler) Tick(ctx context.Context) (Decision, error) {
+	reps := a.cfg.Router.Replicas()
+	loads := a.measure(reps)
+	d := Decision{Current: len(reps), Loads: loads}
+	d.Desired, d.Wait, d.Utilization = PlanReplicas(loads, a.cfg.MinReplicas, a.cfg.MaxReplicas, a.cfg.TargetWait)
+
+	switch {
+	case d.Desired > d.Current:
+		a.below = 0
+		eng, err := a.cfg.Spawn()
+		if err != nil {
+			return d, fmt.Errorf("fleet: scale-up spawn: %w", err)
+		}
+		if _, err := a.cfg.Router.AddEngine(eng); err != nil {
+			eng.Close()
+			return d, err
+		}
+		d.ScaledUp = true
+	case d.Desired < d.Current:
+		a.below++
+		if a.below >= a.cfg.ShrinkAfter {
+			a.below = 0
+			if rep := victim(reps); rep != nil {
+				dctx, cancel := context.WithTimeout(ctx, a.cfg.DrainTimeout)
+				err := a.cfg.Router.Remove(dctx, rep)
+				cancel()
+				delete(a.prev, rep.ID)
+				if err != nil {
+					return d, fmt.Errorf("fleet: scale-down drain: %w", err)
+				}
+				d.ScaledDown = true
+			}
+		}
+	default:
+		a.below = 0
+	}
+
+	a.rebudget()
+	return d, nil
+}
+
+// measure reads every in-process replica's per-model telemetry and turns
+// lifetime counters into this period's arrival rates.
+func (a *Autoscaler) measure(reps []*Replica) []ModelLoad {
+	period := a.cfg.Period.Seconds()
+	agg := map[string]*ModelLoad{}
+	for _, rep := range reps {
+		if rep.eng == nil {
+			continue // remote replicas expose no telemetry
+		}
+		st := rep.eng.Stats()
+		last := a.prev[rep.ID]
+		fresh := last == nil // first sighting: record baselines, count no arrivals
+		if fresh {
+			last = map[string]uint64{}
+			a.prev[rep.ID] = last
+		}
+		for _, ms := range st.Models {
+			l := agg[ms.Name]
+			if l == nil {
+				l = &ModelLoad{Model: ms.Name}
+				agg[ms.Name] = l
+			}
+			if !fresh && ms.Inferences > last[ms.Name] {
+				l.Arrival += float64(ms.Inferences-last[ms.Name]) / period
+			}
+			last[ms.Name] = ms.Inferences
+			l.Backlog += ms.QueueDepth
+			if ms.MeanOnline > l.Service {
+				l.Service = ms.MeanOnline // worst replica's measured mean
+			}
+		}
+	}
+	loads := make([]ModelLoad, 0, len(agg))
+	for _, l := range agg {
+		if l.Service <= 0 {
+			if a.cfg.ServiceTime != nil {
+				l.Service = a.cfg.ServiceTime(l.Model)
+			}
+			if l.Service <= 0 {
+				l.Service = DefaultServiceTime
+			}
+		}
+		loads = append(loads, *l)
+	}
+	sort.Slice(loads, func(i, j int) bool { return loads[i].Model < loads[j].Model })
+	return loads
+}
+
+// rebudget re-divides the fleet-global storage and artifact budgets evenly
+// across the current in-process replicas.
+func (a *Autoscaler) rebudget() {
+	if a.cfg.StorageSlots == 0 && a.cfg.ArtifactBytes == 0 {
+		return
+	}
+	reps := a.cfg.Router.Replicas()
+	n := 0
+	for _, rep := range reps {
+		if rep.eng != nil {
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	for _, rep := range reps {
+		if rep.eng == nil {
+			continue
+		}
+		if a.cfg.StorageSlots != 0 {
+			rep.eng.SetStorageBudget(a.cfg.StorageSlots / n)
+		}
+		if a.cfg.ArtifactBytes != 0 {
+			rep.eng.Registry().SetBudget(a.cfg.ArtifactBytes / int64(n))
+		}
+	}
+}
+
+// victim picks the replica a scale-down removes: the least-loaded
+// in-process replica (remote replicas cannot be drained).
+func victim(reps []*Replica) *Replica {
+	var v *Replica
+	for _, rep := range reps {
+		if rep.eng == nil {
+			continue
+		}
+		if v == nil || rep.load.Load() < v.load.Load() {
+			v = rep
+		}
+	}
+	return v
+}
+
+// PlanReplicas sizes the fleet for a measured load: the smallest replica
+// count in [min, max] whose M/M/c expected queueing delay meets the target
+// for every model. Each replica is one server; a model's wait is computed
+// on the aggregate queue (all models share the fleet, so the shared-queue
+// delay plus the model's own service time is what its clients see).
+// Backlogged requests count as extra load to drain. Returns the chosen
+// count with the modelled wait and utilization at that count.
+func PlanReplicas(loads []ModelLoad, min, max int, target time.Duration) (replicas int, wait time.Duration, util float64) {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	var lambda, offered float64
+	for _, l := range loads {
+		rate := l.Arrival + float64(l.Backlog) // backlog drains within ~1s
+		lambda += rate
+		offered += rate * l.Service.Seconds()
+	}
+	if lambda <= 0 {
+		return min, 0, 0
+	}
+	service := offered / lambda // load-weighted mean service time
+
+	c := min
+	for ; c < max; c++ {
+		if w, ok := erlangCWait(lambda, service, c); ok && w <= target {
+			break
+		}
+	}
+	w, ok := erlangCWait(lambda, service, c)
+	if !ok {
+		w = time.Duration(math.MaxInt64) // saturated even at max
+	}
+	return c, w, offered / float64(c)
+}
+
+// erlangCWait is the M/M/c expected queueing delay W_q for arrival rate
+// lambda (per second), mean service time service (per request), and c
+// servers. ok is false when the queue is unstable (offered load >= c).
+func erlangCWait(lambda, service float64, c int) (time.Duration, bool) {
+	if lambda <= 0 || service <= 0 {
+		return 0, true
+	}
+	a := lambda * service // offered load, in server-equivalents (erlangs)
+	if a >= float64(c) {
+		return 0, false
+	}
+	// Erlang B by the stable recurrence, then convert to Erlang C.
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	rho := a / float64(c)
+	pWait := b / (1 - rho*(1-b))
+	wq := pWait * service / (float64(c) - a)
+	return time.Duration(wq * float64(time.Second)), true
+}

@@ -1,0 +1,45 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkRouterConnect measures one cold session connect — the proxied
+// handshake plus the full cryptographic setup (BFV shares, base OTs) —
+// through router fleets of 1 and 4 replicas. Concurrent arrivals spread
+// across a larger fleet; a single serial connect mostly measures the
+// setup itself, so the interesting read is the per-size delta staying
+// small (router overhead) rather than large (placement gone wrong).
+func BenchmarkRouterConnect(b *testing.B) {
+	for _, n := range []int{1, 4} {
+		b.Run(fmt.Sprintf("replicas=%d", n), func(b *testing.B) {
+			model := testModel(b, 60)
+			_, ln := startFleet(b, model, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := dialFleet(b, ln)
+				c.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkAutoscalerDecision measures one control-period plan: M/M/c
+// sizing over a mixed multi-model load with backlog, against a 64-replica
+// ceiling. This is the pure decision cost, with no engine telemetry reads.
+func BenchmarkAutoscalerDecision(b *testing.B) {
+	loads := []ModelLoad{
+		{Model: "cnn", Arrival: 120, Service: 40 * time.Millisecond, Backlog: 8},
+		{Model: "mlp", Arrival: 300, Service: 5 * time.Millisecond},
+		{Model: "wide", Arrival: 60, Service: 90 * time.Millisecond, Backlog: 2},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c, _, _ := PlanReplicas(loads, 1, 64, 50*time.Millisecond)
+		if c < 1 {
+			b.Fatal("planner returned no replicas")
+		}
+	}
+}

@@ -48,7 +48,7 @@ func BenchmarkSessionConnect(b *testing.B) {
 							errs <- err
 							return
 						}
-						clients[k], err = Connect(conn, nil)
+						clients[k], err = Connect(conn)
 						if err != nil {
 							errs <- err
 						}
@@ -98,7 +98,7 @@ func BenchmarkSessionResume(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		c, err := ConnectOpts(conn, ConnectOptions{Preamble: p})
+		c, err := Connect(conn, WithPreamble(p))
 		if err != nil {
 			b.Fatal(err)
 		}

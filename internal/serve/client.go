@@ -62,52 +62,11 @@ type pcResult struct {
 	err    error
 }
 
-// Dial connects to an engine over TCP and is served its default model.
-// entropy may be nil (crypto/rand).
-func Dial(addr string, entropy io.Reader) (*Client, error) {
-	return DialModel(addr, "", entropy)
-}
-
-// DialModel connects to an engine over TCP and requests the named model
-// from its registry (empty means the engine's default model). An engine
-// that does not know the name rejects the handshake with an error matching
-// errors.Is(err, ErrUnknownModel). entropy may be nil (crypto/rand).
-func DialModel(addr, model string, entropy io.Reader) (*Client, error) {
-	return DialOpts(addr, ConnectOptions{Model: model, Entropy: entropy})
-}
-
-// DialOpts is DialModel with the full connect options (model, preamble,
-// entropy).
-func DialOpts(addr string, opts ConnectOptions) (*Client, error) {
-	conn, err := transport.Dial(addr)
-	if err != nil {
-		return nil, err
-	}
-	c, err := ConnectOpts(conn, opts)
-	if err != nil {
-		conn.Close()
-		return nil, err
-	}
-	return c, nil
-}
-
-// Connect runs the session handshake over an established connection (TCP
-// via transport.Dial, or in-process via transport.PipeListener.Dial) for
-// the engine's default model and starts the session. entropy may be nil
-// (crypto/rand).
-func Connect(conn *transport.Conn, entropy io.Reader) (*Client, error) {
-	return ConnectModel(conn, "", entropy)
-}
-
-// ConnectModel is Connect requesting the named model from the engine's
-// registry (empty means the engine's default model). Typed handshake
-// rejections surface as *HandshakeError: match errors.Is(err,
-// ErrUnknownModel) and errors.Is(err, ErrVersionMismatch).
-func ConnectModel(conn *transport.Conn, model string, entropy io.Reader) (*Client, error) {
-	return ConnectOpts(conn, ConnectOptions{Model: model, Entropy: entropy})
-}
-
-// ConnectOptions parameterizes ConnectOpts/DialOpts.
+// ConnectOptions is the resolved connect configuration an Option mutates.
+// Callers normally compose options (WithModel, WithEntropy, WithPreamble)
+// instead of filling it directly; the struct stays exported for the
+// deprecated DialOpts/ConnectOpts wrappers and for callers that build
+// option sets programmatically via WithOptions.
 type ConnectOptions struct {
 	// Model names the registry entry to request; empty means the engine's
 	// default model.
@@ -122,10 +81,110 @@ type ConnectOptions struct {
 	Entropy io.Reader
 }
 
-// ConnectOpts runs the session handshake with full options. A rejected
-// resumption ticket does not fail the connect — the session falls back to
-// the full base-OT path; ResumeOutcome reports what happened.
+// Option configures a Dial or Connect call.
+type Option func(*ConnectOptions)
+
+// WithModel requests the named model from the engine's registry (empty
+// means the engine's default model). An engine that does not know the name
+// rejects the handshake with an error matching errors.Is(err,
+// ErrUnknownModel).
+func WithModel(name string) Option {
+	return func(o *ConnectOptions) { o.Model = name }
+}
+
+// WithEntropy seeds the session's randomness from r; the default (and a
+// nil r) is crypto/rand.
+func WithEntropy(r io.Reader) Option {
+	return func(o *ConnectOptions) { o.Entropy = r }
+}
+
+// WithPreamble attaches a client's reusable session-preamble state: its
+// resumption ticket rides in the hello (reconnects skip base OTs when the
+// engine accepts it), cached shared artifacts replace circuit and plan
+// construction, and the preamble is updated in place with whatever this
+// handshake produces. A nil p is a plain cold connect.
+func WithPreamble(p *Preamble) Option {
+	return func(o *ConnectOptions) { o.Preamble = p }
+}
+
+// WithOptions applies a pre-built options struct wholesale, for callers
+// that assemble connect configuration programmatically. Later options
+// still override its fields.
+func WithOptions(opts ConnectOptions) Option {
+	return func(o *ConnectOptions) { *o = opts }
+}
+
+func resolveOptions(opts []Option) ConnectOptions {
+	var o ConnectOptions
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	return o
+}
+
+// Dial connects to an engine over TCP and runs the session handshake. With
+// no options it is served the engine's default model with crypto/rand
+// entropy; compose WithModel, WithEntropy and WithPreamble to override.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	conn, err := transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := Connect(conn, opts...)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Connect runs the session handshake over an established connection (TCP
+// via transport.Dial, or in-process via transport.PipeListener.Dial) and
+// starts the session. With no options it is served the engine's default
+// model with crypto/rand entropy; compose WithModel, WithEntropy and
+// WithPreamble to override. Typed handshake rejections surface as
+// *HandshakeError: match errors.Is(err, ErrUnknownModel) and
+// errors.Is(err, ErrVersionMismatch). A rejected resumption ticket does
+// not fail the connect — the session falls back to the full base-OT path;
+// ResumeOutcome reports what happened.
+func Connect(conn *transport.Conn, opts ...Option) (*Client, error) {
+	return connect(conn, resolveOptions(opts))
+}
+
+// DialModel connects to an engine over TCP and requests the named model.
+//
+// Deprecated: use Dial(addr, WithModel(model), WithEntropy(entropy)).
+func DialModel(addr, model string, entropy io.Reader) (*Client, error) {
+	return Dial(addr, WithModel(model), WithEntropy(entropy))
+}
+
+// DialOpts is Dial with a pre-built options struct.
+//
+// Deprecated: use Dial with WithModel/WithEntropy/WithPreamble (or
+// WithOptions for a pre-built struct).
+func DialOpts(addr string, opts ConnectOptions) (*Client, error) {
+	return Dial(addr, WithOptions(opts))
+}
+
+// ConnectModel is Connect requesting the named model.
+//
+// Deprecated: use Connect(conn, WithModel(model), WithEntropy(entropy)).
+func ConnectModel(conn *transport.Conn, model string, entropy io.Reader) (*Client, error) {
+	return Connect(conn, WithModel(model), WithEntropy(entropy))
+}
+
+// ConnectOpts is Connect with a pre-built options struct.
+//
+// Deprecated: use Connect with WithModel/WithEntropy/WithPreamble (or
+// WithOptions for a pre-built struct).
 func ConnectOpts(conn *transport.Conn, opts ConnectOptions) (*Client, error) {
+	return Connect(conn, WithOptions(opts))
+}
+
+// connect runs the session handshake with resolved options.
+func connect(conn *transport.Conn, opts ConnectOptions) (*Client, error) {
 	var ticket []byte
 	var state *delphi.OTResume
 	if opts.Preamble != nil {

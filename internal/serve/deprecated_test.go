@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+
+	"privinf/internal/delphi"
+	"privinf/internal/transport"
+)
+
+// TestDeprecatedConnectWrappers keeps the one-release compatibility shims
+// honest: DialModel/DialOpts/ConnectModel/ConnectOpts must behave exactly
+// like the option-based Dial/Connect they now delegate to.
+func TestDeprecatedConnectWrappers(t *testing.T) {
+	model := testModel(t, 77)
+	_, ln := startEngine(t, Config{
+		Model:       model,
+		Variant:     delphi.ClientGarbler,
+		LPHEWorkers: len(model.Linear),
+	})
+
+	// ConnectModel: named-model connect over an established connection.
+	conn, err := transport.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ConnectModel(conn, DefaultModelName, nil)
+	if err != nil {
+		t.Fatalf("ConnectModel: %v", err)
+	}
+	if c.Model() != DefaultModelName {
+		t.Fatalf("ConnectModel served %q, want %q", c.Model(), DefaultModelName)
+	}
+	c.Close()
+
+	// DialOpts: full options struct, including a preamble that must be
+	// filled by the handshake exactly as WithPreamble would fill it.
+	p := NewPreamble()
+	c, err = DialOpts(ln.Addr(), ConnectOptions{Preamble: p})
+	if err != nil {
+		t.Fatalf("DialOpts: %v", err)
+	}
+	c.Close()
+	if !p.HasTicket() {
+		t.Fatal("DialOpts did not store a resumption ticket in the preamble")
+	}
+
+	// ConnectOpts: the stored ticket must resume through the wrapper too.
+	conn, err = transport.Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err = ConnectOpts(conn, ConnectOptions{Preamble: p})
+	if err != nil {
+		t.Fatalf("ConnectOpts: %v", err)
+	}
+	if !c.Resumed() {
+		t.Fatal("ConnectOpts with a ticketed preamble did not resume")
+	}
+	c.Close()
+
+	// DialModel: typed rejection for unknown names still round-trips.
+	if _, err := DialModel(ln.Addr(), "no-such-model", nil); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("DialModel(unknown) = %v, want ErrUnknownModel", err)
+	}
+}

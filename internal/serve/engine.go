@@ -15,6 +15,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -84,6 +85,20 @@ type Config struct {
 	// OfflineWorkers bounds concurrent scheduled offline phases across
 	// sessions (the server's pre-processing parallelism). Minimum 1.
 	OfflineWorkers int
+	// SetupWorkers bounds concurrent full session setups (base OTs + HE
+	// keygen) — the admission control that keeps a connect storm from
+	// monopolizing the engine's cores and wrecking online latency, and the
+	// per-replica capacity knob a fleet front tier scales against. Excess
+	// cold connects queue; ticket resumptions bypass the bound (they cost
+	// ~no compute, so a full fleet still reconnects fast). 0 means
+	// unbounded.
+	SetupWorkers int
+	// ModelWeights sets the scheduler's per-model refill shares: the
+	// global storage budget is split between models with live sessions in
+	// proportion to weight, so a hot model's refill demand cannot starve a
+	// cold model's buffers. Unnamed models weigh 1; weights <= 0 are
+	// treated as 1. Nil gives every model equal weight.
+	ModelWeights map[string]float64
 	// TicketTTL bounds how long an OT resumption ticket stays redeemable
 	// (redeeming slides the window). 0 uses DefaultTicketTTL; < 0 disables
 	// resumption entirely — every connect runs full base OTs.
@@ -121,6 +136,12 @@ type Engine struct {
 	// tickets is the OT resumption cache; nil when resumption is disabled
 	// (Config.TicketTTL < 0).
 	tickets *ticketCache
+	// setupSem bounds concurrent full session setups (Config.SetupWorkers);
+	// nil means unbounded.
+	setupSem chan struct{}
+	// draining marks an engine that rejects new handshakes while existing
+	// sessions run to completion (Drain).
+	draining atomic.Bool
 
 	mu        sync.Mutex
 	sessions  map[uint64]*session
@@ -129,12 +150,21 @@ type Engine struct {
 	nextID    uint64
 	closed    bool
 	// Lifetime totals folded in from disconnected sessions, so Stats
-	// reports engine history, not just currently connected clients.
+	// reports engine history, not just currently connected clients. The
+	// per-model map partitions the same history for the queue telemetry
+	// ModelStats exports.
 	retiredPrecomputes uint64
 	retiredInferences  uint64
+	retiredByModel     map[string]*modelTotals
 
 	done chan struct{}
 	wg   sync.WaitGroup
+}
+
+// modelTotals accumulates one model's retired-session phase history.
+type modelTotals struct {
+	precomputes, inferences   uint64
+	offlineTotal, onlineTotal time.Duration
 }
 
 // session is one connected client's server-side state.
@@ -242,17 +272,21 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	e := &Engine{
-		cfg:          cfg,
-		reg:          reg,
-		defaultModel: defaultModel,
-		entropy:      delphi.LockedEntropy(cfg.Entropy),
-		sched:        newScheduler(cfg.BufferPerSession, cfg.StorageBudget, cfg.OfflineWorkers),
-		sessions:     map[uint64]*session{},
-		conns:        map[*transport.Conn]struct{}{},
-		done:         make(chan struct{}),
+		cfg:            cfg,
+		reg:            reg,
+		defaultModel:   defaultModel,
+		entropy:        delphi.LockedEntropy(cfg.Entropy),
+		sched:          newScheduler(cfg.BufferPerSession, cfg.StorageBudget, cfg.OfflineWorkers, cfg.ModelWeights),
+		sessions:       map[uint64]*session{},
+		conns:          map[*transport.Conn]struct{}{},
+		retiredByModel: map[string]*modelTotals{},
+		done:           make(chan struct{}),
 	}
 	if cfg.TicketTTL >= 0 {
 		e.tickets = newTicketCache(cfg.TicketTTL, cfg.TicketBudget)
+	}
+	if cfg.SetupWorkers > 0 {
+		e.setupSem = make(chan struct{}, cfg.SetupWorkers)
 	}
 	return e, nil
 }
@@ -342,24 +376,16 @@ func (e *Engine) handle(conn *transport.Conn, addr string) {
 		sendReject(conn, rejectVersion, fmt.Sprintf("serve: client speaks wire version %d, server speaks %d", hello.Version, wireVersion))
 		return
 	}
+	if e.draining.Load() {
+		sendReject(conn, rejectDraining, "serve: engine is draining, not accepting new sessions")
+		return
+	}
 	name := hello.Model
 	if name == "" {
 		name = e.defaultModel
 	}
 	if name == "" {
 		sendReject(conn, rejectUnknownModel, "serve: hello named no model and the engine has no default model")
-		return
-	}
-	// Resolving the artifact may build it (a registry miss); that cost is
-	// paid here, on this connection's goroutine, so other sessions keep
-	// serving while a cold model encodes.
-	artifact, err := e.reg.Get(name)
-	if err != nil {
-		if errors.Is(err, ErrUnknownModel) {
-			sendReject(conn, rejectUnknownModel, err.Error())
-		} else {
-			sendCtrl(conn, opErr, []byte(err.Error()))
-		}
 		return
 	}
 	// Settle the session preamble: a presented ticket either resumes OT
@@ -387,6 +413,34 @@ func (e *Engine) handle(conn *transport.Conn, addr string) {
 		serverNonce = randomID()
 	} else if e.tickets != nil {
 		newTicket = e.tickets.reserve()
+	}
+	// Full setups (artifact resolve + base OTs + HE keygen) are the
+	// engine's admission-controlled work: at most SetupWorkers run at
+	// once, excess cold connects queue here. Resumed sessions skip the
+	// bound — seed expansion costs ~nothing, so reconnect latency stays
+	// flat even under a cold-connect storm.
+	releaseSetup := func() {}
+	if resume == nil && e.setupSem != nil {
+		select {
+		case e.setupSem <- struct{}{}:
+		case <-e.done:
+			return
+		}
+		var once sync.Once
+		releaseSetup = func() { once.Do(func() { <-e.setupSem }) }
+		defer releaseSetup()
+	}
+	// Resolving the artifact may build it (a registry miss); that cost is
+	// paid here, on this connection's goroutine, so other sessions keep
+	// serving while a cold model encodes.
+	artifact, err := e.reg.Get(name)
+	if err != nil {
+		if errors.Is(err, ErrUnknownModel) {
+			sendReject(conn, rejectUnknownModel, err.Error())
+		} else {
+			sendCtrl(conn, opErr, []byte(err.Error()))
+		}
+		return
 	}
 	welcome := marshalJSON(welcomeMsg{
 		Version:      wireVersion,
@@ -434,6 +488,7 @@ func (e *Engine) handle(conn *transport.Conn, addr string) {
 		s.fail(err)
 		return
 	}
+	releaseSetup()
 
 	if !e.addSession(s) {
 		s.m.close(errors.New("serve: engine closed"))
@@ -467,7 +522,57 @@ func (e *Engine) removeSession(s *session) {
 	s.statMu.Lock()
 	e.retiredPrecomputes += s.precomputes
 	e.retiredInferences += s.inferences
+	mt := e.retiredByModel[s.model]
+	if mt == nil {
+		mt = &modelTotals{}
+		e.retiredByModel[s.model] = mt
+	}
+	mt.precomputes += s.precomputes
+	mt.inferences += s.inferences
+	mt.offlineTotal += s.offlineTotal
+	mt.onlineTotal += s.onlineTotal
 	s.statMu.Unlock()
+}
+
+// Draining reports whether the engine is refusing new sessions (Drain).
+func (e *Engine) Draining() bool { return e.draining.Load() }
+
+// Drain switches the engine to drain mode — new handshakes are rejected
+// with a typed code matching errors.Is(err, ErrDraining) — and waits until
+// every connected session has finished and disconnected, or ctx ends. It
+// does not tear anything down: in-flight inferences complete normally, and
+// the caller decides what follows (typically Close). This is the
+// scale-down half of a fleet front tier: stop routing to a replica, Drain,
+// then stop it.
+func (e *Engine) Drain(ctx context.Context) error {
+	e.draining.Store(true)
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		e.mu.Lock()
+		idle := len(e.conns) == 0
+		e.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-e.done:
+			return nil
+		case <-tick.C:
+		}
+	}
+}
+
+// SetStorageBudget replaces the scheduler's global storage budget (in
+// pre-compute slots; < 0 unbounded, 0 disables background refills) on a
+// live engine — the per-replica knob a fleet autoscaler re-assigns as the
+// replica set grows and shrinks. A raised budget triggers refills
+// immediately; a lowered one drains by attrition (buffered pre-computes
+// are consumed, not discarded).
+func (e *Engine) SetStorageBudget(budget int) {
+	e.sched.setBudget(budget)
 }
 
 // startCtrlPump moves control messages from the mux onto a selectable
@@ -675,6 +780,17 @@ type ModelStats struct {
 	// Buffered is their aggregate pre-compute buffer depth.
 	Sessions int
 	Buffered int
+	// Queue telemetry — the per-model signals a fleet autoscaler's queue
+	// model consumes. QueueDepth is the number of inference requests
+	// accepted but not yet finished across the model's live sessions;
+	// Inferences and Precomputes are lifetime phase counts (disconnected
+	// sessions included); MeanOnline and MeanOffline are the lifetime mean
+	// phase latencies (the online one is the queue model's service time).
+	QueueDepth  int
+	Inferences  uint64
+	Precomputes uint64
+	MeanOnline  time.Duration
+	MeanOffline time.Duration
 	// Resident reports whether the built artifact is currently held by the
 	// registry, and SizeBytes its footprint (0 when evicted or not yet
 	// built). Sessions opened before an eviction keep serving from the
@@ -773,10 +889,13 @@ func (e *Engine) Stats() Stats {
 		st.Tickets, ticketModels = e.tickets.stats()
 	}
 	// Partition the engine per model: start from the registry's per-model
-	// cache counters, then fold in each live session and the resumption
-	// cache's per-model counters.
+	// cache counters and the retired-session history, then fold in each
+	// live session and the resumption cache's per-model counters. Phase
+	// totals accumulate in side maps so the means divide once at the end.
 	st.Models = rst.Models // already sorted by name
 	byModel := make(map[string]*ModelStats, len(st.Models))
+	offTotals := make(map[string]time.Duration, len(st.Models))
+	onTotals := make(map[string]time.Duration, len(st.Models))
 	for i := range st.Models {
 		ms := &st.Models[i]
 		ms.Buffered = bufferedByModel[ms.Name] // scheduler's per-model partition
@@ -784,6 +903,12 @@ func (e *Engine) Stats() Stats {
 			ms.TicketsIssued = tc.issued
 			ms.Resumes = tc.resumed
 			ms.ResumeRejects = tc.rejected
+		}
+		if mt := e.retiredByModel[ms.Name]; mt != nil {
+			ms.Precomputes = mt.precomputes
+			ms.Inferences = mt.inferences
+			offTotals[ms.Name] = mt.offlineTotal
+			onTotals[ms.Name] = mt.onlineTotal
 		}
 		byModel[ms.Name] = ms
 	}
@@ -801,6 +926,7 @@ func (e *Engine) Stats() Stats {
 			BytesSent:   s.m.conn.SentBytes(),
 			BytesRecv:   s.m.conn.RecvBytes(),
 		}
+		offTot, onTot := s.offlineTotal, s.onlineTotal
 		if s.precomputes > 0 {
 			ss.MeanOffline = s.offlineTotal / time.Duration(s.precomputes)
 		}
@@ -814,6 +940,20 @@ func (e *Engine) Stats() Stats {
 		st.TotalInferences += ss.Inferences
 		if ms := byModel[ss.Model]; ms != nil {
 			ms.Sessions++
+			ms.QueueDepth += ss.QueueDepth
+			ms.Precomputes += ss.Precomputes
+			ms.Inferences += ss.Inferences
+			offTotals[ss.Model] += offTot
+			onTotals[ss.Model] += onTot
+		}
+	}
+	for i := range st.Models {
+		ms := &st.Models[i]
+		if ms.Precomputes > 0 {
+			ms.MeanOffline = offTotals[ms.Name] / time.Duration(ms.Precomputes)
+		}
+		if ms.Inferences > 0 {
+			ms.MeanOnline = onTotals[ms.Name] / time.Duration(ms.Inferences)
 		}
 	}
 	sort.Slice(st.Sessions, func(i, j int) bool { return st.Sessions[i].ID < st.Sessions[j].ID })

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"fmt"
+
+	"privinf/internal/transport"
+)
+
+// Front-tier handshake support: a fleet router terminates nothing — it
+// peeks the client's opening frames to learn where the session wants to go
+// (model name, resumption ticket), replays them verbatim to the backend it
+// picks, forwards the backend's answer, and then splices frames blindly.
+// These helpers keep the wire format knowledge in this package while the
+// routing policy lives in internal/fleet.
+
+// ClientHello is a peeked client handshake opening: the routable fields a
+// front tier keys on, plus the raw frames needed to replay the opening
+// verbatim to a backend.
+type ClientHello struct {
+	// Model is the registry name the client requests; empty means the
+	// backend's default model.
+	Model string
+	// Ticket is the OT resumption ticket the client presents, nil on cold
+	// connects. A router routes ticket-first: the ticket only resumes on
+	// the replica whose cache holds it.
+	Ticket []byte
+
+	frames [][]byte // preamble + hello, in arrival order
+}
+
+// PeekClientHello reads and validates a connection's opening frames (the
+// wire-v3 transport preamble and the hello). Malformed openings and wire
+// version mismatches are answered on conn with the same typed rejection an
+// engine would send, and returned as an error; the caller should just drop
+// the connection.
+func PeekClientHello(conn *transport.Conn) (*ClientHello, error) {
+	f, err := conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	h := &ClientHello{}
+	var op byte
+	var body []byte
+	if transport.IsPreamble(f) {
+		pre, err := transport.DecodePreamble(f)
+		if err != nil || pre.Version != wireVersion {
+			sendReject(conn, rejectVersion, fmt.Sprintf("serve: client speaks wire version %d, server speaks %d", pre.Version, wireVersion))
+			return nil, fmt.Errorf("serve: peek hello: %w", ErrVersionMismatch)
+		}
+		h.frames = append(h.frames, f)
+		if f, err = conn.Recv(); err != nil {
+			return nil, err
+		}
+	}
+	if op, body, err = parseCtrl(f); err != nil {
+		sendReject(conn, rejectBadHello, "serve: malformed hello")
+		return nil, err
+	}
+	var hello helloMsg
+	if op != opHello || unmarshalJSON(body, &hello) != nil {
+		sendReject(conn, rejectBadHello, "serve: malformed hello")
+		return nil, fmt.Errorf("serve: peek hello: expected hello, got opcode %d", op)
+	}
+	if hello.Version != wireVersion {
+		sendReject(conn, rejectVersion, fmt.Sprintf("serve: client speaks wire version %d, server speaks %d", hello.Version, wireVersion))
+		return nil, fmt.Errorf("serve: peek hello: %w", ErrVersionMismatch)
+	}
+	h.frames = append(h.frames, f)
+	h.Model = hello.Model
+	h.Ticket = hello.Ticket
+	return h, nil
+}
+
+// Replay writes the captured opening frames to a backend connection, so
+// the backend sees exactly the handshake the client sent.
+func (h *ClientHello) Replay(conn transport.MsgConn) error {
+	for _, f := range h.frames {
+		if err := conn.Send(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WelcomeInfo is a peeked backend handshake answer: the raw frame to
+// forward to the client, plus the fields a front tier records.
+type WelcomeInfo struct {
+	// Frame is the backend's answer verbatim (welcome, reject or error);
+	// forward it to the client unmodified.
+	Frame []byte
+	// Welcome reports whether the answer accepted the session.
+	Welcome bool
+	// Ticket is the fresh resumption ticket a full handshake issued (nil
+	// on resumed or rejected sessions) — the router's sticky-route key for
+	// the client's next connect.
+	Ticket []byte
+	// Resumed reports whether the backend accepted the hello's ticket.
+	Resumed bool
+}
+
+// PeekWelcome reads the backend's handshake answer. Any well-formed answer
+// (acceptance or typed rejection) returns nil error — routing worked, the
+// outcome belongs to the client; a transport failure (backend died
+// mid-handshake) returns the error so the router can retry elsewhere.
+func PeekWelcome(conn *transport.Conn) (*WelcomeInfo, error) {
+	op, body, err := recvCtrl(conn)
+	if err != nil {
+		return nil, err
+	}
+	w := &WelcomeInfo{}
+	f := make([]byte, 0, 2+len(body))
+	f = append(f, tagCtrl, op)
+	w.Frame = append(f, body...)
+	if op != opWelcome {
+		return w, nil
+	}
+	var msg welcomeMsg
+	if err := unmarshalJSON(body, &msg); err != nil {
+		return nil, err
+	}
+	w.Welcome = true
+	w.Ticket = msg.Ticket
+	w.Resumed = msg.Resumed
+	return w, nil
+}
+
+// RejectNoBackend answers a peeked client hello with the typed no_backend
+// rejection (clients match it with errors.Is(err, ErrNoBackend)) — the
+// front tier's answer when no live replica can take the session.
+func RejectNoBackend(conn transport.MsgConn, message string) error {
+	return sendReject(conn, rejectNoBackend, message)
+}

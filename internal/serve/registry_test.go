@@ -258,7 +258,7 @@ func TestEngineServesTwoModelsConcurrently(t *testing.T) {
 					errs <- err
 					return
 				}
-				c, err := ConnectModel(conn, name, nil)
+				c, err := Connect(conn, WithModel(name))
 				if err != nil {
 					errs <- fmt.Errorf("%s/%d connect: %w", name, k, err)
 					return
@@ -360,7 +360,7 @@ func TestEngineEvictionUnderChurn(t *testing.T) {
 				errs <- err
 				return
 			}
-			c, err := ConnectModel(conn, name, nil)
+			c, err := Connect(conn, WithModel(name))
 			if err != nil {
 				errs <- fmt.Errorf("session %d (%s) connect: %w", i, name, err)
 				return
@@ -412,9 +412,9 @@ func TestUnknownModelHandshakeRejected(t *testing.T) {
 		LPHEWorkers: 2,
 	})
 	_ = eng
-	_, err := DialModel(ln.Addr(), "no-such-model", nil)
+	_, err := Dial(ln.Addr(), WithModel("no-such-model"))
 	if !errors.Is(err, ErrUnknownModel) {
-		t.Fatalf("DialModel(unknown) = %v, want ErrUnknownModel", err)
+		t.Fatalf("Dial(WithModel(unknown)) = %v, want ErrUnknownModel", err)
 	}
 	var hs *HandshakeError
 	if !errors.As(err, &hs) || hs.Code != rejectUnknownModel {
@@ -451,7 +451,7 @@ func TestNoDefaultModelRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Connect(conn, nil); !errors.Is(err, ErrUnknownModel) {
+	if _, err := Connect(conn); !errors.Is(err, ErrUnknownModel) {
 		t.Fatalf("unnamed hello to no-default engine = %v, want ErrUnknownModel", err)
 	}
 }

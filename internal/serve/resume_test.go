@@ -19,7 +19,7 @@ func connectPreamble(t *testing.T, ln *transport.PipeListener, model string, p *
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := ConnectOpts(conn, ConnectOptions{Model: model, Preamble: p})
+	c, err := Connect(conn, WithModel(model), WithPreamble(p))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,15 +11,24 @@ import (
 // arrival-rate analysis turns on — a client-storage budget (how many
 // pre-computes may be buffered across all sessions at once) and an offline
 // worker pool (how many offline phases may run concurrently, the server's
-// pre-processing parallelism). The pick policy is the simulator's
-// largest-deficit rule (sim.NeediestClient), so the live engine makes
-// exactly the decisions internal/sim's multi-client predictions assume.
+// pre-processing parallelism).
 //
 // Sessions of every registered model share one scheduler: the storage
 // budget and worker pool are global (aggregate client storage is what the
 // paper's §5.2 analysis budgets, regardless of which network each client
-// runs), the deficit policy is model-agnostic, and the per-model partition
-// of buffer fill is reported through snapshot for Stats.
+// runs), and the per-model partition of buffer fill is reported through
+// snapshot for Stats.
+//
+// The pick policy is two-level. Across models it is weighted max-min
+// fairness: each model owns a weight (Config.ModelWeights, default 1), and
+// among models with a refillable session the scheduler picks the one with
+// the smallest normalized storage use (committed pre-computes ÷ weight), so
+// a hot model with many sessions cannot monopolize the budget and starve a
+// cold model's lone client. Within the picked model it is the simulator's
+// largest-deficit rule (sim.NeediestClient), so per-model the live engine
+// makes exactly the decisions internal/sim's multi-client predictions
+// assume — and with a single model the two-level policy degenerates to the
+// plain global largest-deficit rule.
 type scheduler struct {
 	mu sync.Mutex
 	// capacity is the per-session buffer target; 0 disables background
@@ -33,14 +42,28 @@ type scheduler struct {
 	// workers bounds concurrent scheduled offline phases.
 	workers  int
 	inflight int
+	// weights are the per-model fairness weights; models absent from the
+	// map weigh 1. Non-positive weights are treated as 1.
+	weights  map[string]float64
 	sessions []*session
 }
 
-func newScheduler(capacity, budget, workers int) *scheduler {
+func newScheduler(capacity, budget, workers int, weights map[string]float64) *scheduler {
 	if workers < 1 {
 		workers = 1
 	}
-	return &scheduler{capacity: capacity, budget: budget, workers: workers}
+	return &scheduler{capacity: capacity, budget: budget, workers: workers, weights: weights}
+}
+
+// setBudget replaces the storage budget at runtime (the autoscaler's
+// per-replica budget reassignment) and immediately hands out any refill
+// grants a raised budget admits. A lowered budget never cancels buffered
+// pre-computes — they drain through consumption.
+func (sc *scheduler) setBudget(budget int) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.budget = budget
+	sc.kick()
 }
 
 func (sc *scheduler) register(s *session) {
@@ -103,10 +126,70 @@ func (sc *scheduler) used() int {
 	return n
 }
 
-// kick hands out refill grants while worker slots and budget remain,
-// neediest session first. Called with sc.mu held. A session never holds
-// more than one grant: its phases are serialized on one connection, so a
-// second concurrent grant could not run anyway.
+func (sc *scheduler) weight(model string) float64 {
+	if w, ok := sc.weights[model]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// pick chooses the next session to refill: weighted max-min fair across
+// models, largest-deficit within the picked model. Called with sc.mu held.
+// Returns nil when no session is refillable (all at capacity or granted).
+func (sc *scheduler) pick() *session {
+	// Per-model normalized use. Counting in-flight grants against the
+	// granting model keeps consecutive picks from piling onto one model
+	// before any of its refills complete.
+	use := make(map[string]float64)
+	for _, s := range sc.sessions {
+		n := s.bufCount
+		if s.granted {
+			n++
+		}
+		use[s.model] += float64(n)
+	}
+
+	best := ""
+	for _, s := range sc.sessions {
+		if s.granted || s.bufCount >= sc.capacity {
+			continue
+		}
+		m := s.model
+		if best == "" || use[m]/sc.weight(m) < use[best]/sc.weight(best) {
+			best = m
+		}
+	}
+	if best == "" {
+		return nil
+	}
+
+	// Within the model: the simulator's largest-deficit rule over that
+	// model's sessions only.
+	var members []*session
+	for _, s := range sc.sessions {
+		if s.model == best {
+			members = append(members, s)
+		}
+	}
+	ready := make([]int, len(members))
+	inflight := make([]int, len(members))
+	for i, s := range members {
+		ready[i] = s.bufCount
+		if s.granted {
+			inflight[i] = sc.capacity // at most one grant each; mask out
+		}
+	}
+	i := sim.NeediestClient(sc.capacity, ready, inflight)
+	if i < 0 {
+		return nil
+	}
+	return members[i]
+}
+
+// kick hands out refill grants while worker slots and budget remain.
+// Called with sc.mu held. A session never holds more than one grant: its
+// phases are serialized on one connection, so a second concurrent grant
+// could not run anyway.
 func (sc *scheduler) kick() {
 	if sc.capacity <= 0 || sc.budget == 0 {
 		return
@@ -115,19 +198,10 @@ func (sc *scheduler) kick() {
 		if sc.budget > 0 && sc.used() >= sc.budget {
 			return
 		}
-		ready := make([]int, len(sc.sessions))
-		inflight := make([]int, len(sc.sessions))
-		for i, s := range sc.sessions {
-			ready[i] = s.bufCount
-			if s.granted {
-				inflight[i] = sc.capacity // at most one grant each; mask out
-			}
-		}
-		i := sim.NeediestClient(sc.capacity, ready, inflight)
-		if i < 0 {
+		s := sc.pick()
+		if s == nil {
 			return
 		}
-		s := sc.sessions[i]
 		s.granted = true
 		sc.inflight++
 		select {

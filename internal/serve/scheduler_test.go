@@ -73,7 +73,7 @@ func TestSchedulerMatchesSimulatorPolicy(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		c, err := Connect(conn, nil)
+		c, err := Connect(conn)
 		if err != nil {
 			t.Fatal(err)
 		}

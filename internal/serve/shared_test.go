@@ -56,7 +56,7 @@ func TestConcurrentSessionsShareArtifact(t *testing.T) {
 				errs <- fmt.Errorf("session %d dial: %w", ci, err)
 				return
 			}
-			c, err := Connect(conn, nil)
+			c, err := Connect(conn)
 			if err != nil {
 				errs <- fmt.Errorf("session %d connect: %w", ci, err)
 				return
@@ -112,7 +112,7 @@ func TestArtifactSharedAcrossEngines(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		c, err := Connect(conn, nil)
+		c, err := Connect(conn)
 		if err != nil {
 			t.Fatal(err)
 		}

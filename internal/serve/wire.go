@@ -106,6 +106,12 @@ const (
 	rejectVersion      = "version_mismatch"
 	rejectUnknownModel = "unknown_model"
 	rejectBadHello     = "bad_hello"
+	// rejectDraining: the engine is draining ahead of a stop (fleet
+	// scale-down) and accepts no new sessions.
+	rejectDraining = "draining"
+	// rejectNoBackend: a fleet front tier could not place the session on
+	// any live replica.
+	rejectNoBackend = "no_backend"
 )
 
 // Resumption outcome codes carried in welcomeMsg.ResumeReject. Unlike a
@@ -142,6 +148,12 @@ var (
 	// engine's registry (or that no model was named and the engine has no
 	// default).
 	ErrUnknownModel = errors.New("serve: unknown model")
+	// ErrDraining reports that the engine is draining ahead of a stop and
+	// accepts no new sessions.
+	ErrDraining = errors.New("serve: engine draining")
+	// ErrNoBackend reports that a fleet front tier could not place the
+	// session on any live replica.
+	ErrNoBackend = errors.New("serve: no backend available")
 )
 
 // HandshakeError is the client-side form of a typed handshake rejection.
@@ -163,6 +175,10 @@ func (e *HandshakeError) Unwrap() error {
 		return ErrVersionMismatch
 	case rejectUnknownModel:
 		return ErrUnknownModel
+	case rejectDraining:
+		return ErrDraining
+	case rejectNoBackend:
+		return ErrNoBackend
 	}
 	return nil
 }

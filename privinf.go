@@ -62,15 +62,15 @@ type (
 	// once and shared by any number of sessions or engines. SizeBytes
 	// reports its resident footprint, the unit a serving engine's model
 	// registry budgets when deciding LRU artifact eviction (see
-	// NewLocalEngine's budgetBytes).
+	// LocalEngineConfig.BudgetBytes).
 	SharedModel = delphi.SharedModel
 )
 
 // PrepareModel builds the shared model artifact for a model under the
 // protocol's default HE parameters. Encoding the weights is the dominant
-// per-model cost; do it once and pass the artifact to
-// NewLocalSessionShared (or serve.Config.Artifact) to open N sessions
-// without re-paying it.
+// per-model cost; do it once and pass the artifact to NewLocalSession via
+// WithArtifact (or serve.Config.Artifact) to open N sessions without
+// re-paying it.
 func PrepareModel(model *Model) (*SharedModel, error) {
 	params, err := bfv.NewParams(bfv.DefaultN, model.F.P())
 	if err != nil {

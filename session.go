@@ -30,24 +30,67 @@ type Session struct {
 	model      *nn.Lowered
 }
 
+// SessionOption configures NewLocalSession.
+type SessionOption func(*sessionOptions)
+
+type sessionOptions struct {
+	artifact *SharedModel
+	entropy  io.Reader
+}
+
+// WithArtifact serves the session from a pre-built shared model artifact
+// (PrepareModel): the NTT-domain weight plaintexts and ReLU circuits are
+// reused, not re-encoded, so opening the k-th session on one artifact
+// costs O(1) model work. The model argument may then be nil (the
+// artifact's source model is used); a non-nil model must be the one the
+// artifact was built from.
+func WithArtifact(artifact *SharedModel) SessionOption {
+	return func(o *sessionOptions) { o.artifact = artifact }
+}
+
+// WithEntropy seeds the session's cryptographic randomness from r; the
+// default (and a nil r) is crypto/rand.
+func WithEntropy(r io.Reader) SessionOption {
+	return func(o *sessionOptions) { o.entropy = r }
+}
+
 // NewLocalSession starts an in-process serving engine for the model, wires
-// a client to it, and runs the handshake. entropy may be nil (crypto/rand).
-// The engine encodes the model into a private shared artifact; to amortize
-// that across several sessions or engines, build the artifact once with
-// PrepareModel and use NewLocalSessionShared.
-func NewLocalSession(model *Model, variant Variant, entropy io.Reader) (*Session, error) {
-	artifact, err := PrepareModel(model)
-	if err != nil {
-		return nil, err
+// a client to it, and runs the handshake. By default the engine encodes
+// the model into a private shared artifact; to amortize that across
+// several sessions or engines, build the artifact once with PrepareModel
+// and pass it with WithArtifact.
+func NewLocalSession(model *Model, variant Variant, opts ...SessionOption) (*Session, error) {
+	var o sessionOptions
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
 	}
-	return NewLocalSessionShared(artifact, variant, entropy)
+	artifact := o.artifact
+	switch {
+	case artifact == nil && model == nil:
+		return nil, fmt.Errorf("privinf: nil model")
+	case artifact == nil:
+		var err error
+		if artifact, err = PrepareModel(model); err != nil {
+			return nil, err
+		}
+	case model != nil && artifact.Model() != model:
+		return nil, fmt.Errorf("privinf: WithArtifact artifact was built from a different model")
+	}
+	return newLocalSession(artifact, variant, o.entropy)
 }
 
 // NewLocalSessionShared starts an in-process serving engine on a pre-built
-// model artifact (PrepareModel): the NTT-domain weight plaintexts and ReLU
-// circuits are reused, not re-encoded, so opening the k-th session costs
-// O(1) model work. entropy may be nil (crypto/rand).
+// model artifact.
+//
+// Deprecated: use NewLocalSession(nil, variant, WithArtifact(artifact),
+// WithEntropy(entropy)).
 func NewLocalSessionShared(artifact *SharedModel, variant Variant, entropy io.Reader) (*Session, error) {
+	return NewLocalSession(nil, variant, WithArtifact(artifact), WithEntropy(entropy))
+}
+
+func newLocalSession(artifact *SharedModel, variant Variant, entropy io.Reader) (*Session, error) {
 	model := artifact.Model()
 	entropy = delphi.LockedEntropy(entropy)
 	eng, err := serve.New(serve.Config{
@@ -66,7 +109,7 @@ func NewLocalSessionShared(artifact *SharedModel, variant Variant, entropy io.Re
 		eng.Close()
 		return nil, err
 	}
-	client, err := serve.Connect(conn, entropy)
+	client, err := serve.Connect(conn, serve.WithEntropy(entropy))
 	if err != nil {
 		eng.Close()
 		return nil, err
@@ -87,34 +130,20 @@ type LocalEngine struct {
 	models  map[string]*Model
 }
 
-// NewLocalEngine starts an in-process engine serving every model in
-// models, keyed by the names sessions will request. budgetBytes caps the
-// registry's resident artifact footprint (<= 0 unbounded; compare against
-// SharedModel.SizeBytes to size it). Artifacts build lazily on each
-// model's first session. entropy may be nil (crypto/rand). For a
-// disk-backed artifact cache, use NewLocalEngineConfig with ArtifactDir.
-func NewLocalEngine(models map[string]*Model, variant Variant, budgetBytes int64, entropy io.Reader) (*LocalEngine, error) {
-	return NewLocalEngineConfig(LocalEngineConfig{
-		Models:      models,
-		Variant:     variant,
-		BudgetBytes: budgetBytes,
-		Entropy:     entropy,
-	})
-}
-
 // Preamble is a client's reusable session-preamble state: the OT
 // resumption ticket from its last full handshake plus per-model shared
 // client artifacts (ReLU circuits + matvec plans, no secrets). Pass one to
-// LocalEngine.ConnectPreamble (or serve.ConnectOpts/DialOpts for remote
-// engines) on every connect of a logical client: the first session runs a
-// full handshake and fills it, every later session resumes — skipping the
+// LocalEngine.Connect via WithPreamble (or serve.Connect/serve.Dial via
+// serve.WithPreamble for remote engines) on every connect of a logical
+// client: the first session runs a full handshake and fills it, every
+// later session resumes — skipping the
 // ~0.6 s of public-key base OTs and all client-side model processing.
 type Preamble = serve.Preamble
 
 // NewPreamble returns an empty session preamble.
 func NewPreamble() *Preamble { return serve.NewPreamble() }
 
-// LocalEngineConfig parameterizes NewLocalEngineConfig.
+// LocalEngineConfig parameterizes NewLocalEngine.
 type LocalEngineConfig struct {
 	// Models are the networks to serve, keyed by the names sessions will
 	// request.
@@ -140,9 +169,21 @@ type LocalEngineConfig struct {
 	Entropy io.Reader
 }
 
-// NewLocalEngineConfig starts an in-process multi-model engine from a full
-// configuration; NewLocalEngine is the memory-only shorthand.
+// NewLocalEngineConfig starts an in-process multi-model engine.
+//
+// Deprecated: use NewLocalEngine — it now takes the full configuration
+// struct directly.
 func NewLocalEngineConfig(cfg LocalEngineConfig) (*LocalEngine, error) {
+	return NewLocalEngine(cfg)
+}
+
+// NewLocalEngine starts an in-process engine serving every model in
+// cfg.Models, keyed by the names sessions will request. Built artifacts
+// (encoded weights, ReLU circuits) live under cfg.BudgetBytes with LRU
+// eviction and lazy rebuild; with cfg.ArtifactDir they are additionally
+// backed by an on-disk artifact store. Sessions open by model name with
+// Connect.
+func NewLocalEngine(cfg LocalEngineConfig) (*LocalEngine, error) {
 	models := cfg.Models
 	if len(models) == 0 {
 		return nil, fmt.Errorf("privinf: no models to serve")
@@ -184,30 +225,49 @@ func NewLocalEngineConfig(cfg LocalEngineConfig) (*LocalEngine, error) {
 	return &LocalEngine{eng: eng, ln: ln, entropy: entropy, models: kept}, nil
 }
 
+// ConnectOption configures LocalEngine.Connect.
+type ConnectOption func(*connectOptions)
+
+type connectOptions struct {
+	preamble *Preamble
+}
+
+// WithPreamble connects through a client preamble: the session presents
+// the preamble's resumption ticket (reconnects skip base OTs when the
+// engine accepts it), reuses its cached client artifacts, and updates it
+// in place with this handshake's outcome. A nil p is a plain cold connect.
+func WithPreamble(p *Preamble) ConnectOption {
+	return func(o *connectOptions) { o.preamble = p }
+}
+
 // Connect opens a session on the named model. Unknown names fail the
 // handshake with an error matching errors.Is(err, serve.ErrUnknownModel).
 // Closing the returned session leaves the engine (and its other sessions)
 // running.
-func (e *LocalEngine) Connect(name string) (*Session, error) {
-	return e.ConnectPreamble(name, nil)
-}
-
-// ConnectPreamble is Connect through a client preamble: the session
-// presents the preamble's resumption ticket (reconnects skip base OTs when
-// the engine accepts it), reuses its cached client artifacts, and updates
-// it in place with this handshake's outcome. A nil preamble is a plain
-// cold connect.
-func (e *LocalEngine) ConnectPreamble(name string, p *Preamble) (*Session, error) {
+func (e *LocalEngine) Connect(name string, opts ...ConnectOption) (*Session, error) {
+	var o connectOptions
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
 	conn, err := e.ln.Dial()
 	if err != nil {
 		return nil, err
 	}
-	client, err := serve.ConnectOpts(conn, serve.ConnectOptions{Model: name, Preamble: p, Entropy: e.entropy})
+	client, err := serve.Connect(conn, serve.WithModel(name), serve.WithPreamble(o.preamble), serve.WithEntropy(e.entropy))
 	if err != nil {
 		conn.Close()
 		return nil, err
 	}
 	return &Session{engine: e.eng, client: client, model: e.models[name]}, nil
+}
+
+// ConnectPreamble is Connect through a client preamble.
+//
+// Deprecated: use Connect(name, WithPreamble(p)).
+func (e *LocalEngine) ConnectPreamble(name string, p *Preamble) (*Session, error) {
+	return e.Connect(name, WithPreamble(p))
 }
 
 // Stats snapshots the engine's metrics, partitioned per model (session

@@ -10,7 +10,7 @@ func TestSessionBufferedInference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess, err := NewLocalSession(model, ClientGarbler, newSeeded(10))
+	sess, err := NewLocalSession(model, ClientGarbler, WithEntropy(newSeeded(10)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestSessionPreambleResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := NewLocalEngine(map[string]*Model{"m": model}, ClientGarbler, 0, newSeeded(13))
+	eng, err := NewLocalEngine(LocalEngineConfig{Models: map[string]*Model{"m": model}, Variant: ClientGarbler, Entropy: newSeeded(13)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestSessionPreambleResume(t *testing.T) {
 	}
 
 	p := NewPreamble()
-	cold, err := eng.ConnectPreamble("m", p)
+	cold, err := eng.Connect("m", WithPreamble(p))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func TestSessionPreambleResume(t *testing.T) {
 	}
 	cold.Close()
 
-	resumed, err := eng.ConnectPreamble("m", p)
+	resumed, err := eng.Connect("m", WithPreamble(p))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestSessionPreambleResume(t *testing.T) {
 
 func TestSessionRejectsInvalidModel(t *testing.T) {
 	bad := &Model{}
-	if _, err := NewLocalSession(bad, ServerGarbler, nil); err == nil {
+	if _, err := NewLocalSession(bad, ServerGarbler); err == nil {
 		t.Fatal("invalid model must be rejected")
 	}
 }
@@ -133,7 +133,7 @@ func TestEngineRestartServesReloadedArtifact(t *testing.T) {
 	}
 
 	runOnce := func(entropySeed int64) ([][]uint64, bool) {
-		eng, err := NewLocalEngineConfig(LocalEngineConfig{
+		eng, err := NewLocalEngine(LocalEngineConfig{
 			Models:      map[string]*Model{"m": model},
 			Variant:     ClientGarbler,
 			ArtifactDir: dir,
@@ -175,5 +175,55 @@ func TestEngineRestartServesReloadedArtifact(t *testing.T) {
 	}
 	if !reflect.DeepEqual(fresh, again) {
 		t.Fatal("reloaded artifact produced different inference outputs than the freshly built one")
+	}
+}
+
+// TestDeprecatedTopLevelWrappers keeps the one-release compatibility shims
+// working: NewLocalSessionShared, NewLocalEngineConfig and ConnectPreamble
+// must behave exactly like the option/config constructors they delegate to.
+func TestDeprecatedTopLevelWrappers(t *testing.T) {
+	model, err := NewDemoMLP(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	artifact, err := PrepareModel(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewLocalSessionShared(artifact, ClientGarbler, newSeeded(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]uint64, model.InputLen())
+	for j := range x {
+		x[j] = uint64(j % 13)
+	}
+	if res, err := sess.Infer(x); err != nil || !res.Verified {
+		t.Fatalf("shared-session inference: verified=%v err=%v", res != nil && res.Verified, err)
+	}
+	sess.Close()
+
+	eng, err := NewLocalEngineConfig(LocalEngineConfig{
+		Models:  map[string]*Model{"m": model},
+		Variant: ClientGarbler,
+		Entropy: newSeeded(23),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	p := NewPreamble()
+	s1, err := eng.ConnectPreamble("m", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+	s2, err := eng.ConnectPreamble("m", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if !s2.Resumed() {
+		t.Fatal("ConnectPreamble reconnect did not resume")
 	}
 }
