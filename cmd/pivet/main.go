@@ -1,0 +1,110 @@
+// Command pivet runs the privinf static-analysis suite (internal/lint)
+// over Go packages and reports invariant violations. It is the CI gate for
+// the repository's crypto-entropy, lock-span, wire-opcode, frame-aliasing
+// and goroutine-lifecycle invariants; see docs/invariants.md.
+//
+// Usage:
+//
+//	pivet [-json] [-disable a,b] [-list] [packages]
+//
+// Packages default to ./... . Exit status is 0 when the tree is clean, 1
+// when findings were reported, and 2 when packages failed to load.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"privinf/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("pivet", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	disable := fs.String("disable", "", "comma-separated analyzer names to skip")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: pivet [-json] [-disable a,b] [-list] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	disabled := map[string]bool{}
+	for _, name := range strings.Split(*disable, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if lint.ByName(name) == nil {
+			fmt.Fprintf(stderr, "pivet: unknown analyzer %q in -disable\n", name)
+			return 2
+		}
+		disabled[name] = true
+	}
+	var analyzers []*lint.Analyzer
+	for _, a := range lint.Analyzers() {
+		if !disabled[a.Name] {
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "pivet: %v\n", err)
+		return 2
+	}
+	diags, loadErrs, err := lint.Run(dir, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "pivet: %v\n", err)
+		return 2
+	}
+	for _, e := range loadErrs {
+		fmt.Fprintf(stderr, "pivet: load: %v\n", e)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "pivet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+
+	switch {
+	case len(loadErrs) > 0:
+		return 2
+	case len(diags) > 0:
+		return 1
+	}
+	return 0
+}

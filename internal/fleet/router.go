@@ -98,7 +98,14 @@ type Router struct {
 	replicas []*Replica
 	nextID   int
 	tickets  map[string]*Replica
+	fronts   []*transport.PipeListener
+	conns    map[*transport.Conn]struct{}
 	closed   bool
+
+	// wg joins every goroutine the router spawns (replica serve loops,
+	// ServePipe accept loops, per-connection handlers); Close waits on it so
+	// shutdown leaves nothing running.
+	wg sync.WaitGroup
 
 	connects  atomic.Uint64
 	retries   atomic.Uint64
@@ -115,7 +122,7 @@ func NewRouter(cfg Config) *Router {
 	if cfg.MaxTickets <= 0 {
 		cfg.MaxTickets = DefaultMaxTickets
 	}
-	return &Router{cfg: cfg, tickets: map[string]*Replica{}}
+	return &Router{cfg: cfg, tickets: map[string]*Replica{}, conns: map[*transport.Conn]struct{}{}}
 }
 
 // AddEngine registers an in-process engine as a replica: the router
@@ -127,8 +134,16 @@ func (r *Router) AddEngine(eng *serve.Engine) (*Replica, error) {
 	}
 	ln := transport.NewPipeListener()
 	rep := &Replica{eng: eng, ln: ln, addr: ln.Addr(), dial: ln.Dial}
-	go eng.Serve(ln)
-	return rep, r.add(rep)
+	if err := r.add(rep); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		eng.Serve(ln)
+	}()
+	return rep, nil
 }
 
 // AddAddr registers a remote engine by its TCP address. The router dials
@@ -191,34 +206,87 @@ func (r *Router) Remove(ctx context.Context, rep *Replica) error {
 	return err
 }
 
-// Serve accepts and routes connections until the listener closes.
+// Serve accepts and routes connections until the listener closes. Every
+// accepted connection is tracked, so Close can cut live sessions loose and
+// wait for their handlers to exit.
 func (r *Router) Serve(ln transport.Listener) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return err
 		}
-		go r.handle(conn)
+		if !r.track(conn) {
+			conn.Close() // router closed between Accept and dispatch
+			continue
+		}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			defer r.untrack(conn)
+			r.handle(conn)
+		}()
 	}
 }
 
+// track registers an inbound connection for shutdown; false means the
+// router is closed and the connection should be dropped.
+func (r *Router) track(conn *transport.Conn) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false
+	}
+	r.conns[conn] = struct{}{}
+	return true
+}
+
+func (r *Router) untrack(conn *transport.Conn) {
+	r.mu.Lock()
+	delete(r.conns, conn)
+	r.mu.Unlock()
+}
+
 // ServePipe starts an in-process front listener and returns it; clients
-// connect with serve.Connect over ln.Dial().
+// connect with serve.Connect over ln.Dial(). The listener belongs to the
+// router: Close closes it and waits for its accept loop.
 func (r *Router) ServePipe() *transport.PipeListener {
 	ln := transport.NewPipeListener()
-	go r.Serve(ln)
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		ln.Close()
+		return ln
+	}
+	r.fronts = append(r.fronts, ln)
+	r.mu.Unlock()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.Serve(ln)
+	}()
 	return ln
 }
 
 // Close stops every replica without draining (use Remove for graceful
-// scale-down). The front listener(s) passed to Serve belong to the caller.
+// scale-down), closes ServePipe front listeners and live proxied
+// connections, and waits for every router goroutine to exit. Listeners the
+// caller passed to Serve directly still belong to the caller.
 func (r *Router) Close() error {
 	r.mu.Lock()
 	reps := r.replicas
+	fronts := r.fronts
+	conns := make([]*transport.Conn, 0, len(r.conns))
+	for c := range r.conns {
+		conns = append(conns, c)
+	}
 	r.replicas = nil
+	r.fronts = nil
 	r.tickets = map[string]*Replica{}
 	r.closed = true
 	r.mu.Unlock()
+	for _, ln := range fronts {
+		ln.Close()
+	}
 	for _, rep := range reps {
 		rep.live.Store(false)
 		if rep.ln != nil {
@@ -228,6 +296,10 @@ func (r *Router) Close() error {
 			rep.eng.Close()
 		}
 	}
+	for _, c := range conns {
+		c.Close()
+	}
+	r.wg.Wait()
 	return nil
 }
 

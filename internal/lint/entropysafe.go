@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// entropyPackages are the crypto-bearing packages (matched by package name)
+// in which all randomness must flow through an injected io.Reader. serve is
+// included because its resumption tickets and session nonces are bearer
+// credentials: drawing them outside the engine's injected entropy both
+// weakens deterministic tests and hides a second randomness source from
+// audit.
+var entropyPackages = map[string]bool{
+	"garble": true,
+	"ot":     true,
+	"bfv":    true,
+	"ss":     true,
+	"delphi": true,
+	"serve":  true,
+}
+
+// EntropySafe enforces the entropy-injection invariant: inside
+// crypto-bearing packages, math/rand never appears, and crypto/rand is
+// referenced only as the `src = rand.Reader` nil-source fallback inside an
+// entropy constructor. Everything else — package-level rand.Read calls,
+// rand.Reader passed straight into a call or stored in a struct — bypasses
+// the injected io.Reader that makes key material reproducible under test
+// and auditable in production.
+var EntropySafe = &Analyzer{
+	Name: "entropysafe",
+	Doc: "secret material must draw randomness from an injected io.Reader: no math/rand, " +
+		"and crypto/rand only as the nil-source fallback assignment in entropy constructors",
+	Run: runEntropySafe,
+}
+
+func runEntropySafe(pass *Pass) error {
+	if !entropyPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		// Rule 1: math/rand (v1 or v2) never appears in crypto-bearing code.
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "crypto-bearing package %s imports %s; secret material must come from an injected io.Reader (crypto/rand fallback)", pass.Pkg.Name(), path)
+			}
+		}
+		// Rule 2: crypto/rand appears only as an assignment RHS (the
+		// `if src == nil { src = rand.Reader }` fallback) and never as a
+		// package-level Read call.
+		approvedReaderUses := map[ast.Expr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, rhs := range as.Rhs {
+					if isCryptoRandSelector(pass, rhs, "Reader") {
+						approvedReaderUses[rhs] = true
+					}
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !isCryptoRandPkg(pass, sel.X) {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Read":
+				pass.Reportf(sel.Pos(), "naked crypto/rand.Read bypasses the injected entropy source; read from the injected io.Reader (crypto/rand fallback via the nil-source constructor)")
+			case "Reader":
+				if !approvedReaderUses[ast.Expr(sel)] {
+					pass.Reportf(sel.Pos(), "crypto/rand.Reader may only appear as the nil-source fallback assignment (src = rand.Reader) in an entropy constructor")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isCryptoRandPkg reports whether e is an identifier naming the crypto/rand
+// package import.
+func isCryptoRandPkg(pass *Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "crypto/rand"
+}
+
+// isCryptoRandSelector reports whether e is the selector crypto/rand.<name>.
+func isCryptoRandSelector(pass *Pass, e ast.Expr, name string) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == name && isCryptoRandPkg(pass, sel.X)
+}
+
+// isTestFile reports whether f came from a _test.go file.
+func isTestFile(pass *Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}

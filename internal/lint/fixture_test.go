@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// wantRe extracts the quoted regexes of a `// want "..." "..."` comment.
+var wantRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// expectation is one `// want` regex pinned to a fixture line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// runFixture loads the one fixture package rooted at dir, runs the given
+// analyzers over it, and compares the findings against the fixture's
+// `// want "regex"` comments: every finding must match a want on its line,
+// and every want must be matched by a finding. The style (and the testdata
+// layout) mirrors golang.org/x/tools/go/analysis/analysistest, so fixtures
+// port mechanically if the upstream driver ever lands.
+func runFixture(t *testing.T, dir string, analyzers ...*Analyzer) {
+	t.Helper()
+	pkgs, err := Load(dir, []string{"."})
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s loaded %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+	for _, e := range pkg.LoadErrors {
+		t.Errorf("fixture %s: load error: %v", dir, e)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				const prefix = "// want "
+				if len(c.Text) <= len(prefix) || c.Text[:len(prefix)] != prefix {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantRe.FindAllString(c.Text[len(prefix):], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	diags, err := runAnalyzers(analyzers, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", dir, err)
+	}
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FrameRetain reports payload slices obtained from a transport receive
+// path (any method named Recv with signature func() ([]byte, error)) that
+// are stored into struct fields or package-level variables. A retained
+// frame aliases transport-owned memory: the buffer-reuse and writev paths
+// are free to recycle it after the handler returns, so a stored alias
+// becomes silent data corruption the day the transport starts reusing
+// receive buffers. Retain a copy (append([]byte(nil), f...)) or hand the
+// slice off by value (queue push, return) instead.
+var FrameRetain = &Analyzer{
+	Name: "frameretain",
+	Doc: "slices returned by transport Recv must not be stored into fields or globals past " +
+		"handler return; copy them or hand them off by value",
+	Run: runFrameRetain,
+}
+
+func runFrameRetain(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkFrameRetain(pass, n.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				checkFrameRetain(pass, n.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFrameRetain taints variables assigned from Recv calls within one
+// function body and reports stores of tainted values into fields or
+// package-level variables.
+func checkFrameRetain(pass *Pass, body *ast.BlockStmt) {
+	tainted := map[types.Object]bool{}
+	// Two passes over the statements in source order: the first collects
+	// taints (Recv results and their aliases), the second reports escaping
+	// stores. Source order is enough here — the receive paths this guards
+	// assign the frame before storing it.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		// v, err := x.Recv() taints v; x.f, err = c.Recv() stores the frame
+		// straight into an escaping target and is reported here.
+		if len(as.Rhs) == 1 && len(as.Lhs) >= 1 {
+			if isRecvCall(pass, as.Rhs[0]) {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok {
+					if obj := pass.Info.ObjectOf(id); obj != nil {
+						tainted[obj] = true
+					}
+				} else if escapes, what := escapingTarget(pass, as.Lhs[0]); escapes {
+					pass.Reportf(as.Pos(), "received frame stored directly into %s outlives the handler and aliases transport-owned memory; copy it first", what)
+				}
+				return true
+			}
+		}
+		// w := v and w := v[i:j] propagate taint.
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			if src := taintedBase(pass, tainted, rhs); src != nil {
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					if obj := pass.Info.ObjectOf(id); obj != nil {
+						tainted[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(tainted) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			escapes, what := escapingTarget(pass, lhs)
+			if !escapes {
+				continue
+			}
+			if src := retainedValue(pass, tainted, as.Rhs[i]); src != nil {
+				pass.Reportf(as.Pos(), "received frame %q stored into %s outlives the handler and aliases transport-owned memory; copy it (append([]byte(nil), %s...)) or hand it off by value", types.ExprString(src), what, types.ExprString(src))
+			}
+		}
+		return true
+	})
+}
+
+// isRecvCall reports whether e is a call to a method named Recv with
+// signature func() ([]byte, error) — the shape of every transport receive
+// path in this module (transport.Conn, transport.MsgConn, serve's mux
+// dataConn).
+func isRecvCall(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Recv" || len(call.Args) != 0 {
+		return false
+	}
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Results().Len() != 2 {
+		return false
+	}
+	first, ok := sig.Results().At(0).Type().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := first.Elem().(*types.Basic)
+	return ok && b.Kind() == types.Byte || ok && b.Kind() == types.Uint8
+}
+
+// taintedBase unwraps slice/index expressions and returns the tainted
+// identifier at the base of e, or nil.
+func taintedBase(pass *Pass, tainted map[types.Object]bool, e ast.Expr) ast.Expr {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := pass.Info.ObjectOf(e); obj != nil && tainted[obj] {
+			return e
+		}
+	case *ast.SliceExpr:
+		return taintedBase(pass, tainted, e.X)
+	case *ast.ParenExpr:
+		return taintedBase(pass, tainted, e.X)
+	}
+	return nil
+}
+
+// retainedValue reports the tainted expression a store would retain: the
+// tainted slice itself (possibly re-sliced), or a tainted element appended
+// non-spread into another slice. append(dst, v...) copies bytes and is
+// safe; append(dst, v) (dst a [][]byte) retains the alias.
+func retainedValue(pass *Pass, tainted map[types.Object]bool, e ast.Expr) ast.Expr {
+	if src := taintedBase(pass, tainted, e); src != nil {
+		return src
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return nil
+	}
+	if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil
+	}
+	if call.Ellipsis.IsValid() {
+		return nil // append(dst, v...) copies the bytes out
+	}
+	for _, arg := range call.Args[1:] {
+		if src := taintedBase(pass, tainted, arg); src != nil {
+			return src
+		}
+	}
+	return nil
+}
+
+// escapingTarget reports whether lhs stores past the function: a struct
+// field (selector) or a package-level variable.
+func escapingTarget(pass *Pass, lhs ast.Expr) (bool, string) {
+	switch lhs := lhs.(type) {
+	case *ast.SelectorExpr:
+		// Selecting a field stores into the receiver; selecting through a
+		// package name is a global store.
+		if obj := pass.Info.ObjectOf(lhs.Sel); obj != nil {
+			if v, ok := obj.(*types.Var); ok && v.IsField() {
+				return true, "field " + types.ExprString(lhs)
+			}
+			if isPkgLevelVar(obj) {
+				return true, "package variable " + types.ExprString(lhs)
+			}
+		}
+	case *ast.Ident:
+		if obj := pass.Info.ObjectOf(lhs); obj != nil && isPkgLevelVar(obj) {
+			return true, "package variable " + lhs.Name
+		}
+	case *ast.IndexExpr:
+		return escapingTarget(pass, lhs.X)
+	}
+	return false, ""
+}
+
+func isPkgLevelVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && !v.IsField() && v.Parent() == v.Pkg().Scope()
+}

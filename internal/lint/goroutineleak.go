@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// leakPackages are the long-running serving packages (matched by package
+// name) where every spawned goroutine must have a visible join point. A
+// goroutine leaked per-connection or per-request in the serving path grows
+// without bound under load — exactly the slow-death failure mode a fleet
+// endpoint cannot afford.
+var leakPackages = map[string]bool{
+	"serve": true,
+	"fleet": true,
+}
+
+// GoroutineLeak requires every `go` statement in the serving packages to be
+// visibly tied to a lifecycle: the spawned function must reference a done
+// channel, a sync.WaitGroup, or a context.Context (or a wg.Add call must
+// appear in the surrounding block). Anything else has no join point and is
+// reported; intentionally detached goroutines carry a documented
+// lint:allow.
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc: "goroutines in serve/fleet must be tied to a done channel, sync.WaitGroup, or " +
+		"context.Context; detached goroutines need a documented lint:allow",
+	Run: runGoroutineLeak,
+}
+
+func runGoroutineLeak(pass *Pass) error {
+	if !leakPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, s := range list {
+				gs, ok := s.(*ast.GoStmt)
+				if !ok {
+					continue
+				}
+				if goStmtTied(pass, gs) || wgAddPrecedes(pass, list[:i]) {
+					continue
+				}
+				pass.Reportf(gs.Pos(), "goroutine has no visible join point; tie it to a done channel, sync.WaitGroup, or context.Context so shutdown can wait for it")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// goStmtTied reports whether the spawned function is visibly tied to a
+// lifecycle primitive. For a `go func(){...}()` literal the body is
+// scanned; for a named same-package callee its declaration body is scanned.
+func goStmtTied(pass *Pass, gs *ast.GoStmt) bool {
+	// Lifecycle primitives passed as call arguments count: the callee
+	// received the means to stop.
+	for _, arg := range gs.Call.Args {
+		if lifecycleType(pass.TypeOf(arg)) {
+			return true
+		}
+	}
+	switch fun := gs.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return bodyReferencesLifecycle(pass, fun.Body)
+	case *ast.Ident:
+		if body := funcBody(pass, fun); body != nil {
+			return bodyReferencesLifecycle(pass, body)
+		}
+	case *ast.SelectorExpr:
+		if body := funcBody(pass, fun.Sel); body != nil {
+			return bodyReferencesLifecycle(pass, body)
+		}
+	}
+	return false
+}
+
+// funcBody finds the same-package declaration body of the function or
+// method id resolves to, or nil for out-of-package callees.
+func funcBody(pass *Pass, id *ast.Ident) *ast.BlockStmt {
+	obj := pass.Info.Uses[id]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() != pass.Pkg {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != id.Name {
+				continue
+			}
+			if pass.Info.Defs[fd.Name] == obj {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// bodyReferencesLifecycle reports whether the body mentions a done channel,
+// a sync.WaitGroup method, or a context.Context — any of which gives the
+// goroutine a join point.
+func bodyReferencesLifecycle(pass *Pass, body *ast.BlockStmt) bool {
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if lifecycleType(pass.TypeOf(n)) {
+				tied = true
+				return false
+			}
+		case *ast.SelectorExpr:
+			// wg.Done / wg.Add / wg.Wait on a sync.WaitGroup receiver.
+			if obj, ok := pass.Info.Uses[n.Sel].(*types.Func); ok {
+				if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+					switch obj.Name() {
+					case "Done", "Add", "Wait":
+						tied = true
+						return false
+					}
+				}
+			}
+			if lifecycleType(pass.TypeOf(n)) {
+				tied = true
+				return false
+			}
+		}
+		return true
+	})
+	return tied
+}
+
+// lifecycleType reports whether t is a channel, a sync.WaitGroup, or a
+// context.Context — the primitives that give a goroutine a join point.
+func lifecycleType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (path == "sync" && name == "WaitGroup") ||
+		(path == "context" && name == "Context")
+}
+
+// wgAddPrecedes reports whether a wg.Add call appears among the statements
+// before the go statement in the same block — the canonical
+// `wg.Add(1); go func(){ defer wg.Done(); ... }()` pairing, seen from the
+// spawning side.
+func wgAddPrecedes(pass *Pass, before []ast.Stmt) bool {
+	for _, s := range before {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			continue
+		}
+		if obj, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok {
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,205 @@
+// Package lint is a self-contained static-analysis framework plus the
+// domain-specific analyzers that enforce this repository's crypto, locking
+// and wire-protocol invariants (run by cmd/pivet, gated in CI).
+//
+// The framework mirrors the golang.org/x/tools/go/analysis shape — an
+// Analyzer owns a Run function over a type-checked Pass — but is built
+// entirely on the standard library (go/parser, go/types, and the gc
+// export-data importer fed by `go list -export`), because this module
+// vendors nothing and builds offline. Analyzers therefore port to the
+// upstream driver mechanically if the dependency ever lands.
+//
+// Suppression: a finding whose line (or the line immediately above it)
+// carries a comment of the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// is dropped by the driver. The reason is mandatory — an allow without a
+// justification is itself reported — so every intentional violation is
+// documented at the site that commits it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in reports, -disable flags, and
+	// lint:allow comments.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run executes the check over one package, reporting findings through
+	// pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t := p.Info.TypeOf(e); t != nil {
+		return t
+	}
+	return nil
+}
+
+// A Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Column   int            `json:"column"`
+	Message  string         `json:"message"`
+}
+
+// String renders the finding in the canonical file:line:col style.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// allowDirective is the comment prefix of a suppression.
+const allowDirective = "//lint:allow"
+
+// allowSite is one parsed lint:allow comment.
+type allowSite struct {
+	analyzer string
+	reason   string
+}
+
+// allowMap indexes suppressions by file and line.
+type allowMap map[string]map[int][]allowSite
+
+// collectAllows parses every lint:allow directive in the files. Directives
+// with no reason are reported as findings themselves (attributed to the
+// driver, so they cannot be self-suppressed).
+func collectAllows(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) allowMap {
+	am := allowMap{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowDirective))
+				name, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				if name == "" || strings.TrimSpace(reason) == "" {
+					*diags = append(*diags, Diagnostic{
+						Analyzer: "lintdirective",
+						Pos:      pos,
+						Message:  "lint:allow needs an analyzer name and a reason: //lint:allow <analyzer> <why this site is safe>",
+					})
+					continue
+				}
+				byLine := am[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]allowSite{}
+					am[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], allowSite{analyzer: name, reason: strings.TrimSpace(reason)})
+			}
+		}
+	}
+	return am
+}
+
+// allowed reports whether a finding is suppressed by a directive on its
+// line or the line immediately above.
+func (am allowMap) allowed(d Diagnostic) bool {
+	byLine := am[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, site := range byLine[line] {
+			if site.analyzer == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// runAnalyzers executes the analyzers over one type-checked package,
+// applies the package's lint:allow suppressions, and returns the surviving
+// findings sorted by position.
+func runAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info, diags: &raw}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path(), err)
+		}
+	}
+	var meta []Diagnostic
+	allows := collectAllows(fset, files, &meta)
+	kept := meta
+	for _, d := range raw {
+		if !allows.allowed(d) {
+			kept = append(kept, d)
+		}
+	}
+	for i := range kept {
+		kept[i].File = kept[i].Pos.Filename
+		kept[i].Line = kept[i].Pos.Line
+		kept[i].Column = kept[i].Pos.Column
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Pos, kept[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept, nil
+}
+
+// Analyzers returns the full analyzer suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		EntropySafe,
+		LockIO,
+		OpTag,
+		FrameRetain,
+		GoroutineLeak,
+	}
+}
+
+// ByName resolves an analyzer by its Name; nil when unknown.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

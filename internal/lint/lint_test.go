@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEntropySafeFixture(t *testing.T) {
+	runFixture(t, "testdata/src/entropysafe/ot", EntropySafe)
+}
+
+func TestEntropySafeIgnoresNonCryptoPackages(t *testing.T) {
+	runFixture(t, "testdata/src/entropysafe/app", EntropySafe)
+}
+
+func TestLockIOFixture(t *testing.T) {
+	runFixture(t, "testdata/src/lockio/cache", LockIO)
+}
+
+func TestOpTagFixture(t *testing.T) {
+	runFixture(t, "testdata/src/optag/wire", OpTag)
+}
+
+func TestFrameRetainFixture(t *testing.T) {
+	runFixture(t, "testdata/src/frameretain/handler", FrameRetain)
+}
+
+func TestGoroutineLeakFixture(t *testing.T) {
+	runFixture(t, "testdata/src/goroutineleak/serve", GoroutineLeak)
+}
+
+func TestByName(t *testing.T) {
+	for _, a := range Analyzers() {
+		if ByName(a.Name) != a {
+			t.Errorf("ByName(%q) did not round-trip", a.Name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName(nope) != nil")
+	}
+}
+
+// TestAllowDirectives: a finding on (or one line above) a documented
+// lint:allow for its analyzer is suppressed; a reasonless allow is itself
+// a finding that cannot be self-suppressed.
+func TestAllowDirectives(t *testing.T) {
+	pkgs, err := Load("testdata/src/allow/pkg", []string{"."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || len(pkgs[0].LoadErrors) > 0 {
+		t.Fatalf("fixture load: %+v", pkgs)
+	}
+	pkg := pkgs[0]
+	diags, err := runAnalyzers([]*Analyzer{LockIO}, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, d := range diags {
+		kinds = append(kinds, d.Analyzer)
+	}
+	// The suppressed lockio site must be gone; the reasonless directive and
+	// the unsuppressed site must survive.
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings %v, want 2 (lintdirective + unsuppressed lockio)", len(diags), kinds)
+	}
+	foundDirective, foundLockio := false, false
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "lintdirective":
+			foundDirective = true
+			if !strings.Contains(d.Message, "needs an analyzer name and a reason") {
+				t.Errorf("lintdirective message %q", d.Message)
+			}
+		case "lockio":
+			foundLockio = true
+		}
+	}
+	if !foundDirective || !foundLockio {
+		t.Fatalf("findings %v, want one lintdirective and one lockio", kinds)
+	}
+}

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// LoadErrors carries parse or type-check failures; a package with load
+	// errors is not analyzed (its syntax or types are unreliable).
+	LoadErrors []error
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Match      []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs the go command and decodes its -json package stream.
+func goList(dir string, args ...string) ([]*listPkg, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go %s: %v\n%s", args[0], err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from compiler export data produced by
+// `go list -export`. It fails loudly on paths the loader did not map —
+// every dependency must come from the same build the target sources do.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// newInfo allocates the types.Info maps the analyzers rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Load resolves the patterns (e.g. "./...") relative to dir, type-checks
+// every matched package from source against export data of its
+// dependencies, and returns them in `go list` order. Test files are not
+// loaded: the enforced invariants exempt _test.go files by design.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	listed, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []*listPkg
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, lp := range targets {
+		pkg := &Package{Path: lp.ImportPath, Fset: fset}
+		if lp.Error != nil {
+			pkg.LoadErrors = append(pkg.LoadErrors, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err))
+			out = append(out, pkg)
+			continue
+		}
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				pkg.LoadErrors = append(pkg.LoadErrors, err)
+				continue
+			}
+			pkg.Files = append(pkg.Files, f)
+		}
+		if len(pkg.LoadErrors) > 0 || len(pkg.Files) == 0 {
+			out = append(out, pkg)
+			continue
+		}
+		info := newInfo()
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { pkg.LoadErrors = append(pkg.LoadErrors, err) },
+		}
+		tpkg, _ := conf.Check(lp.ImportPath, fset, pkg.Files, info)
+		pkg.Pkg = tpkg
+		pkg.Info = info
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Run loads the patterns and executes the analyzers over every cleanly
+// loaded package. It returns the surviving findings and any load errors.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, []error, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	var diags []Diagnostic
+	var loadErrs []error
+	for _, pkg := range pkgs {
+		if len(pkg.LoadErrors) > 0 {
+			loadErrs = append(loadErrs, pkg.LoadErrors...)
+			continue
+		}
+		ds, err := runAnalyzers(analyzers, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info)
+		if err != nil {
+			return nil, loadErrs, err
+		}
+		diags = append(diags, ds...)
+	}
+	return diags, loadErrs, nil
+}

@@ -1,0 +1,310 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockIO reports blocking I/O executed while a sync.Mutex or sync.RWMutex
+// acquired in the same function is still held: network and transport
+// sends/receives, os file operations, io copy helpers, and channel sends
+// without a default arm. A lock that spans blocking I/O turns one slow
+// peer or disk into head-of-line blocking for every goroutine contending
+// on the lock — the tail-latency failure mode the paper's serving analysis
+// is built to avoid.
+var LockIO = &Analyzer{
+	Name: "lockio",
+	Doc: "no blocking I/O (net/transport send-recv, os file ops, channel sends without default) " +
+		"while a mutex acquired in the same function is held",
+	Run: runLockIO,
+}
+
+func runLockIO(pass *Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: pass}
+			w.stmts(fd.Body.List, map[string]ast.Node{})
+		}
+	}
+	return nil
+}
+
+// lockWalker scans a function body linearly, tracking which mutexes are
+// held at each statement. Branch bodies get a copy of the held set
+// (acquisitions and releases inside a branch do not leak past it), which
+// keeps the common `if cond { mu.Unlock(); return }` early-exit pattern
+// precise on the fallthrough path.
+type lockWalker struct {
+	pass *Pass
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt, held map[string]ast.Node) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func copyHeld(held map[string]ast.Node) map[string]ast.Node {
+	c := make(map[string]ast.Node, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held map[string]ast.Node) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if key, locked, ok := w.lockOp(s.X); ok {
+			if locked {
+				held[key] = s
+			} else {
+				delete(held, key)
+			}
+			return
+		}
+		w.exprs(held, s.X)
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held for the rest of the
+		// function — that is exactly the span being checked, so nothing to
+		// do. Other deferred calls run at return, outside linear order;
+		// they are not checked.
+		return
+	case *ast.AssignStmt:
+		w.exprs(held, s.Rhs...)
+		w.exprs(held, s.Lhs...)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					w.exprs(held, vs.Values...)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		w.exprs(held, s.Results...)
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.report(s.Pos(), "channel send", held)
+		}
+		w.exprs(held, s.Value)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.exprs(held, s.Cond)
+		w.stmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			w.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.exprs(held, s.Cond)
+		}
+		inner := copyHeld(held)
+		w.stmts(s.Body.List, inner)
+		if s.Post != nil {
+			w.stmt(s.Post, inner)
+		}
+	case *ast.RangeStmt:
+		w.exprs(held, s.X)
+		w.stmts(s.Body.List, copyHeld(held))
+	case *ast.BlockStmt:
+		w.stmts(s.List, held)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.exprs(held, s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.exprs(held, cc.List...)
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if send, ok := cc.Comm.(*ast.SendStmt); ok && !hasDefault && len(held) > 0 {
+				w.report(send.Pos(), "channel send (select without default)", held)
+			}
+			w.stmts(cc.Body, copyHeld(held))
+		}
+	case *ast.GoStmt:
+		// The new goroutine does not hold this function's locks; its body
+		// is out of scope here.
+		return
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	}
+}
+
+// exprs scans expressions for blocking calls executed while locks are held.
+// Function-literal bodies are skipped: they run on their own call (often
+// another goroutine), outside this function's linear lock span.
+func (w *lockWalker) exprs(held map[string]ast.Node, list ...ast.Expr) {
+	if len(held) == 0 {
+		return
+	}
+	for _, e := range list {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if desc, ok := w.blockingCall(call); ok {
+					w.report(call.Pos(), desc, held)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (w *lockWalker) report(pos token.Pos, what string, held map[string]ast.Node) {
+	var names []string
+	for k := range held {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	w.pass.Reportf(pos, "%s while %s is held; narrow the lock span so blocking work runs unlocked", what, strings.Join(names, ", "))
+}
+
+// lockOp classifies e as a mutex Lock/Unlock call: it returns the lock's
+// receiver expression (the held-set key), whether it acquires, and whether
+// e is a mutex operation at all. Promoted methods (embedded mutexes) are
+// recognized through the method object's package.
+func (w *lockWalker) lockOp(e ast.Expr) (key string, locked, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	obj, isFunc := w.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !isFunc || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	switch obj.Name() {
+	case "Lock", "RLock":
+		locked = true
+	case "Unlock", "RUnlock":
+		locked = false
+	default:
+		return "", false, false
+	}
+	return types.ExprString(sel.X), locked, true
+}
+
+// osBlocking and ioBlocking are the package-level functions treated as
+// blocking I/O.
+var osBlocking = map[string]bool{
+	"Open": true, "Create": true, "OpenFile": true, "ReadFile": true,
+	"WriteFile": true, "ReadDir": true, "Remove": true, "RemoveAll": true,
+	"Rename": true, "Stat": true, "Lstat": true, "Mkdir": true,
+	"MkdirAll": true, "CreateTemp": true, "Truncate": true,
+}
+
+var ioBlocking = map[string]bool{
+	"ReadFull": true, "ReadAll": true, "Copy": true, "CopyN": true,
+	"CopyBuffer": true, "WriteString": true, "ReadAtLeast": true,
+}
+
+var netBlocking = map[string]bool{
+	"Dial": true, "DialTimeout": true, "Listen": true, "ListenPacket": true,
+}
+
+// blockingMethods are method names treated as blocking when the receiver
+// type lives in an I/O package (os, net, io) or this module's transport.
+var blockingMethods = map[string]bool{
+	"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true,
+	"Send": true, "SendTagged": true, "Recv": true, "Accept": true,
+	"Sync": true, "Dial": true,
+}
+
+func (w *lockWalker) blockingCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	// Package-level function: os.Remove, io.ReadFull, net.Dial, ...
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := w.pass.Info.Uses[id].(*types.PkgName); ok {
+			switch pn.Imported().Path() {
+			case "os":
+				if osBlocking[sel.Sel.Name] {
+					return "os." + sel.Sel.Name + " file I/O", true
+				}
+			case "io":
+				if ioBlocking[sel.Sel.Name] {
+					return "io." + sel.Sel.Name, true
+				}
+			case "net":
+				if netBlocking[sel.Sel.Name] {
+					return "net." + sel.Sel.Name, true
+				}
+			}
+			return "", false
+		}
+	}
+	// Method call: classify by the receiver type's package.
+	if !blockingMethods[sel.Sel.Name] {
+		return "", false
+	}
+	t := w.pass.TypeOf(sel.X)
+	if t == nil {
+		return "", false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	path := named.Obj().Pkg().Path()
+	switch {
+	case path == "os", path == "net", path == "io",
+		path == "transport", strings.HasSuffix(path, "/transport"):
+		return named.Obj().Name() + "." + sel.Sel.Name + " I/O", true
+	}
+	return "", false
+}

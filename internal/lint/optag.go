@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// OpTag enforces wire-opcode hygiene in packages that declare op*/tag*
+// byte constants (internal/serve's wire protocol):
+//
+//   - every switch dispatching over the opcode constants is exhaustive or
+//     carries a default arm, so an unknown opcode lands in a typed
+//     rejection instead of being silently dropped;
+//   - opcode case arms and frame writes (sendCtrl, SendTagged) name the
+//     constants rather than spelling byte literals, so the wire format has
+//     exactly one definition site.
+var OpTag = &Analyzer{
+	Name: "optag",
+	Doc: "switches over op* opcode constants must be exhaustive or have a default arm, " +
+		"and frame writes must use the named op*/tag* constants, not byte literals",
+	Run: runOpTag,
+}
+
+func runOpTag(pass *Pass) error {
+	ops := opConstants(pass, "op")
+	tags := opConstants(pass, "tag")
+	if len(ops) == 0 && len(tags) == 0 {
+		return nil
+	}
+	opSet := map[types.Object]bool{}
+	var opNames []string
+	for _, o := range ops {
+		opSet[o] = true
+		opNames = append(opNames, o.Name())
+	}
+	sort.Strings(opNames)
+
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				checkOpSwitch(pass, n, opSet, opNames)
+			case *ast.CallExpr:
+				checkFrameWrite(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// opConstants returns the package-level byte constants named
+// <prefix><Upper>... — the wire protocol's opcode (op*) and frame tag
+// (tag*) vocabularies.
+func opConstants(pass *Pass, prefix string) []types.Object {
+	var out []types.Object
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, prefix) || len(name) == len(prefix) {
+			continue
+		}
+		if r := name[len(prefix)]; r < 'A' || r > 'Z' {
+			continue
+		}
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if b, ok := c.Type().Underlying().(*types.Basic); ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// checkOpSwitch enforces exhaustive-or-default dispatch and named case
+// arms on switches whose cases reference opcode constants.
+func checkOpSwitch(pass *Pass, sw *ast.SwitchStmt, opSet map[types.Object]bool, opNames []string) {
+	covered := map[string]bool{}
+	usesOps := false
+	hasDefault := false
+	var literals []*ast.BasicLit
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range cc.List {
+			if id, ok := e.(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil && opSet[obj] {
+					usesOps = true
+					covered[obj.Name()] = true
+				}
+			}
+			if lit, ok := e.(*ast.BasicLit); ok {
+				literals = append(literals, lit)
+			}
+		}
+	}
+	if !usesOps {
+		return
+	}
+	for _, lit := range literals {
+		pass.Reportf(lit.Pos(), "opcode case uses byte literal %s; name the op* constant so the wire format has one definition site", lit.Value)
+	}
+	if hasDefault {
+		return
+	}
+	var missing []string
+	for _, name := range opNames {
+		if !covered[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		pass.Reportf(sw.Pos(), "switch over opcodes is not exhaustive and has no default arm (missing %s); unknown opcodes must hit a typed rejection, not fall through silently", strings.Join(missing, ", "))
+	}
+}
+
+// checkFrameWrite flags byte literals in the opcode/tag argument of the
+// frame-writing helpers: sendCtrl(conn, OP, body) and SendTagged(TAG,
+// payload).
+func checkFrameWrite(pass *Pass, call *ast.CallExpr) {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return
+	}
+	var arg ast.Expr
+	switch {
+	case name == "sendCtrl" && len(call.Args) >= 2:
+		arg = call.Args[1]
+	case name == "SendTagged" && len(call.Args) >= 1:
+		arg = call.Args[0]
+	default:
+		return
+	}
+	if lit, ok := arg.(*ast.BasicLit); ok && lit.Kind == token.INT {
+		pass.Reportf(lit.Pos(), "%s called with byte literal %s; name the op*/tag* constant so the wire format has one definition site", name, lit.Value)
+	}
+}

@@ -1,0 +1,30 @@
+// Package pkg exercises the lint:allow directive machinery: a documented
+// allow suppresses its analyzer's finding, a reasonless allow is itself a
+// finding, and an undocumented violation survives.
+package pkg
+
+import (
+	"os"
+	"sync"
+)
+
+type box struct {
+	mu sync.Mutex
+}
+
+// suppressed carries a documented allow on the line above the finding.
+func (b *box) suppressed(path string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//lint:allow lockio fixture exercises a documented suppression
+	os.Remove(path)
+}
+
+// reasonless carries an allow with no justification: the suppression is
+// rejected and reported, and the lockio finding survives.
+func (b *box) reasonless(path string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//lint:allow lockio
+	os.Remove(path)
+}

@@ -1,0 +1,18 @@
+// Package app is the entropysafe negative fixture: it is not in the
+// crypto-bearing set, so simulation-style math/rand use is fine.
+package app
+
+import (
+	"crypto/rand"
+	mrand "math/rand"
+)
+
+func simulate(seed int64) float64 {
+	return mrand.New(mrand.NewSource(seed)).Float64()
+}
+
+func token() []byte {
+	b := make([]byte, 16)
+	rand.Read(b)
+	return b
+}

@@ -1,0 +1,10 @@
+package ot
+
+import (
+	mrand "math/rand" // want "crypto-bearing package ot imports math/rand"
+)
+
+// badMathRand draws secret-adjacent bytes from a non-cryptographic PRNG.
+func badMathRand() int {
+	return mrand.Int()
+}

@@ -1,0 +1,40 @@
+// Package ot is an entropysafe fixture: its name puts it in the
+// crypto-bearing set, so every randomness source outside the injected
+// io.Reader idiom must be flagged.
+package ot
+
+import (
+	"crypto/rand"
+	"io"
+)
+
+// newSource is the approved idiom: crypto/rand.Reader appears only as the
+// nil-source fallback assignment in an entropy constructor.
+func newSource(src io.Reader) io.Reader {
+	if src == nil {
+		src = rand.Reader
+	}
+	return src
+}
+
+// goodDraw reads from the injected source.
+func goodDraw(src io.Reader) []byte {
+	b := make([]byte, 16)
+	io.ReadFull(newSource(src), b)
+	return b
+}
+
+// badRead draws straight from the package-level crypto/rand.
+func badRead() []byte {
+	b := make([]byte, 16)
+	rand.Read(b) // want "naked crypto/rand.Read bypasses the injected entropy source"
+	return b
+}
+
+// badReaderUse passes rand.Reader into a call instead of assigning it as a
+// constructor fallback.
+func badReaderUse() []byte {
+	b := make([]byte, 16)
+	io.ReadFull(rand.Reader, b) // want "crypto/rand.Reader may only appear as the nil-source fallback assignment"
+	return b
+}

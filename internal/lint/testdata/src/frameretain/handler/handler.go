@@ -1,0 +1,81 @@
+// Package handler is the frameretain fixture: payload slices returned by a
+// transport Recv must not be stored into fields or globals; copies and
+// by-value hand-offs are fine.
+package handler
+
+type conn struct{}
+
+func (c *conn) Recv() ([]byte, error) { return nil, nil }
+
+type session struct {
+	frames [][]byte
+	last   []byte
+}
+
+var lastGlobal []byte
+
+// badFieldStore retains the received frame in a field.
+func (s *session) badFieldStore(c *conn) error {
+	f, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	s.last = f // want "received frame \"f\" stored into field s.last"
+	return nil
+}
+
+// badAppendRetain retains the alias through a non-spread append.
+func (s *session) badAppendRetain(c *conn) error {
+	f, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	s.frames = append(s.frames, f) // want "received frame \"f\" stored into field s.frames"
+	return nil
+}
+
+// badSliceAlias retains a re-slice of the frame — same backing array.
+func (s *session) badSliceAlias(c *conn) error {
+	f, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	body := f[2:]
+	s.last = body // want "received frame \"body\" stored into field s.last"
+	return nil
+}
+
+// badGlobalStore retains the frame in a package-level variable.
+func badGlobalStore(c *conn) error {
+	f, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	lastGlobal = f // want "received frame \"f\" stored into package variable lastGlobal"
+	return nil
+}
+
+// badDirectStore receives straight into a field.
+func (s *session) badDirectStore(c *conn) (err error) {
+	s.last, err = c.Recv() // want "received frame stored directly into field s.last"
+	return err
+}
+
+// goodCopyStore stores a copy: the spread append duplicates the bytes.
+func (s *session) goodCopyStore(c *conn) error {
+	f, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	s.frames = append(s.frames, append([]byte(nil), f...))
+	return nil
+}
+
+// goodLocalUse never stores the frame past the call.
+func goodLocalUse(c *conn) (int, error) {
+	f, err := c.Recv()
+	if err != nil {
+		return 0, err
+	}
+	return len(f), nil
+}

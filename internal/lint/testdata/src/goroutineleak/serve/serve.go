@@ -1,0 +1,67 @@
+// Package serve is the goroutineleak fixture: its name puts it in the
+// long-running serving set, so every go statement needs a visible join
+// point.
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+func work() {}
+
+// badDetachedLiteral spawns a goroutine nothing can wait for.
+func (s *server) badDetachedLiteral() {
+	go func() { // want "goroutine has no visible join point"
+		work()
+	}()
+}
+
+// badDetachedCallee spawns a package function with no lifecycle ties.
+func (s *server) badDetachedCallee() {
+	go work() // want "goroutine has no visible join point"
+}
+
+// goodWaitGroup pairs wg.Add with a deferred wg.Done.
+func (s *server) goodWaitGroup() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		work()
+	}()
+}
+
+// goodDoneChannel ties the goroutine to a done channel.
+func (s *server) goodDoneChannel() {
+	go func() {
+		for {
+			select {
+			case <-s.done:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// goodContextArg hands the goroutine a context to stop on.
+func goodContextArg(ctx context.Context) {
+	go func(ctx context.Context) {
+		<-ctx.Done()
+	}(ctx)
+}
+
+func loop(done chan struct{}) {
+	<-done
+}
+
+// goodCalleeWithLifecycleArg passes the join primitive into the callee.
+func (s *server) goodCalleeWithLifecycleArg() {
+	go loop(s.done)
+}

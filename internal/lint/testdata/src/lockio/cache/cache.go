@@ -1,0 +1,87 @@
+// Package cache is the lockio fixture: blocking I/O and channel sends
+// under a mutex acquired in the same function are flagged; the narrowed
+// variants are not.
+package cache
+
+import (
+	"io"
+	"os"
+	"sync"
+)
+
+type store struct {
+	mu    sync.Mutex
+	dirty []string
+	ch    chan string
+}
+
+// badFileUnderLock holds mu across file I/O.
+func (s *store) badFileUnderLock(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	os.Remove(path) // want "os.Remove file I/O while s.mu is held"
+}
+
+// badSendUnderLock blocks on a channel send while holding mu.
+func (s *store) badSendUnderLock(v string) {
+	s.mu.Lock()
+	s.ch <- v // want "channel send while s.mu is held"
+	s.mu.Unlock()
+}
+
+// badSelectNoDefault: a select whose only arms are sends still blocks.
+func (s *store) badSelectNoDefault(v string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v: // want "channel send \\(select without default\\) while s.mu is held"
+	}
+}
+
+// badCopyUnderLock holds mu across an io copy helper.
+func (s *store) badCopyUnderLock(dst io.Writer, src io.Reader) {
+	s.mu.Lock()
+	io.Copy(dst, src) // want "io.Copy while s.mu is held"
+	s.mu.Unlock()
+}
+
+// goodNarrowed snapshots under the lock and does I/O outside it.
+func (s *store) goodNarrowed(path string) {
+	s.mu.Lock()
+	dirty := append([]string(nil), s.dirty...)
+	s.mu.Unlock()
+	for range dirty {
+		os.Remove(path)
+	}
+}
+
+// goodSelectDefault never blocks: the default arm makes the send a try.
+func (s *store) goodSelectDefault(v string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v:
+	default:
+	}
+}
+
+// goodEarlyUnlockBranch: an unlock inside a branch releases for that path
+// only; the checker keeps branch-local held sets separate.
+func (s *store) goodEarlyUnlockBranch(path string, cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		os.Remove(path)
+		return
+	}
+	s.mu.Unlock()
+}
+
+// goodGoroutine: the spawned body does not hold this function's lock.
+func (s *store) goodGoroutine(path string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		os.Remove(path)
+	}()
+}

@@ -1,0 +1,80 @@
+// Package wire is the optag fixture: switches over the op* opcode
+// constants must be exhaustive or carry a default arm, and frame writes
+// must name the constants.
+package wire
+
+// Control opcodes, mirroring the shape of the real wire package.
+const (
+	opHello byte = 1 + iota
+	opInfer
+	opBye
+)
+
+type conn interface {
+	Send([]byte) error
+	SendTagged(byte, []byte) error
+}
+
+func sendCtrl(c conn, op byte, body []byte) error {
+	return c.Send(append([]byte{0x01, op}, body...))
+}
+
+// goodExhaustive covers every opcode; no default needed.
+func goodExhaustive(op byte) string {
+	switch op {
+	case opHello:
+		return "hello"
+	case opInfer:
+		return "infer"
+	case opBye:
+		return "bye"
+	}
+	return ""
+}
+
+// goodDefault routes unknown opcodes to a typed error arm.
+func goodDefault(op byte) string {
+	switch op {
+	case opHello:
+		return "hello"
+	default:
+		return "bad frame"
+	}
+}
+
+// badMissing neither covers every opcode nor has a default: an unknown or
+// unhandled opcode falls through silently.
+func badMissing(op byte) string {
+	switch op { // want "switch over opcodes is not exhaustive and has no default arm \\(missing opBye, opInfer\\)"
+	case opHello:
+		return "hello"
+	}
+	return ""
+}
+
+// badLiteralCase dispatches on a spelled byte value.
+func badLiteralCase(op byte) string {
+	switch op {
+	case opHello:
+		return "hello"
+	case 0x7F: // want "opcode case uses byte literal 0x7F"
+		return "mystery"
+	default:
+		return ""
+	}
+}
+
+// badLiteralWrite spells the opcode at the write site.
+func badLiteralWrite(c conn) error {
+	return sendCtrl(c, 2, nil) // want "sendCtrl called with byte literal 2"
+}
+
+// badLiteralTag spells the frame tag at the write site.
+func badLiteralTag(c conn) error {
+	return c.SendTagged(0x01, nil) // want "SendTagged called with byte literal 0x01"
+}
+
+// goodNamedWrite names the constant.
+func goodNamedWrite(c conn) error {
+	return sendCtrl(c, opInfer, nil)
+}

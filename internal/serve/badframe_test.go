@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"privinf/internal/delphi"
+	"privinf/internal/transport"
+)
+
+// TestMuxBadFrameTyped: a frame with an unknown tag byte and a control
+// frame too short to carry an opcode both tear the mux down with an error
+// matching ErrBadFrame — the typed form callers branch on.
+func TestMuxBadFrameTyped(t *testing.T) {
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		{"unknown tag", []byte{0x5A, 1, 2, 3}},
+		{"opcodeless ctrl", []byte{tagCtrl}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cli, srv := transport.Pipe()
+			defer cli.Close()
+			m := newMux(srv)
+			defer m.close(nil)
+
+			if err := cli.Send(tc.frame); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.ctrl.pop(); !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("ctrl pop error = %v, want ErrBadFrame", err)
+			}
+			if _, err := m.data.pop(); !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("data pop error = %v, want ErrBadFrame", err)
+			}
+		})
+	}
+}
+
+// TestGarbageOpcodeBeforeHello: a connection that opens with a well-formed
+// control frame carrying an opcode the handshake does not know gets the
+// typed bad_hello rejection — which unwraps to ErrBadFrame — instead of a
+// silent drop.
+func TestGarbageOpcodeBeforeHello(t *testing.T) {
+	_, ln := pipeEngine(t, Config{
+		Model:       testModel(t, 91),
+		Variant:     delphi.ClientGarbler,
+		LPHEWorkers: 2,
+	})
+
+	conn, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := transport.SendPreamble(conn, transport.Preamble{Version: wireVersion}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sendCtrl(conn, 0xEE, []byte("junk")); err != nil {
+		t.Fatal(err)
+	}
+	op, body, err := recvCtrl(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != opReject {
+		t.Fatalf("got opcode %d, want opReject", op)
+	}
+	var rej rejectMsg
+	if err := unmarshalJSON(body, &rej); err != nil {
+		t.Fatal(err)
+	}
+	if rej.Code != rejectBadHello {
+		t.Fatalf("reject code %q, want %q", rej.Code, rejectBadHello)
+	}
+	if !errors.Is(&HandshakeError{Code: rej.Code}, ErrBadFrame) {
+		t.Fatal("bad_hello rejection must map to ErrBadFrame")
+	}
+}
+
+// TestGarbageOpcodeInSession: an unknown client opcode injected into an
+// established session makes the engine answer with opErr carrying the
+// ErrBadFrame text and tear the session down — the client observes the
+// server's typed complaint, not a hang or a silently eaten frame.
+func TestGarbageOpcodeInSession(t *testing.T) {
+	eng, ln := pipeEngine(t, Config{
+		Model:       testModel(t, 92),
+		Variant:     delphi.ClientGarbler,
+		LPHEWorkers: 2,
+	})
+
+	conn, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Connect(conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := sendCtrl(c.m.conn, 0xEE, nil); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "client to observe the server's opErr", func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.err != nil
+	})
+	c.mu.Lock()
+	got := c.err.Error()
+	c.mu.Unlock()
+	if !strings.Contains(got, "unexpected client opcode 238") {
+		t.Fatalf("client failure %q does not carry the server's bad-frame complaint", got)
+	}
+	waitFor(t, 5*time.Second, "engine to retire the failed session", func() bool {
+		return eng.Stats().ActiveSessions == 0
+	})
+}

@@ -190,9 +190,13 @@ func connect(conn *transport.Conn, opts ConnectOptions) (*Client, error) {
 	if opts.Preamble != nil {
 		ticket, state = opts.Preamble.ticketSnapshot()
 	}
+	// The client's injected entropy covers the resumption nonce too — the
+	// nonce seeds the per-session OT stream derivation, so it is as secret
+	// as the rest of the client's randomness.
+	entropy := delphi.LockedEntropy(opts.Entropy)
 	var nonce []byte
 	if len(ticket) > 0 {
-		nonce = randomID()
+		nonce = randomID(entropy)
 	}
 	// The preamble frame and the hello pipeline: both go out before the
 	// first read, so the preamble costs no extra round trip.
@@ -218,7 +222,7 @@ func connect(conn *transport.Conn, opts ConnectOptions) (*Client, error) {
 	case opErr:
 		return nil, fmt.Errorf("serve: server rejected session: %s", body)
 	default:
-		return nil, fmt.Errorf("serve: expected welcome, got opcode %d", op)
+		return nil, fmt.Errorf("%w: expected welcome, got opcode %d", ErrBadFrame, op)
 	}
 	var w welcomeMsg
 	if err := unmarshalJSON(body, &w); err != nil {
@@ -248,7 +252,6 @@ func connect(conn *transport.Conn, opts ConnectOptions) (*Client, error) {
 		loopDone:     make(chan struct{}),
 	}
 	dcfg := delphi.Config{Variant: c.variant, HEParams: params}
-	entropy := delphi.LockedEntropy(opts.Entropy)
 	if opts.Preamble != nil {
 		cs, err := opts.Preamble.sharedFor(w.Model, params, w.Meta)
 		if err != nil {
@@ -376,7 +379,7 @@ func (c *Client) loop() {
 			c.fail(fmt.Errorf("serve: server error: %s", cm.body))
 			return
 		default:
-			c.fail(fmt.Errorf("serve: unexpected server opcode %d", cm.op))
+			c.fail(fmt.Errorf("%w: unexpected server opcode %d", ErrBadFrame, cm.op))
 			return
 		}
 	}

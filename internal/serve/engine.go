@@ -283,7 +283,7 @@ func New(cfg Config) (*Engine, error) {
 		done:           make(chan struct{}),
 	}
 	if cfg.TicketTTL >= 0 {
-		e.tickets = newTicketCache(cfg.TicketTTL, cfg.TicketBudget)
+		e.tickets = newTicketCache(cfg.TicketTTL, cfg.TicketBudget, e.entropy)
 	}
 	if cfg.SetupWorkers > 0 {
 		e.setupSem = make(chan struct{}, cfg.SetupWorkers)
@@ -410,7 +410,7 @@ func (e *Engine) handle(conn *transport.Conn, addr string) {
 		}
 	}
 	if resume != nil {
-		serverNonce = randomID()
+		serverNonce = randomID(e.entropy)
 	} else if e.tickets != nil {
 		newTicket = e.tickets.reserve()
 	}
@@ -654,7 +654,7 @@ func (s *session) handleCtrl(cm ctrlMsg) error {
 	case opBye:
 		return errBye
 	default:
-		return fmt.Errorf("serve: unexpected client opcode %d", cm.op)
+		return fmt.Errorf("%w: unexpected client opcode %d", ErrBadFrame, cm.op)
 	}
 }
 

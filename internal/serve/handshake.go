@@ -47,7 +47,9 @@ func PeekClientHello(conn *transport.Conn) (*ClientHello, error) {
 			sendReject(conn, rejectVersion, fmt.Sprintf("serve: client speaks wire version %d, server speaks %d", pre.Version, wireVersion))
 			return nil, fmt.Errorf("serve: peek hello: %w", ErrVersionMismatch)
 		}
-		h.frames = append(h.frames, f)
+		// Copy before retaining: the frame slice aliases transport-owned
+		// memory that a buffer-reusing transport may recycle after return.
+		h.frames = append(h.frames, append([]byte(nil), f...))
 		if f, err = conn.Recv(); err != nil {
 			return nil, err
 		}
@@ -65,7 +67,7 @@ func PeekClientHello(conn *transport.Conn) (*ClientHello, error) {
 		sendReject(conn, rejectVersion, fmt.Sprintf("serve: client speaks wire version %d, server speaks %d", hello.Version, wireVersion))
 		return nil, fmt.Errorf("serve: peek hello: %w", ErrVersionMismatch)
 	}
-	h.frames = append(h.frames, f)
+	h.frames = append(h.frames, append([]byte(nil), f...))
 	h.Model = hello.Model
 	h.Ticket = hello.Ticket
 	return h, nil

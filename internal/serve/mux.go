@@ -76,6 +76,7 @@ type mux struct {
 
 func newMux(conn *transport.Conn) *mux {
 	m := &mux{conn: conn, data: newMailbox[[]byte](), ctrl: newMailbox[ctrlMsg]()}
+	//lint:allow goroutineleak the reader exits when mux.close closes the conn and its Recv errors; the conn is the join point
 	go m.read()
 	return m
 }
@@ -84,10 +85,10 @@ func (m *mux) read() {
 	for {
 		f, err := m.conn.Recv()
 		if err == nil && (len(f) == 0 || (f[0] != tagData && f[0] != tagCtrl)) {
-			err = fmt.Errorf("serve: malformed frame (%d bytes, tag %#x)", len(f), first(f))
+			err = fmt.Errorf("%w: %d bytes, tag %#x", ErrBadFrame, len(f), first(f))
 		}
 		if err == nil && f[0] == tagCtrl && len(f) < 2 {
-			err = fmt.Errorf("serve: control frame without opcode")
+			err = fmt.Errorf("%w: control frame without opcode", ErrBadFrame)
 		}
 		if err != nil {
 			m.data.close(err)

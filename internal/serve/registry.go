@@ -355,6 +355,7 @@ func (r *Registry) enqueueSpills(jobs []spillJob) {
 	r.pendingSpills += len(jobs)
 	if !r.spillActive {
 		r.spillActive = true
+		//lint:allow goroutineleak spillActive gates one worker at a time and Flush joins it via pendingSpills; it exits when the queue drains
 		go r.spillWorker()
 	}
 }

@@ -254,7 +254,7 @@ func TestTicketCacheEvictionUnderBudget(t *testing.T) {
 // secret seed material dies with its TTL even for clients that never
 // reconnect.
 func TestTicketCachePrunesExpiredOnInsert(t *testing.T) {
-	tc := newTicketCache(time.Minute, -1)
+	tc := newTicketCache(time.Minute, -1, nil)
 	state := &delphi.OTResume{}
 	base := time.Now()
 	now := base

@@ -11,7 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"privinf/internal/delphi"
@@ -54,9 +54,11 @@ type ArtifactStore struct {
 	// diskBudget caps total artifact-file bytes in dir; <= 0 unbounded.
 	// Save triggers a sweep past it, and Sweep can be called directly.
 	diskBudget int64
-	// sweepMu serializes sweeps so concurrent Saves do not race over the
-	// same directory listing.
-	sweepMu sync.Mutex
+	// sweeping gates sweeps so concurrent Saves do not race over the same
+	// directory listing. A CAS gate rather than a mutex: a sweep already in
+	// flight covers the directory state a second caller would see, so the
+	// loser skips instead of queueing behind disk I/O.
+	sweeping atomic.Bool
 }
 
 // Sentinel errors distinguishing the store's failure modes; match with
@@ -165,8 +167,12 @@ func (st *ArtifactStore) Sweep(budget int64) (int, error) {
 	if budget <= 0 {
 		return 0, nil
 	}
-	st.sweepMu.Lock()
-	defer st.sweepMu.Unlock()
+	if !st.sweeping.CompareAndSwap(false, true) {
+		// A sweep is already walking this directory; it will observe any
+		// artifact published before it lists, so skipping loses nothing.
+		return 0, nil
+	}
+	defer st.sweeping.Store(false)
 	entries, err := os.ReadDir(st.dir)
 	if err != nil {
 		return 0, fmt.Errorf("serve: artifact store sweep: %w", err)

@@ -3,6 +3,7 @@ package serve
 import (
 	"container/list"
 	"crypto/rand"
+	"io"
 	"sync"
 	"time"
 
@@ -44,6 +45,11 @@ type ticketCache struct {
 	// now is a test seam for expiry.
 	now func() time.Time
 
+	// entropy draws ticket identifiers. Tickets are bearer credentials for
+	// cached OT correlation, so they come from the same injected source as
+	// the session's other secret material.
+	entropy io.Reader
+
 	issued, resumed, expired, unknown, evicted uint64
 	perModel                                   map[string]*ticketModelCounters
 }
@@ -64,12 +70,15 @@ type ticketEntry struct {
 	elem    *list.Element
 }
 
-func newTicketCache(ttl time.Duration, budget int64) *ticketCache {
+func newTicketCache(ttl time.Duration, budget int64, entropy io.Reader) *ticketCache {
 	if ttl == 0 {
 		ttl = DefaultTicketTTL
 	}
 	if budget == 0 {
 		budget = DefaultTicketBudget
+	}
+	if entropy == nil {
+		entropy = rand.Reader
 	}
 	return &ticketCache{
 		ttl:      ttl,
@@ -77,6 +86,7 @@ func newTicketCache(ttl time.Duration, budget int64) *ticketCache {
 		entries:  map[string]*ticketEntry{},
 		lru:      list.New(),
 		now:      time.Now,
+		entropy:  entropy,
 		perModel: map[string]*ticketModelCounters{},
 	}
 }
@@ -90,13 +100,17 @@ func (tc *ticketCache) model(name string) *ticketModelCounters {
 	return c
 }
 
-// randomID returns 16 fresh random bytes — a ticket identifier or one
-// party's half of a resumption nonce.
-func randomID() []byte {
+// randomID returns 16 fresh random bytes from src — a ticket identifier or
+// one party's half of a resumption nonce. A nil src falls back to the
+// system RNG.
+func randomID(src io.Reader) []byte {
+	if src == nil {
+		src = rand.Reader
+	}
 	id := make([]byte, ticketIDBytes)
-	if _, err := rand.Read(id); err != nil {
-		// Tickets are an optimization; a broken system RNG should fail the
-		// session's real cryptography, not be papered over here.
+	if _, err := io.ReadFull(src, id); err != nil {
+		// Tickets are an optimization; a broken entropy source should fail
+		// the session's real cryptography, not be papered over here.
 		panic("serve: ticket id entropy: " + err.Error())
 	}
 	return id
@@ -114,7 +128,7 @@ func joinNonce(client, server []byte) []byte {
 // the cache yet — the welcome carries the ticket before the OT setup that
 // produces its seed material completes; insert publishes it afterwards.
 func (tc *ticketCache) reserve() []byte {
-	return randomID()
+	return randomID(tc.entropy)
 }
 
 // insert publishes seed material under a reserved ticket and evicts LRU

@@ -154,6 +154,12 @@ var (
 	// ErrNoBackend reports that a fleet front tier could not place the
 	// session on any live replica.
 	ErrNoBackend = errors.New("serve: no backend available")
+	// ErrBadFrame reports a frame the wire protocol has no meaning for: an
+	// opcode neither side's dispatch table knows, a frame with an unknown
+	// tag byte, or a control frame too short to carry an opcode. It is the
+	// typed form of "the peer is speaking something else" — sessions fail
+	// loudly on it instead of silently dropping the frame.
+	ErrBadFrame = errors.New("serve: malformed or unknown frame")
 )
 
 // HandshakeError is the client-side form of a typed handshake rejection.
@@ -179,6 +185,8 @@ func (e *HandshakeError) Unwrap() error {
 		return ErrDraining
 	case rejectNoBackend:
 		return ErrNoBackend
+	case rejectBadHello:
+		return ErrBadFrame
 	}
 	return nil
 }

@@ -115,6 +115,7 @@ func (c *Conn) send(payload, prefix []byte) error {
 		c.wbuf = h[:0]
 		c.iov[0], c.iov[1] = h, payload
 		bufs := net.Buffers(c.iov[:])
+		//lint:allow lockio wmu IS the write path: it serializes whole frames onto the stream, the send cannot move outside it
 		_, err := bufs.WriteTo(c.w)
 		c.iov[1] = nil // do not retain the caller's payload
 		if err != nil {
@@ -131,6 +132,7 @@ func (c *Conn) send(payload, prefix []byte) error {
 	f = append(f, prefix...)
 	f = append(f, payload...)
 	c.wbuf = f[:0]
+	//lint:allow lockio wmu IS the write path: it serializes whole frames onto the stream, the send cannot move outside it
 	if _, err := c.w.Write(f); err != nil {
 		return fmt.Errorf("transport: send frame: %w", err)
 	}
@@ -143,6 +145,7 @@ func (c *Conn) Recv() ([]byte, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
 	var hdr [frameOverhead]byte
+	//lint:allow lockio rmu IS the read path: it keeps header and payload reads of one frame contiguous on the stream
 	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("transport: recv header: %w", err)
 	}
@@ -151,6 +154,7 @@ func (c *Conn) Recv() ([]byte, error) {
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
 	}
 	payload := make([]byte, n)
+	//lint:allow lockio rmu IS the read path: it keeps header and payload reads of one frame contiguous on the stream
 	if _, err := io.ReadFull(c.r, payload); err != nil {
 		return nil, fmt.Errorf("transport: recv payload: %w", err)
 	}
