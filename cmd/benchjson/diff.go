@@ -1,0 +1,160 @@
+package main
+
+// Diff mode: `benchjson -diff -max-regress 15 old.json new.json` compares
+// two benchmark artifacts and exits nonzero when any op tracked by the old
+// file regressed past the threshold — the CI perf gate that keeps the
+// crypto kernels at their measured speeds.
+//
+// Two artifacts rarely come from the same machine (the committed baseline
+// is recorded on a developer box, the fresh run on a CI runner), so two
+// normalizations apply:
+//
+//   - Op names are compared with the trailing -N GOMAXPROCS suffix
+//     stripped: BenchmarkNTTForward/ref-1 and BenchmarkNTTForward/ref-4
+//     are the same op on differently-sized machines.
+//   - -calibrate <regexp> names a calibration op whose implementation never
+//     changes (the repo keeps the pre-optimization NTT as a frozen
+//     reference kernel for exactly this purpose). The old→new ratio of the
+//     calibration op measures the hardware/load difference between the two
+//     runs, and every other op's ratio is divided by it. Without
+//     -calibrate, raw ns/op are compared — only meaningful on one machine.
+//
+// Gating: an op in the old file that is missing from the new file fails
+// (a tracked benchmark must not silently disappear); a present op fails
+// when its calibrated ns/op exceeds old by more than -max-regress percent,
+// or when allocs/op grows past the same threshold — which for a 0-alloc
+// baseline means any allocation at all fails, pinning the zero-allocation
+// property of the garbling kernels. Ops only present in the new file are
+// reported but never gate (new benchmarks are fine).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+)
+
+// procsSuffix is the -N GOMAXPROCS tail go test appends to benchmark names.
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+func stripProcs(op string) string {
+	return procsSuffix.ReplaceAllString(op, "")
+}
+
+// loadResults reads a benchjson artifact, indexing by procs-stripped op
+// name. Duplicate names (a -count > 1 run) keep the fastest sample — the
+// standard noise-robust statistic, since scheduling jitter only ever adds
+// time.
+func loadResults(path string) (map[string]Result, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rs []Result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byOp := make(map[string]Result, len(rs))
+	var order []string
+	for _, r := range rs {
+		name := stripProcs(r.Op)
+		if prev, dup := byOp[name]; dup {
+			if r.NsPerOp < prev.NsPerOp {
+				byOp[name] = r
+			}
+			continue
+		}
+		byOp[name] = r
+		order = append(order, name)
+	}
+	return byOp, order, nil
+}
+
+// calibScale computes the hardware-difference scale factor from the
+// calibration op: new-machine ns/op divided by old-machine ns/op, so a
+// CI runner half as fast as the baseline box yields 2.0 and doubled raw
+// timings calibrate back to ratio 1.0.
+func calibScale(oldBy, newBy map[string]Result, oldOrder []string, re *regexp.Regexp) (float64, string, error) {
+	for _, name := range oldOrder {
+		if !re.MatchString(name) {
+			continue
+		}
+		n, ok := newBy[name]
+		if !ok {
+			return 0, "", fmt.Errorf("calibration op %s missing from new artifact", name)
+		}
+		o := oldBy[name]
+		if o.NsPerOp <= 0 || n.NsPerOp <= 0 {
+			return 0, "", fmt.Errorf("calibration op %s has non-positive ns/op", name)
+		}
+		return n.NsPerOp / o.NsPerOp, name, nil
+	}
+	return 0, "", fmt.Errorf("no op in old artifact matches -calibrate %v", re)
+}
+
+// runDiff compares old and new artifacts, writing a report to w. It
+// returns the list of gate failures (empty means the gate passes).
+func runDiff(w io.Writer, oldPath, newPath string, maxRegress float64, calibrate *regexp.Regexp) ([]string, error) {
+	oldBy, oldOrder, err := loadResults(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newBy, newOrder, err := loadResults(newPath)
+	if err != nil {
+		return nil, err
+	}
+
+	scale := 1.0
+	calibOp := ""
+	if calibrate != nil {
+		if scale, calibOp, err = calibScale(oldBy, newBy, oldOrder, calibrate); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(w, "calibration: %s %.4gx (new machine ns / old machine ns)\n", calibOp, scale)
+	}
+
+	var failures []string
+	limit := 1 + maxRegress/100
+	fmt.Fprintf(w, "%-56s %14s %14s %8s\n", "op", "old ns/op", "new ns/op", "ratio")
+	for _, name := range oldOrder {
+		o := oldBy[name]
+		n, ok := newBy[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from new artifact", name))
+			fmt.Fprintf(w, "%-56s %14.0f %14s %8s\n", name, o.NsPerOp, "missing", "FAIL")
+			continue
+		}
+		if name == calibOp {
+			fmt.Fprintf(w, "%-56s %14.0f %14.0f %8s\n", name, o.NsPerOp, n.NsPerOp, "calib")
+			continue
+		}
+		ratio := 0.0
+		if o.NsPerOp > 0 {
+			ratio = n.NsPerOp / (o.NsPerOp * scale)
+		}
+		verdict := "ok"
+		if ratio > limit {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %.0f%% slower (calibrated ratio %.2f, limit %.2f)",
+				name, (ratio-1)*100, ratio, limit))
+		}
+		// Alloc counts are machine-independent — no calibration. A 0-alloc
+		// baseline fails on any allocation at all.
+		if n.AllocsPerOp > o.AllocsPerOp*limit {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f -> %.0f",
+				name, o.AllocsPerOp, n.AllocsPerOp))
+		}
+		fmt.Fprintf(w, "%-56s %14.0f %14.0f %7.2fx %s\n", name, o.NsPerOp, n.NsPerOp, ratio, verdict)
+	}
+	// New-only ops: informational.
+	sort.Strings(newOrder)
+	for _, name := range newOrder {
+		if _, tracked := oldBy[name]; !tracked {
+			fmt.Fprintf(w, "%-56s %14s %14.0f %8s\n", name, "(new)", newBy[name].NsPerOp, "-")
+		}
+	}
+	return failures, nil
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func writeArtifact(t *testing.T, dir, name string, rs []Result) string {
+	t.Helper()
+	data, err := json.Marshal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestStripProcs(t *testing.T) {
+	dir := t.TempDir()
+	p := writeArtifact(t, dir, "dups.json", []Result{
+		{Op: "BenchmarkA-1", NsPerOp: 900},
+		{Op: "BenchmarkA-1", NsPerOp: 700},
+		{Op: "BenchmarkA-1", NsPerOp: 800},
+	})
+	byOp, order, err := loadResults(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 1 || byOp["BenchmarkA"].NsPerOp != 700 {
+		t.Fatalf("-count runs should keep the fastest sample: %+v", byOp)
+	}
+
+	for in, want := range map[string]string{
+		"BenchmarkNTTForward/ref-1":      "BenchmarkNTTForward/ref",
+		"BenchmarkNTTForward/ref-16":     "BenchmarkNTTForward/ref",
+		"BenchmarkGarbleReLU":            "BenchmarkGarbleReLU",
+		"BenchmarkFoo/n=4096-8":          "BenchmarkFoo/n=4096",
+		"BenchmarkConnect/sessions=8-4":  "BenchmarkConnect/sessions=8",
+		"BenchmarkConnect/sessions=8-40": "BenchmarkConnect/sessions=8",
+	} {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestDiffGate covers the verdicts: within-threshold passes, past-threshold
+// fails, a vanished tracked op fails, a new-only op never gates.
+func TestDiffGate(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeArtifact(t, dir, "old.json", []Result{
+		{Op: "BenchmarkA-1", NsPerOp: 1000},
+		{Op: "BenchmarkB-1", NsPerOp: 1000},
+		{Op: "BenchmarkGone-1", NsPerOp: 500},
+	})
+	newP := writeArtifact(t, dir, "new.json", []Result{
+		{Op: "BenchmarkA-4", NsPerOp: 1100},  // +10%: within 15
+		{Op: "BenchmarkB-4", NsPerOp: 1300},  // +30%: fails
+		{Op: "BenchmarkFresh-4", NsPerOp: 9}, // new-only: reported, not gated
+	})
+	var out bytes.Buffer
+	failures, err := runDiff(&out, oldP, newP, 15, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 2 {
+		t.Fatalf("got %d failures, want 2: %v", len(failures), failures)
+	}
+	if !strings.Contains(failures[0], "BenchmarkB") || !strings.Contains(failures[1], "BenchmarkGone") {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	if !strings.Contains(out.String(), "BenchmarkFresh") {
+		t.Fatalf("new-only op not reported:\n%s", out.String())
+	}
+}
+
+// TestDiffCalibration: the calibration op's ratio rescales every other op,
+// so a uniformly 2x-slower machine passes and a genuine regression on top
+// of that still fails; the calibration op itself never gates.
+func TestDiffCalibration(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeArtifact(t, dir, "old.json", []Result{
+		{Op: "BenchmarkNTTForward/ref-1", NsPerOp: 1000},
+		{Op: "BenchmarkFast-1", NsPerOp: 200},
+		{Op: "BenchmarkSlow-1", NsPerOp: 200},
+	})
+	newP := writeArtifact(t, dir, "new.json", []Result{
+		{Op: "BenchmarkNTTForward/ref-4", NsPerOp: 2000}, // machine is 2x slower
+		{Op: "BenchmarkFast-4", NsPerOp: 420},            // 2.1x raw = +5% calibrated
+		{Op: "BenchmarkSlow-4", NsPerOp: 600},            // 3x raw = +50% calibrated
+	})
+	var out bytes.Buffer
+	failures, err := runDiff(&out, oldP, newP, 15, regexp.MustCompile(`NTTForward/ref`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkSlow") {
+		t.Fatalf("calibrated gate: got %v, want only BenchmarkSlow", failures)
+	}
+
+	// A missing calibration op is a hard error, not a silent raw compare.
+	if _, err := runDiff(&out, oldP, newP, 15, regexp.MustCompile(`NoSuchOp`)); err == nil {
+		t.Fatal("missing calibration op should error")
+	}
+}
+
+// TestDiffAllocGate: allocs/op gates uncalibrated, and a zero-alloc
+// baseline fails on any allocation at all.
+func TestDiffAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeArtifact(t, dir, "old.json", []Result{
+		{Op: "BenchmarkZero-1", NsPerOp: 100, AllocsPerOp: 0},
+		{Op: "BenchmarkSome-1", NsPerOp: 100, AllocsPerOp: 100},
+	})
+	newP := writeArtifact(t, dir, "new.json", []Result{
+		{Op: "BenchmarkZero-1", NsPerOp: 100, AllocsPerOp: 1},   // 0 -> 1 fails
+		{Op: "BenchmarkSome-1", NsPerOp: 100, AllocsPerOp: 110}, // +10% passes
+	})
+	var out bytes.Buffer
+	failures, err := runDiff(&out, oldP, newP, 15, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 1 || !strings.Contains(failures[0], "BenchmarkZero") {
+		t.Fatalf("alloc gate: got %v, want only BenchmarkZero", failures)
+	}
+}

@@ -7,6 +7,11 @@
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -match Session -o BENCH_2.json
 //
+// Diff mode gates performance regressions between two artifacts (see
+// diff.go for the comparison and calibration semantics):
+//
+//	benchjson -diff -max-regress 15 -calibrate 'NTTForward/ref' bench/BENCH_8.baseline.json BENCH_8.json
+//
 // Every benchmark result line ("BenchmarkName-8  100  123 ns/op  45 B/op
 // 6 allocs/op  7.8 ns/session") becomes one object with the op name,
 // iteration count, the standard ns/op, B/op and allocs/op metrics, and any
@@ -92,7 +97,39 @@ func parse(in io.Reader, re *regexp.Regexp) ([]Result, error) {
 func main() {
 	match := flag.String("match", "", "regexp filtering benchmark names (default: keep all)")
 	out := flag.String("o", "", "output file (default: stdout)")
+	diff := flag.Bool("diff", false, "compare two artifacts: benchjson -diff [flags] old.json new.json")
+	maxRegress := flag.Float64("max-regress", 15, "diff mode: max ns/op regression percent before failing")
+	calibrate := flag.String("calibrate", "", "diff mode: regexp naming a frozen calibration op to normalize machine speed")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two artifacts: old.json new.json")
+			os.Exit(2)
+		}
+		var calibRe *regexp.Regexp
+		if *calibrate != "" {
+			var err error
+			if calibRe, err = regexp.Compile(*calibrate); err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: bad -calibrate: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		failures, err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *maxRegress, calibRe)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: diff: %v\n", err)
+			os.Exit(1)
+		}
+		if len(failures) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: perf gate FAILED (%d):\n", len(failures))
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "  %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("perf gate passed")
+		return
+	}
 
 	var re *regexp.Regexp
 	if *match != "" {

@@ -123,6 +123,60 @@ func (e *Encryptor) EncryptCoeffs(m []uint64) Ciphertext {
 	return Ciphertext{c0: c0, c1: c1}
 }
 
+// EncryptCoeffsBatch encrypts many messages at once, amortizing the
+// transform cost through ringq.ForwardBatch (4 NTTs per ciphertext fan out
+// across the worker pool instead of running back to back). Randomness is
+// drawn message-by-message in exactly the order sequential EncryptCoeffs
+// calls would consume it (ternary u, then cbd e1, e2 per message), so the
+// output is bit-identical to encrypting each message in turn with the same
+// source.
+func (e *Encryptor) EncryptCoeffsBatch(msgs [][]uint64) []Ciphertext {
+	p := e.params
+	n := p.N
+	out := make([]Ciphertext, len(msgs))
+	if len(msgs) == 0 {
+		return out
+	}
+
+	polys := make([][]uint64, 0, 4*len(msgs))
+	for _, m := range msgs {
+		if len(m) > n {
+			panic("bfv: message longer than ring degree")
+		}
+		dm := getScratch(n)
+		for i, v := range m {
+			if v >= p.T {
+				panic("bfv: message coefficient out of plaintext range")
+			}
+			dm[i] = ringq.Mul(v, p.delta)
+		}
+		u := getScratch(n)
+		e.smp.ternary(u)
+		e1 := getScratch(n)
+		e.smp.cbd(e1)
+		e2 := getScratch(n)
+		e.smp.cbd(e2)
+		polys = append(polys, dm, u, e1, e2)
+	}
+	p.ntt.ForwardBatch(polys)
+
+	for ci := range msgs {
+		dm, u, e1, e2 := polys[4*ci], polys[4*ci+1], polys[4*ci+2], polys[4*ci+3]
+		c0 := make([]uint64, n)
+		ringq.MulInto(c0, e.pk.b, u)
+		ringq.AddInto(c0, c0, e1)
+		ringq.AddInto(c0, c0, dm)
+		c1 := make([]uint64, n)
+		ringq.MulInto(c1, e.pk.a, u)
+		ringq.AddInto(c1, c1, e2)
+		out[ci] = Ciphertext{c0: c0, c1: c1}
+	}
+	for _, s := range polys {
+		putScratch(s)
+	}
+	return out
+}
+
 // Decryptor decrypts ciphertexts under a secret key.
 type Decryptor struct {
 	params Params
@@ -145,15 +199,47 @@ func (d *Decryptor) DecryptCoeffs(ct Ciphertext) []uint64 {
 	ringq.AddInto(phase, phase, ct.c0)
 	p.ntt.Inverse(phase)
 
-	// m_i = round(T * phase_i / Q) mod T.
 	out := make([]uint64, n)
+	roundPhaseToT(out, phase, p.T)
+	return out
+}
+
+// roundPhaseToT rounds a decrypted phase to message space:
+// m_i = round(T * phase_i / Q) mod T.
+func roundPhaseToT(out, phase []uint64, t uint64) {
 	halfQhi, halfQlo := uint64(0), ringq.Q/2
 	for i, c := range phase {
-		hi, lo := bits.Mul64(p.T, c)
+		hi, lo := bits.Mul64(t, c)
 		lo, carry := bits.Add64(lo, halfQlo, 0)
 		hi += halfQhi + carry
 		q, _ := bits.Div64(hi, lo, ringq.Q)
-		out[i] = q % p.T
+		out[i] = q % t
+	}
+}
+
+// DecryptCoeffsBatch decrypts many ciphertexts at once, computing every
+// phase first and running the inverse transforms through
+// ringq.InverseBatch. Output is bit-identical to sequential DecryptCoeffs
+// calls (decryption is deterministic).
+func (d *Decryptor) DecryptCoeffsBatch(cts []Ciphertext) [][]uint64 {
+	p := d.params
+	n := p.N
+	out := make([][]uint64, len(cts))
+	if len(cts) == 0 {
+		return out
+	}
+	phases := make([][]uint64, len(cts))
+	for i, ct := range cts {
+		phase := getScratch(n)
+		ringq.MulInto(phase, ct.c1, d.sk.s)
+		ringq.AddInto(phase, phase, ct.c0)
+		phases[i] = phase
+	}
+	p.ntt.InverseBatch(phases)
+	for i, phase := range phases {
+		out[i] = make([]uint64, n)
+		roundPhaseToT(out[i], phase, p.T)
+		putScratch(phase)
 	}
 	return out
 }
@@ -248,13 +334,31 @@ func MulPlain(p Params, ct Ciphertext, pt Plaintext) Ciphertext {
 	return out
 }
 
-// MulPlainAddInto accumulates ct*pt into acc, the fused kernel the packed
-// matvec evaluator spends nearly all its time in.
+// MulPlainAddInto accumulates ct*pt into acc with fully reduced arithmetic.
+// The matvec hot path uses AccumulateMulPlain instead; this remains as the
+// reference kernel the lazy path is tested against.
 func MulPlainAddInto(acc *Ciphertext, ct Ciphertext, pt Plaintext) {
 	for i := range acc.c0 {
 		acc.c0[i] = ringq.Add(acc.c0[i], ringq.Mul(ct.c0[i], pt.coeffs[i]))
 		acc.c1[i] = ringq.Add(acc.c1[i], ringq.Mul(ct.c1[i], pt.coeffs[i]))
 	}
+}
+
+// AccumulateMulPlain accumulates ct*pt into acc in ringq's lazy domain —
+// the fused kernel the packed matvec evaluator spends nearly all its time
+// in. acc's residues may leave canonical form; run CanonicalizeCt once
+// after the last accumulation (Apply does this) before using acc with any
+// fully-reduced kernel. ct and pt must be canonical.
+func AccumulateMulPlain(acc *Ciphertext, ct Ciphertext, pt Plaintext) {
+	ringq.MulAddLazyInto(acc.c0, ct.c0, pt.coeffs)
+	ringq.MulAddLazyInto(acc.c1, ct.c1, pt.coeffs)
+}
+
+// CanonicalizeCt maps a lazily accumulated ciphertext back to canonical
+// residues in place.
+func CanonicalizeCt(ct *Ciphertext) {
+	ringq.Canonicalize(ct.c0)
+	ringq.Canonicalize(ct.c1)
 }
 
 // ZeroCiphertext returns a transparent encryption of zero (no randomness).

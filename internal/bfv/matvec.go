@@ -62,16 +62,18 @@ func (pl MatVecPlan) EncryptVector(enc *Encryptor, x []uint64) []Ciphertext {
 	if len(x) != pl.In {
 		panic("bfv: matvec input length mismatch")
 	}
-	cts := make([]Ciphertext, pl.NumInputCts())
-	for c := range cts {
+	chunks := make([][]uint64, pl.NumInputCts())
+	for c := range chunks {
 		lo := c * pl.Chunk
 		hi := lo + pl.Chunk
 		if hi > pl.In {
 			hi = pl.In
 		}
-		cts[c] = enc.EncryptCoeffs(x[lo:hi])
+		chunks[c] = x[lo:hi]
 	}
-	return cts
+	// Batch encryption amortizes the forward NTTs across the chunks; the
+	// entropy draw order matches per-chunk EncryptCoeffs calls exactly.
+	return enc.EncryptCoeffsBatch(chunks)
 }
 
 // EncodeMatrix packs the weight matrix w (w[r][c], Out rows of In columns,
@@ -153,8 +155,9 @@ func (pl MatVecPlan) Apply(pts [][]Plaintext, cts []Ciphertext) []Ciphertext {
 	for oc := range pts {
 		acc := ZeroCiphertext(pl.Params)
 		for ic := range pts[oc] {
-			MulPlainAddInto(&acc, cts[ic], pts[oc][ic])
+			AccumulateMulPlain(&acc, cts[ic], pts[oc][ic])
 		}
+		CanonicalizeCt(&acc)
 		out[oc] = acc
 	}
 	return out

@@ -190,19 +190,19 @@ func (c *Client) offlineHE(pre *clientPre) error {
 	pre.cshare = make([][]uint64, L)
 	for i := 0; i < L; i++ {
 		plan := c.shared.plans[i]
-		decs := make([][]uint64, plan.NumOutputCts())
-		for oc := range decs {
+		cts := make([]bfv.Ciphertext, plan.NumOutputCts())
+		for oc := range cts {
 			raw, err := c.conn.Recv()
 			if err != nil {
 				return fmt.Errorf("delphi: offline HE recv layer %d: %w", i, err)
 			}
-			var ct bfv.Ciphertext
-			if err := ct.UnmarshalBinary(raw); err != nil {
+			if err := cts[oc].UnmarshalBinary(raw); err != nil {
 				return err
 			}
-			decs[oc] = c.dec.DecryptCoeffs(ct)
 		}
-		pre.cshare[i] = plan.ExtractResult(decs)
+		// One batch decrypt per layer: the inverse NTTs fan out instead of
+		// running per ciphertext between Recv calls.
+		pre.cshare[i] = plan.ExtractResult(c.dec.DecryptCoeffsBatch(cts))
 	}
 	return nil
 }
@@ -285,8 +285,11 @@ func (c *Client) offlineGarbleSend(pre *clientPre) error {
 		pre.encs[layer] = make([]garble.Encoding, units)
 		perUnit := garble.TableBytes(circ) + garble.LabelSize + len(circ.Outputs) + 2*width*garble.LabelSize
 		payload := make([]byte, 0, units*perUnit)
-		for u := 0; u < units; u++ {
-			g := garble.Garble(circ, c.entropy, gateBase(layer, u))
+		bases := make([]uint64, units)
+		for u := range bases {
+			bases[u] = gateBase(layer, u)
+		}
+		for u, g := range c.cfg.garbleBatch(circ, c.entropy, bases) {
 			pre.encs[layer][u] = g.Encoding
 			payload = append(payload, encodeLabels(g.Tables)...)
 			constLb := g.Encoding.EncodeInput(boolcirc.ConstOne, true)

@@ -22,10 +22,13 @@ package delphi
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"privinf/internal/bfv"
+	"privinf/internal/boolcirc"
 	"privinf/internal/field"
+	"privinf/internal/garble"
 	"privinf/internal/nn"
 )
 
@@ -112,6 +115,22 @@ type Config struct {
 	// layers sequentially (the baseline); len(Dims) gives full
 	// layer-parallel HE (§5.2).
 	LPHEWorkers int
+	// GarbleFunc garbles the instances of one ReLU layer (bases[i] is
+	// instance i's gate-tweak base). nil means garble.GarbleBatch on the
+	// session's own entropy. A serving engine injects a function here to
+	// coalesce garbling across sessions of one model (see internal/serve);
+	// any replacement must be bit-identical to sequential garbling on the
+	// stream it draws from, which GarbleBatch guarantees.
+	GarbleFunc func(c *boolcirc.Circuit, src io.Reader, bases []uint64) []*garble.Garbled
+}
+
+// garbleBatch resolves the garbling seam: the injected GarbleFunc if any,
+// else garble.GarbleBatch.
+func (c Config) garbleBatch(circ *boolcirc.Circuit, src io.Reader, bases []uint64) []*garble.Garbled {
+	if c.GarbleFunc != nil {
+		return c.GarbleFunc(circ, src, bases)
+	}
+	return garble.GarbleBatch(circ, src, bases)
 }
 
 // DefaultConfig returns a Server-Garbler session over the model's field.

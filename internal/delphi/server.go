@@ -256,8 +256,11 @@ func (s *Server) applyLayer(i int, mask []uint64, cts []bfv.Ciphertext) []bfv.Ci
 	for oc := range out {
 		acc := bfv.ZeroCiphertext(s.cfg.HEParams)
 		for ic := 0; ic < nIn; ic++ {
-			bfv.MulPlainAddInto(&acc, cts[ic], s.shared.weights[i][oc*nIn+ic])
+			bfv.AccumulateMulPlain(&acc, cts[ic], s.shared.weights[i][oc*nIn+ic])
 		}
+		// One canonical pass after the lazy accumulation, before the
+		// fully-reduced mask subtraction.
+		bfv.CanonicalizeCt(&acc)
 		// The accumulator is dead after the mask subtraction, so subtract
 		// in place rather than allocating a fresh ciphertext.
 		bfv.SubPlainInto(&acc, plan.MaskPlaintext(s.shared.encoder, mask, oc))
@@ -276,8 +279,14 @@ func (s *Server) offlineGarble(pre *serverPre) error {
 		units := s.meta.Dims[layer].Out
 		pre.encs[layer] = make([]garble.Encoding, units)
 		payload := make([]byte, 0, units*(garble.TableBytes(c)+garble.LabelSize+width))
-		for u := 0; u < units; u++ {
-			g := garble.Garble(c, s.entropy, gateBase(layer, u))
+		bases := make([]uint64, units)
+		for u := range bases {
+			bases[u] = gateBase(layer, u)
+		}
+		// All units of the layer garble as one batch (bit-identical to the
+		// old per-unit Garble loop); a serving engine's GarbleFunc may
+		// additionally coalesce units across concurrent sessions.
+		for u, g := range s.cfg.garbleBatch(c, s.entropy, bases) {
 			pre.encs[layer][u] = g.Encoding
 			payload = append(payload, encodeLabels(g.Tables)...)
 			constLb := g.Encoding.EncodeInput(boolcirc.ConstOne, true)

@@ -1,0 +1,193 @@
+package garble
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"privinf/internal/boolcirc"
+	"privinf/internal/field"
+)
+
+func garbledEqual(a, b *Garbled) bool {
+	if len(a.Tables) != len(b.Tables) || !bytes.Equal(a.DecodeBits, b.DecodeBits) {
+		return false
+	}
+	for i := range a.Tables {
+		if a.Tables[i] != b.Tables[i] {
+			return false
+		}
+	}
+	if len(a.Encoding.Inputs) != len(b.Encoding.Inputs) || a.Encoding.R != b.Encoding.R {
+		return false
+	}
+	for i := range a.Encoding.Inputs {
+		if a.Encoding.Inputs[i] != b.Encoding.Inputs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGarbleIntoMatchesGarble pins the scratch-reusing path against Garble
+// bit-for-bit, including when one Garbler and one destination are reused
+// across circuits of different shapes (the scheduler-refill usage).
+func TestGarbleIntoMatchesGarble(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	circs := []*boolcirc.Circuit{
+		boolcirc.BuildReLU(boolcirc.ReLUSpec{P: field.P17, Frac: 2}),
+	}
+	for i := 0; i < 6; i++ {
+		circs = append(circs, randomCircuit(rng, 1+rng.Intn(8), 1+rng.Intn(50)))
+	}
+	g := NewGarbler()
+	dst := &Garbled{}
+	for i, c := range circs {
+		seed := int64(1000 + i)
+		base := uint64(i) << 22
+		want := Garble(c, newSeeded(seed), base)
+		g.GarbleInto(dst, c, newSeeded(seed), base)
+		if !garbledEqual(want, dst) {
+			t.Fatalf("circuit %d: GarbleInto output differs from Garble", i)
+		}
+	}
+}
+
+// TestGarbleBatchMatchesSequential is the core batch equivalence property:
+// GarbleBatch on one entropy stream must be bit-identical to sequential
+// Garble calls consuming the same stream, for assorted circuit shapes,
+// batch sizes (straddling the worker-pool cutoff), and tweak bases.
+func TestGarbleBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	circs := []*boolcirc.Circuit{
+		boolcirc.BuildReLU(boolcirc.ReLUSpec{P: field.P17, Frac: 2}),
+		randomCircuit(rng, 5, 40),
+		randomCircuit(rng, 2, 7),
+	}
+	for ci, c := range circs {
+		for _, n := range []int{0, 1, 2, 9, 17} {
+			bases := make([]uint64, n)
+			for i := range bases {
+				// Mirror delphi's gateBase layout: arbitrary, non-uniform.
+				bases[i] = uint64(ci)<<44 | uint64(i*3)<<22
+			}
+			seed := int64(ci*100 + n)
+
+			seq := make([]*Garbled, n)
+			stream := newSeeded(seed)
+			for i := range seq {
+				seq[i] = Garble(c, stream, bases[i])
+			}
+
+			got := GarbleBatch(c, newSeeded(seed), bases)
+			if len(got) != n {
+				t.Fatalf("circuit %d n=%d: got %d instances", ci, n, len(got))
+			}
+			for i := range seq {
+				if !garbledEqual(seq[i], got[i]) {
+					t.Fatalf("circuit %d n=%d: instance %d differs from sequential garbling", ci, n, i)
+				}
+			}
+		}
+	}
+}
+
+// TestGarbleBatchInstancesEvaluate: batch outputs are real garblings — each
+// instance evaluates to the plain-circuit result under its own base.
+func TestGarbleBatchInstancesEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	c := randomCircuit(rng, 6, 30)
+	bases := []uint64{0, 1 << 22, 3 << 22, 1 << 44}
+	out := GarbleBatch(c, newSeeded(31), bases)
+	for gi, g := range out {
+		inputs := make([]bool, c.NumInputs)
+		labels := make([]Label, c.NumInputs)
+		inputs[boolcirc.ConstOne] = true
+		labels[boolcirc.ConstOne] = g.Encoding.EncodeInput(boolcirc.ConstOne, true)
+		for i := 1; i < c.NumInputs; i++ {
+			inputs[i] = rng.Intn(2) == 1
+			labels[i] = g.Encoding.EncodeInput(i, inputs[i])
+		}
+		want := c.Eval(inputs)
+		got, err := Eval(c, g.Tables, g.DecodeBits, labels, bases[gi])
+		if err != nil {
+			t.Fatalf("instance %d: %v", gi, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("instance %d output %d: garbled %v plain %v", gi, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGarbleBatchOutputsIndependent: batch instances own their storage —
+// mutating one instance's tables or encoding must not affect another's.
+func TestGarbleBatchOutputsIndependent(t *testing.T) {
+	c := boolcirc.BuildReLU(boolcirc.ReLUSpec{P: field.P17, Frac: 1})
+	bases := []uint64{0, 1 << 22, 2 << 22}
+	a := GarbleBatch(c, newSeeded(41), bases)
+	b := GarbleBatch(c, newSeeded(41), bases)
+	for i := range a[0].Tables {
+		a[0].Tables[i] = Label{}
+	}
+	for i := range a[0].Encoding.Inputs {
+		a[0].Encoding.Inputs[i] = Label{}
+	}
+	for inst := 1; inst < len(a); inst++ {
+		if !garbledEqual(a[inst], b[inst]) {
+			t.Fatalf("instance %d changed when instance 0 was scribbled on", inst)
+		}
+	}
+}
+
+func TestNewPRGDeterministicStream(t *testing.T) {
+	var seed [LabelSize]byte
+	copy(seed[:], "prg seam test 01")
+	a := make([]byte, 80)
+	bbuf := make([]byte, 80)
+	if _, err := io.ReadFull(NewPRG(seed), a); err != nil {
+		t.Fatal(err)
+	}
+	// Dirty destination + chunked reads must yield the same stream.
+	for i := range bbuf {
+		bbuf[i] = 0xAA
+	}
+	r := NewPRG(seed)
+	if _, err := io.ReadFull(r, bbuf[:33]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(r, bbuf[33:]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, bbuf) {
+		t.Fatal("PRG stream not deterministic across read chunkings")
+	}
+	var seed2 [LabelSize]byte
+	copy(seed2[:], "prg seam test 02")
+	c := make([]byte, 80)
+	if _, err := io.ReadFull(NewPRG(seed2), c); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestGarbleBatchWithPRGReplays: the serving engine's usage — a batch keyed
+// by a PRG seed replays bit-identically, so precompute is reproducible from
+// the seed alone.
+func TestGarbleBatchWithPRGReplays(t *testing.T) {
+	c := boolcirc.BuildReLU(boolcirc.ReLUSpec{P: field.P17, Frac: 1})
+	var seed [LabelSize]byte
+	copy(seed[:], "batch replay 001")
+	bases := []uint64{0, 1 << 22, 2 << 22, 3 << 22, 4 << 22}
+	a := GarbleBatch(c, NewPRG(seed), bases)
+	b := GarbleBatch(c, NewPRG(seed), bases)
+	for i := range a {
+		if !garbledEqual(a[i], b[i]) {
+			t.Fatalf("instance %d not replayed identically from the same seed", i)
+		}
+	}
+}

@@ -1,8 +1,12 @@
 package garble
 
 import (
+	"crypto/rand"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"privinf/internal/boolcirc"
 )
@@ -43,31 +47,87 @@ func (e Encoding) LabelPair(i int) (Label, Label) {
 	return e.Inputs[i], e.Inputs[i].xor(e.R)
 }
 
+// Garbler garbles circuits through reusable scratch (wire-label workspace,
+// bulk-entropy buffer, and the fixed-key hasher's AES blocks), so repeated
+// garbling allocates nothing beyond each instance's retained outputs — and
+// nothing at all via GarbleInto when the destination is reused. A Garbler
+// is not safe for concurrent use; GarbleBatch gives each worker its own.
+type Garbler struct {
+	h      hasher
+	false0 []Label
+	rbuf   []byte
+}
+
+// NewGarbler returns a Garbler with its fixed-key hasher initialized.
+func NewGarbler() *Garbler {
+	return &Garbler{h: newHasher()}
+}
+
 // Garble garbles the circuit. src supplies label randomness (nil means
 // crypto/rand). gateIndexBase offsets the hash tweak so that multiple
 // circuit instances garbled under one session never reuse a tweak.
 func Garble(c *boolcirc.Circuit, src io.Reader, gateIndexBase uint64) *Garbled {
-	h := newHasher()
+	dst := &Garbled{}
+	NewGarbler().GarbleInto(dst, c, src, gateIndexBase)
+	return dst
+}
+
+// GarbleInto garbles c into dst, reusing dst's existing storage when its
+// capacity suffices (Tables, DecodeBits and Encoding.Inputs are resized,
+// never aliased to Garbler scratch). Output is bit-identical to Garble on
+// the same entropy stream: the bulk entropy read consumes exactly the bytes
+// the sequential per-label reads did, in the same order (R first, then one
+// label per input wire).
+func (g *Garbler) GarbleInto(dst *Garbled, c *boolcirc.Circuit, src io.Reader, gateIndexBase uint64) {
+	if g.h.block == nil {
+		g.h = newHasher()
+	}
+	need := (1 + c.NumInputs) * LabelSize
+	if cap(g.rbuf) < need {
+		g.rbuf = make([]byte, need)
+	}
+	buf := g.rbuf[:need]
+	if src == nil {
+		src = rand.Reader
+	}
+	if _, err := io.ReadFull(src, buf); err != nil {
+		panic("garble: entropy source failed: " + err.Error())
+	}
+	g.garbleCore(dst, c, buf, gateIndexBase)
+}
+
+// garbleCore runs the half-gates pass over c with instance randomness rnd
+// (R's bytes followed by the input labels' bytes), writing into dst.
+func (g *Garbler) garbleCore(dst *Garbled, c *boolcirc.Circuit, rnd []byte, gateIndexBase uint64) {
+	h := &g.h
 
 	// Global offset with color bit forced to 1 (point-and-permute).
-	r := randomLabel(src)
+	var r Label
+	copy(r[:], rnd[:LabelSize])
 	r[0] |= 1
 
-	false0 := make([]Label, c.NumWires)
+	if cap(g.false0) < c.NumWires {
+		g.false0 = make([]Label, c.NumWires)
+	}
+	false0 := g.false0[:c.NumWires]
 	for i := 0; i < c.NumInputs; i++ {
-		false0[i] = randomLabel(src)
+		copy(false0[i][:], rnd[(1+i)*LabelSize:(2+i)*LabelSize])
 	}
 
-	tables := make([]Label, 0, 2*c.NumAND())
+	nand := c.NumAND()
+	if cap(dst.Tables) < 2*nand {
+		dst.Tables = make([]Label, 0, 2*nand)
+	}
+	tables := dst.Tables[:0]
 	gateIndex := gateIndexBase
 
-	for _, g := range c.Gates {
-		switch g.Op {
+	for _, gt := range c.Gates {
+		switch gt.Op {
 		case boolcirc.XOR:
-			false0[g.Out] = false0[g.A].xor(false0[g.B])
+			false0[gt.Out] = false0[gt.A].xor(false0[gt.B])
 		case boolcirc.AND:
-			a0 := false0[g.A]
-			b0 := false0[g.B]
+			a0 := false0[gt.A]
+			b0 := false0[gt.B]
 			pa := a0.color()
 			pb := b0.color()
 			j0 := gateIndex
@@ -77,43 +137,118 @@ func Garble(c *boolcirc.Circuit, src io.Reader, gateIndexBase uint64) *Garbled {
 			a1 := a0.xor(r)
 			b1 := b0.xor(r)
 
+			// Each distinct (label, tweak) pair is hashed exactly once:
+			// four AES calls per AND gate, where the pre-dedup code paid
+			// six (h(a0,j0) three times, h(b0,j1) twice).
+			ha0 := h.hash(a0, j0)
+			ha1 := h.hash(a1, j0)
+			hb0 := h.hash(b0, j1)
+			hb1 := h.hash(b1, j1)
+
 			// Generator half gate.
-			tg := h.hash(a0, j0).xor(h.hash(a1, j0))
+			tg := ha0.xor(ha1)
 			if pb == 1 {
 				tg = tg.xor(r)
 			}
-			wg := h.hash(a0, j0)
+			wg := ha0
 			if pa == 1 {
 				wg = wg.xor(tg)
 			}
 
 			// Evaluator half gate.
-			te := h.hash(b0, j1).xor(h.hash(b1, j1)).xor(a0)
-			we := h.hash(b0, j1)
+			te := hb0.xor(hb1).xor(a0)
+			we := hb0
 			if pb == 1 {
 				we = we.xor(te.xor(a0))
 			}
 
-			false0[g.Out] = wg.xor(we)
+			false0[gt.Out] = wg.xor(we)
 			tables = append(tables, tg, te)
 		default:
 			panic("garble: unknown gate op")
 		}
 	}
+	dst.Tables = tables
 
-	decode := make([]byte, len(c.Outputs))
+	if cap(dst.DecodeBits) < len(c.Outputs) {
+		dst.DecodeBits = make([]byte, len(c.Outputs))
+	}
+	decode := dst.DecodeBits[:len(c.Outputs)]
 	for i, w := range c.Outputs {
 		decode[i] = false0[w].color()
 	}
+	dst.DecodeBits = decode
 
-	return &Garbled{
-		Tables:     tables,
-		DecodeBits: decode,
-		Encoding: Encoding{
-			Inputs: false0[:c.NumInputs:c.NumInputs],
-			R:      r,
-		},
+	// dst owns its encoding storage; false0 is Garbler scratch that the
+	// next instance overwrites.
+	if cap(dst.Encoding.Inputs) < c.NumInputs {
+		dst.Encoding.Inputs = make([]Label, c.NumInputs)
 	}
+	ins := dst.Encoding.Inputs[:c.NumInputs]
+	copy(ins, false0[:c.NumInputs])
+	dst.Encoding.Inputs = ins
+	dst.Encoding.R = r
+}
+
+// batchMinInstances is the batch size below which spawning workers costs
+// more than the garbling they'd overlap.
+const batchMinInstances = 3
+
+// GarbleBatch garbles len(bases) instances of one circuit in a single pass:
+// the instance entropy is drawn from src with one bulk read (in the exact
+// order sequential Garble calls would consume it, so outputs are
+// bit-identical to garbling each instance in turn on the same stream), and
+// the instances then fan out across a worker pool, each worker reusing one
+// Garbler's scratch and hasher across all instances it claims. bases[i] is
+// instance i's gateIndexBase. Per-instance outputs are independently
+// allocated so callers can retain or release them individually.
+func GarbleBatch(c *boolcirc.Circuit, src io.Reader, bases []uint64) []*Garbled {
+	out := make([]*Garbled, len(bases))
+	if len(bases) == 0 {
+		return out
+	}
+	per := (1 + c.NumInputs) * LabelSize
+	buf := make([]byte, len(bases)*per)
+	if src == nil {
+		src = rand.Reader
+	}
+	if _, err := io.ReadFull(src, buf); err != nil {
+		panic("garble: entropy source failed: " + err.Error())
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if len(bases) < workers {
+		workers = len(bases)
+	}
+	if workers <= 1 || len(bases) < batchMinInstances {
+		g := NewGarbler()
+		for i := range bases {
+			dst := &Garbled{}
+			g.garbleCore(dst, c, buf[i*per:(i+1)*per], bases[i])
+			out[i] = dst
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			g := NewGarbler()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(bases) {
+					return
+				}
+				dst := &Garbled{}
+				g.garbleCore(dst, c, buf[i*per:(i+1)*per], bases[i])
+				out[i] = dst
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // Eval evaluates the garbled circuit given active labels for every input

@@ -208,14 +208,37 @@ func TestDoubleLinear(t *testing.T) {
 }
 
 func BenchmarkGarbleReLU(b *testing.B) {
+	// The steady-state garbling path (scheduler refill reuses Garbler and
+	// destination): must run at 0 allocs/op.
 	spec := boolcirc.ReLUSpec{P: field.P20, Frac: 6}
 	c := boolcirc.BuildReLU(spec)
 	src := newSeeded(12)
-	b.ReportMetric(float64(c.NumAND()), "ANDgates")
+	g := NewGarbler()
+	dst := &Garbled{}
+	g.GarbleInto(dst, c, src, 0) // warm dst capacity
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Garble(c, src, 0)
+		g.GarbleInto(dst, c, src, 0)
 	}
+	b.ReportMetric(float64(c.NumAND()), "ANDgates")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*c.NumAND()), "ns/gate")
+}
+
+func BenchmarkGarbleBatchReLU(b *testing.B) {
+	// 32 instances per batch — the cross-session refill shape.
+	spec := boolcirc.ReLUSpec{P: field.P20, Frac: 6}
+	c := boolcirc.BuildReLU(spec)
+	src := newSeeded(14)
+	bases := make([]uint64, 32)
+	for i := range bases {
+		bases[i] = uint64(i) << 22
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GarbleBatch(c, src, bases)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(bases)), "ns/instance")
 }
 
 func BenchmarkEvalReLU(b *testing.B) {

@@ -21,12 +21,13 @@ const LabelSize = 16
 // point-and-permute color bit.
 type Label [LabelSize]byte
 
-// xor returns a ⊕ b.
+// xor returns a ⊕ b, as two 64-bit word XORs.
 func (a Label) xor(b Label) Label {
+	lo := binary.LittleEndian.Uint64(a[0:8]) ^ binary.LittleEndian.Uint64(b[0:8])
+	hi := binary.LittleEndian.Uint64(a[8:16]) ^ binary.LittleEndian.Uint64(b[8:16])
 	var out Label
-	for i := range a {
-		out[i] = a[i] ^ b[i]
-	}
+	binary.LittleEndian.PutUint64(out[0:8], lo)
+	binary.LittleEndian.PutUint64(out[8:16], hi)
 	return out
 }
 
@@ -36,23 +37,34 @@ func (a Label) color() byte { return a[0] & 1 }
 // double computes σ(x) = 2·x in GF(2^128) with the standard x^128 + x^7 +
 // x^2 + x + 1 reduction, interpreting the label as a big-endian field
 // element (as in CMAC subkey derivation). σ is linear, which the
-// half-gates security proof requires of the hash's input mixing.
+// half-gates security proof requires of the hash's input mixing. The
+// big-endian 64-bit word shift below is bit-identical to the byte-carry
+// loop it replaced (byte 0 is most significant in both).
 func (a Label) double() Label {
-	var out Label
-	var carry byte
-	for i := LabelSize - 1; i >= 0; i-- {
-		out[i] = a[i]<<1 | carry
-		carry = a[i] >> 7
-	}
+	hi := binary.BigEndian.Uint64(a[0:8])
+	lo := binary.BigEndian.Uint64(a[8:16])
+	carry := hi >> 63
+	hi = hi<<1 | lo>>63
+	lo <<= 1
 	if carry == 1 {
-		out[LabelSize-1] ^= 0x87
+		lo ^= 0x87
 	}
+	var out Label
+	binary.BigEndian.PutUint64(out[0:8], hi)
+	binary.BigEndian.PutUint64(out[8:16], lo)
 	return out
 }
 
-// hasher is the fixed-key-AES correlation-robust hash.
+// hasher is the fixed-key-AES correlation-robust hash. The in/out scratch
+// blocks live in the struct so the slices handed to cipher.Block.Encrypt
+// (an interface call the escape analyzer cannot see through) never force a
+// per-hash heap allocation: the hasher escapes once at construction and
+// every hash call after that is allocation-free. Methods use a pointer
+// receiver and are NOT safe for concurrent use; each garbling/evaluating
+// goroutine owns its hasher.
 type hasher struct {
-	block cipher.Block
+	block   cipher.Block
+	in, out [LabelSize]byte
 }
 
 // fixedKey is the public fixed AES key. Any fixed constant works; this is
@@ -71,14 +83,18 @@ func newHasher() hasher {
 }
 
 // hash computes H(x, index) = π(σ(x) ⊕ i) ⊕ σ(x) ⊕ i.
-func (h hasher) hash(x Label, index uint64) Label {
+func (h *hasher) hash(x Label, index uint64) Label {
 	t := x.double()
-	var idx [LabelSize]byte
-	binary.LittleEndian.PutUint64(idx[:8], index)
-	in := t.xor(idx)
+	// in = σ(x) ⊕ i, with the index in the low 8 bytes (little-endian).
+	inLo := binary.LittleEndian.Uint64(t[0:8]) ^ index
+	inHi := binary.LittleEndian.Uint64(t[8:16])
+	binary.LittleEndian.PutUint64(h.in[0:8], inLo)
+	binary.LittleEndian.PutUint64(h.in[8:16], inHi)
+	h.block.Encrypt(h.out[:], h.in[:])
 	var out Label
-	h.block.Encrypt(out[:], in[:])
-	return out.xor(in)
+	binary.LittleEndian.PutUint64(out[0:8], binary.LittleEndian.Uint64(h.out[0:8])^inLo)
+	binary.LittleEndian.PutUint64(out[8:16], binary.LittleEndian.Uint64(h.out[8:16])^inHi)
+	return out
 }
 
 // randomLabel draws a fresh uniform label from src (crypto/rand if nil).

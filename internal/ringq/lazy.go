@@ -1,0 +1,112 @@
+package ringq
+
+import "math/bits"
+
+// Lazy-domain arithmetic.
+//
+// The classic Harvey/Shoup lazy NTT keeps butterfly values in [0, 2q) or
+// [0, 4q) and defers full reduction. For the Goldilocks prime that window
+// does not fit: 2Q > 2^64, so a uint64 cannot hold a [0, 2Q) representative
+// distinct from its reduced form. Instead the lazy domain here is the whole
+// of [0, 2^64): any uint64 x represents the residue x mod Q, and kernels
+// defer the single conditional subtraction that maps x into [0, Q) until one
+// final canonical pass. Since 2^64 < 2Q, canonicalization is exactly one
+// compare-and-subtract per word — the same cost the classic scheme pays —
+// while the butterflies run branch-free. See docs/perf.md for the bounds.
+
+// shoupConst returns ⌊w·2^64 / Q⌋, the Shoup precomputed quotient for
+// multiplication by w. Requires w < Q.
+func shoupConst(w uint64) uint64 {
+	q, _ := bits.Div64(w, 0, Q)
+	return q
+}
+
+// mulShoupLazy returns a representative of v·w mod Q in [0, 2^64).
+// w must be canonical with ws = shoupConst(w); v may be any uint64.
+//
+// With q = ⌊v·ws / 2^64⌋ ≈ ⌊v·w / Q⌋, Harvey's bound gives
+// r = v·w − q·Q < 2Q, so the 128-bit remainder's high word is 0 or 1 and a
+// single masked add of epsilon (≡ 2^64 mod Q) folds it away. q·Q is formed
+// without a multiply via Q = 2^64 − 2^32 + 1: two MULX plus shifts/adds
+// total, versus the ~four-multiply generic 128-bit reduction.
+func mulShoupLazy(v, w, ws uint64) uint64 {
+	q, _ := bits.Mul64(v, ws)
+	ph, pl := bits.Mul64(v, w)
+	// q·Q = (q << 64) − (q << 32) + q as a 128-bit value.
+	qlo, b0 := bits.Sub64(q, q<<32, 0)
+	qhi := q - (q >> 32) - b0
+	rlo, b1 := bits.Sub64(pl, qlo, 0)
+	rhi := ph - qhi - b1 // r < 2Q, so rhi ∈ {0, 1}
+	return rlo + ((-rhi) & epsilon)
+}
+
+// addLazy returns a representative of a+b mod Q in [0, 2^64) for arbitrary
+// lazy-domain a, b. Each wraparound of 2^64 is folded back as +epsilon; the
+// second fold cannot itself wrap unless the first did, so two masked adds
+// suffice and the kernel stays branch-free.
+func addLazy(a, b uint64) uint64 {
+	s, c := bits.Add64(a, b, 0)
+	s, c = bits.Add64(s, (-c)&epsilon, 0)
+	return s + ((-c) & epsilon)
+}
+
+// subLazy returns a representative of a−b mod Q in [0, 2^64) for arbitrary
+// lazy-domain a, b. Borrows are folded back as −epsilon (≡ −2^64 mod Q).
+func subLazy(a, b uint64) uint64 {
+	d, br := bits.Sub64(a, b, 0)
+	d, br = bits.Sub64(d, (-br)&epsilon, 0)
+	return d - ((-br) & epsilon)
+}
+
+// canonical maps a lazy-domain value to its canonical residue in [0, Q).
+// Exactly one subtraction suffices because the lazy domain is [0, 2^64) and
+// 2^64 < 2Q.
+func canonical(x uint64) uint64 {
+	if x >= Q {
+		x -= Q
+	}
+	return x
+}
+
+// reduce128Lazy reduces hi·2^64 + lo modulo Q into the lazy domain
+// [0, 2^64): reduce128 without the final canonical subtraction.
+func reduce128Lazy(hi, lo uint64) uint64 {
+	hi0 := hi & 0xFFFFFFFF
+	hi1 := hi >> 32
+
+	t0, borrow := bits.Sub64(lo, hi1, 0)
+	if borrow != 0 {
+		t0 -= epsilon
+	}
+	t1 := (hi0 << 32) - hi0
+
+	res, carry := bits.Add64(t0, t1, 0)
+	if carry != 0 {
+		res += epsilon
+	}
+	return res
+}
+
+// MulAddLazyInto sets out[i] = out[i] ⊞ a[i]·b[i] elementwise in the lazy
+// domain. Entries of out may be any uint64 representative of their residue;
+// a and b must be canonical. Callers accumulating many products (matvec
+// inner loops) pair a run of MulAddLazyInto calls with one Canonicalize at
+// the end instead of fully reducing every term. Slices must share length.
+func MulAddLazyInto(out, a, b []uint64) {
+	if len(a) != len(out) || len(b) != len(out) {
+		panic("ringq: MulAddLazyInto length mismatch")
+	}
+	for i := range out {
+		hi, lo := bits.Mul64(a[i], b[i])
+		out[i] = addLazy(out[i], reduce128Lazy(hi, lo))
+	}
+}
+
+// Canonicalize maps lazy-domain values in place to canonical [0, Q).
+func Canonicalize(a []uint64) {
+	for i, x := range a {
+		if x >= Q {
+			a[i] = x - Q
+		}
+	}
+}

@@ -1,20 +1,36 @@
 package ringq
 
-import "math/bits"
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
 
 // NTT performs negacyclic number-theoretic transforms of a fixed power-of-two
 // size N. Forward and inverse transforms map between coefficient and
 // evaluation ("NTT") domains of R_q = Z_q[X]/(X^N+1). A value in the NTT
 // domain supports pointwise multiplication, which corresponds to negacyclic
 // convolution in the coefficient domain.
+//
+// Forward/Inverse run the Shoup/lazy-reduction kernels (see lazy.go); the
+// original fully-reduced kernels are retained as ForwardRef/InverseRef and
+// the two are bit-identical on canonical inputs. ForwardBatch/InverseBatch
+// fan many polynomials across a worker pool. All methods are safe for
+// concurrent use on distinct slices.
 type NTT struct {
-	n       int
-	logN    int
-	psiFwd  []uint64 // powers of psi in bit-reversed order
-	psiInv  []uint64 // powers of psi^-1 in bit-reversed order
-	nInv    uint64   // N^-1 mod Q
-	psi     uint64   // primitive 2N-th root of unity
-	psiIinv uint64
+	n           int
+	logN        int
+	psiFwd      []uint64 // powers of psi in bit-reversed order
+	psiFwdShoup []uint64 // ⌊psiFwd·2^64/Q⌋, same order
+	psiInv      []uint64 // powers of psi^-1 in bit-reversed order
+	psiInvShoup []uint64 // ⌊psiInv·2^64/Q⌋, same order
+	nInv        uint64   // N^-1 mod Q
+	nInvShoup   uint64
+	wNInv       uint64 // psiInv[1]·nInv: fused last-stage twiddle (n >= 2)
+	wNInvShoup  uint64
+	psi         uint64 // primitive 2N-th root of unity
+	psiIinv     uint64
 }
 
 // NewNTT constructs transform tables for ring degree n (a power of two).
@@ -26,22 +42,34 @@ func NewNTT(n int) *NTT {
 	psiInv := Inv(psi)
 
 	t := &NTT{
-		n:       n,
-		logN:    bits.TrailingZeros(uint(n)),
-		psiFwd:  make([]uint64, n),
-		psiInv:  make([]uint64, n),
-		nInv:    Inv(uint64(n)),
-		psi:     psi,
-		psiIinv: psiInv,
+		n:           n,
+		logN:        bits.TrailingZeros(uint(n)),
+		psiFwd:      make([]uint64, n),
+		psiFwdShoup: make([]uint64, n),
+		psiInv:      make([]uint64, n),
+		psiInvShoup: make([]uint64, n),
+		nInv:        Inv(uint64(n)),
+		psi:         psi,
+		psiIinv:     psiInv,
 	}
+	t.nInvShoup = shoupConst(t.nInv)
 
 	fwd, inv := uint64(1), uint64(1)
 	for i := 0; i < n; i++ {
 		r := bitReverse(uint32(i), t.logN)
 		t.psiFwd[r] = fwd
+		t.psiFwdShoup[r] = shoupConst(fwd)
 		t.psiInv[r] = inv
+		t.psiInvShoup[r] = shoupConst(inv)
 		fwd = Mul(fwd, psi)
 		inv = Mul(inv, psiInv)
+	}
+	if n >= 2 {
+		// The inverse transform's final stage multiplies one output of each
+		// butterfly by psiInv[1] and then every word by nInv; fusing the two
+		// saves a full multiply pass over the vector.
+		t.wNInv = Mul(t.psiInv[1], t.nInv)
+		t.wNInvShoup = shoupConst(t.wNInv)
 	}
 	return t
 }
@@ -54,49 +82,172 @@ func bitReverse(v uint32, bitLen int) uint32 {
 }
 
 // Forward transforms coefficients in place into the NTT domain.
-// len(a) must equal N.
+// len(a) must equal N. Outputs are canonical and bit-identical to
+// ForwardRef on canonical inputs.
 func (t *NTT) Forward(a []uint64) {
 	if len(a) != t.n {
 		panic("ringq: NTT input length mismatch")
 	}
-	// Cooley-Tukey, decimation in time, merged with the psi twist so the
-	// transform is negacyclic (Longa-Naehrig style).
-	half := t.n >> 1
-	for m := 1; m <= half; m <<= 1 {
-		step := t.n / (2 * m)
+	n := t.n
+	if n == 1 {
+		return
+	}
+	w, ws := t.psiFwd, t.psiFwdShoup
+	if n == 2 {
+		// The only stage is both first and last: fuse the canonical pass.
+		u := a[0]
+		v := mulShoupLazy(a[1], w[1], ws[1])
+		a[0] = canonical(addLazy(u, v))
+		a[1] = canonical(subLazy(u, v))
+		return
+	}
+
+	// First stage (m = 1): a single twiddle spans the two halves, so hoist
+	// it and walk the halves as parallel slices (bounds checks lift out).
+	{
+		w1, ws1 := w[1], ws[1]
+		half := n >> 1
+		x := a[:half:half]
+		y := a[half:n:n]
+		for j := range x {
+			u := x[j]
+			v := mulShoupLazy(y[j], w1, ws1)
+			x[j] = addLazy(u, v)
+			y[j] = subLazy(u, v)
+		}
+	}
+
+	// Middle stages: Cooley-Tukey, decimation in time, merged with the psi
+	// twist (Longa-Naehrig style), all arithmetic in the lazy domain.
+	for m := 2; m <= n>>2; m <<= 1 {
+		step := n / (2 * m)
 		for i := 0; i < m; i++ {
-			w := t.psiFwd[m+i]
+			wi, wsi := w[m+i], ws[m+i]
 			base := 2 * i * step
-			for j := base; j < base+step; j++ {
-				u := a[j]
-				v := Mul(a[j+step], w)
-				a[j] = Add(u, v)
-				a[j+step] = Sub(u, v)
+			x := a[base : base+step : base+step]
+			y := a[base+step : base+2*step : base+2*step]
+			for j := range x {
+				u := x[j]
+				v := mulShoupLazy(y[j], wi, wsi)
+				x[j] = addLazy(u, v)
+				y[j] = subLazy(u, v)
 			}
 		}
+	}
+
+	// Last stage (m = n/2): adjacent pairs, fused with the canonical pass.
+	m := n >> 1
+	for i := 0; i < m; i++ {
+		u := a[2*i]
+		v := mulShoupLazy(a[2*i+1], w[m+i], ws[m+i])
+		a[2*i] = canonical(addLazy(u, v))
+		a[2*i+1] = canonical(subLazy(u, v))
 	}
 }
 
 // Inverse transforms NTT-domain values in place back to coefficients.
+// Outputs are canonical and bit-identical to InverseRef on canonical inputs.
 func (t *NTT) Inverse(a []uint64) {
 	if len(a) != t.n {
 		panic("ringq: NTT input length mismatch")
 	}
-	// Gentleman-Sande, decimation in frequency, with the inverse psi twist.
-	for m := t.n >> 1; m >= 1; m >>= 1 {
-		step := t.n / (2 * m)
+	n := t.n
+	if n == 1 {
+		return // nInv = 1
+	}
+	w, ws := t.psiInv, t.psiInvShoup
+	if n == 2 {
+		// The only stage, fused with the N^-1 scaling and canonical pass.
+		u, v := a[0], a[1]
+		a[0] = canonical(mulShoupLazy(addLazy(u, v), t.nInv, t.nInvShoup))
+		a[1] = canonical(mulShoupLazy(subLazy(u, v), t.wNInv, t.wNInvShoup))
+		return
+	}
+
+	// First stage (m = n/2): adjacent pairs with per-pair twiddles.
+	m := n >> 1
+	for i := 0; i < m; i++ {
+		u, v := a[2*i], a[2*i+1]
+		a[2*i] = addLazy(u, v)
+		a[2*i+1] = mulShoupLazy(subLazy(u, v), w[m+i], ws[m+i])
+	}
+
+	// Middle stages: Gentleman-Sande, decimation in frequency, with the
+	// inverse psi twist, all arithmetic in the lazy domain.
+	for m := n >> 2; m >= 2; m >>= 1 {
+		step := n / (2 * m)
 		for i := 0; i < m; i++ {
-			w := t.psiInv[m+i]
+			wi, wsi := w[m+i], ws[m+i]
 			base := 2 * i * step
-			for j := base; j < base+step; j++ {
-				u := a[j]
-				v := a[j+step]
-				a[j] = Add(u, v)
-				a[j+step] = Mul(Sub(u, v), w)
+			x := a[base : base+step : base+step]
+			y := a[base+step : base+2*step : base+2*step]
+			for j := range x {
+				u, v := x[j], y[j]
+				x[j] = addLazy(u, v)
+				y[j] = mulShoupLazy(subLazy(u, v), wi, wsi)
 			}
 		}
 	}
-	for i := range a {
-		a[i] = Mul(a[i], t.nInv)
+
+	// Last stage (m = 1): its single twiddle is folded into the N^-1
+	// scaling (wNInv = psiInv[1]·nInv), fused with the canonical pass, so
+	// the reference's separate full-vector scaling loop disappears.
+	half := n >> 1
+	x := a[:half:half]
+	y := a[half:n:n]
+	for j := range x {
+		u, v := x[j], y[j]
+		x[j] = canonical(mulShoupLazy(addLazy(u, v), t.nInv, t.nInvShoup))
+		y[j] = canonical(mulShoupLazy(subLazy(u, v), t.wNInv, t.wNInvShoup))
 	}
+}
+
+// batchMinPolys is the batch size below which spawning workers costs more
+// than it saves; smaller batches run inline on the caller's goroutine.
+const batchMinPolys = 3
+
+// ForwardBatch runs Forward over every polynomial in polys, fanning the work
+// across a worker pool. Slices must be distinct (they are transformed in
+// place, concurrently) and each of length N. Results are bit-identical to
+// calling Forward sequentially.
+func (t *NTT) ForwardBatch(polys [][]uint64) {
+	t.runBatch(polys, (*NTT).Forward)
+}
+
+// InverseBatch runs Inverse over every polynomial in polys, fanning the work
+// across a worker pool. Slices must be distinct and each of length N.
+func (t *NTT) InverseBatch(polys [][]uint64) {
+	t.runBatch(polys, (*NTT).Inverse)
+}
+
+func (t *NTT) runBatch(polys [][]uint64, f func(*NTT, []uint64)) {
+	workers := runtime.GOMAXPROCS(0)
+	if len(polys) < workers {
+		workers = len(polys)
+	}
+	if workers <= 1 || len(polys) < batchMinPolys {
+		for _, p := range polys {
+			f(t, p)
+		}
+		return
+	}
+	// Atomic work-stealing over the index space: transforms of one batch can
+	// have wildly different cache behaviour, so a static split load-balances
+	// worse than a shared counter.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(polys) {
+					return
+				}
+				f(t, polys[i])
+			}
+		}()
+	}
+	wg.Wait()
 }

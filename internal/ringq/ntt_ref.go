@@ -1,0 +1,60 @@
+package ringq
+
+// Reference transform paths.
+//
+// ForwardRef and InverseRef are the original scalar NTT kernels, retained
+// verbatim as the correctness oracle for the Shoup/lazy-reduction kernels in
+// ntt.go. The equivalence tests pin Forward/Inverse (and the batch entry
+// points) bit-for-bit against these across all supported ring degrees, and
+// BenchmarkNTTForward/ref doubles as the frozen calibration op for the CI
+// perf gate — so this file must not be "optimized". See docs/perf.md.
+
+// ForwardRef transforms coefficients in place into the NTT domain using the
+// reference scalar kernel (fully reduced arithmetic at every butterfly).
+// len(a) must equal N.
+func (t *NTT) ForwardRef(a []uint64) {
+	if len(a) != t.n {
+		panic("ringq: NTT input length mismatch")
+	}
+	// Cooley-Tukey, decimation in time, merged with the psi twist so the
+	// transform is negacyclic (Longa-Naehrig style).
+	half := t.n >> 1
+	for m := 1; m <= half; m <<= 1 {
+		step := t.n / (2 * m)
+		for i := 0; i < m; i++ {
+			w := t.psiFwd[m+i]
+			base := 2 * i * step
+			for j := base; j < base+step; j++ {
+				u := a[j]
+				v := Mul(a[j+step], w)
+				a[j] = Add(u, v)
+				a[j+step] = Sub(u, v)
+			}
+		}
+	}
+}
+
+// InverseRef transforms NTT-domain values in place back to coefficients
+// using the reference scalar kernel.
+func (t *NTT) InverseRef(a []uint64) {
+	if len(a) != t.n {
+		panic("ringq: NTT input length mismatch")
+	}
+	// Gentleman-Sande, decimation in frequency, with the inverse psi twist.
+	for m := t.n >> 1; m >= 1; m >>= 1 {
+		step := t.n / (2 * m)
+		for i := 0; i < m; i++ {
+			w := t.psiInv[m+i]
+			base := 2 * i * step
+			for j := base; j < base+step; j++ {
+				u := a[j]
+				v := a[j+step]
+				a[j] = Add(u, v)
+				a[j+step] = Mul(Sub(u, v), w)
+			}
+		}
+	}
+	for i := range a {
+		a[i] = Mul(a[i], t.nInv)
+	}
+}

@@ -139,6 +139,9 @@ type Engine struct {
 	// setupSem bounds concurrent full session setups (Config.SetupWorkers);
 	// nil means unbounded.
 	setupSem chan struct{}
+	// garbler coalesces offline ReLU garbling across concurrent sessions of
+	// one model into shared GarbleBatch passes (see garbler.go).
+	garbler *batchGarbler
 	// draining marks an engine that rejects new handshakes while existing
 	// sessions run to completion (Drain).
 	draining atomic.Bool
@@ -288,6 +291,9 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.SetupWorkers > 0 {
 		e.setupSem = make(chan struct{}, cfg.SetupWorkers)
 	}
+	e.garbler = newBatchGarbler(e)
+	e.wg.Add(1)
+	go e.garbler.run()
 	return e, nil
 }
 
@@ -468,7 +474,15 @@ func (e *Engine) handle(conn *transport.Conn, addr string) {
 		m:       newMux(conn),
 		refill:  make(chan struct{}, 1),
 	}
-	dcfg := delphi.Config{Variant: e.cfg.Variant, HEParams: artifact.Params(), LPHEWorkers: e.cfg.LPHEWorkers}
+	// GarbleFunc routes the session's offline ReLU garbling through the
+	// engine's coalescer, so concurrent refills of one model garble as one
+	// batch instead of per-session.
+	dcfg := delphi.Config{
+		Variant:     e.cfg.Variant,
+		HEParams:    artifact.Params(),
+		LPHEWorkers: e.cfg.LPHEWorkers,
+		GarbleFunc:  e.garbler.submit,
+	}
 	s.srv, err = delphi.NewServerShared(dataConn{s.m}, dcfg, artifact, e.entropy)
 	if err != nil {
 		s.fail(err)
@@ -854,6 +868,14 @@ type Stats struct {
 	// Tickets is the OT resumption cache's snapshot (zero-valued when
 	// resumption is disabled).
 	Tickets TicketStats
+	// Garbling coalescer counters: GarbleRequests is per-layer garbling
+	// requests routed through the engine's batch garbler, GarbleBatches the
+	// GarbleBatch passes it ran, and GarbleCoalesced the requests that
+	// shared a pass with at least one other session's (0 when offline
+	// phases never overlapped).
+	GarbleRequests  uint64
+	GarbleBatches   uint64
+	GarbleCoalesced uint64
 }
 
 // Stats snapshots per-session, per-model and aggregate metrics. Lifetime
@@ -883,6 +905,9 @@ func (e *Engine) Stats() Stats {
 		RegistryReloads:     rst.Reloads,
 		RegistryLoadErrors:  rst.LoadErrors,
 		RegistrySpillErrors: rst.SpillErrors,
+		GarbleRequests:      e.garbler.requests.Load(),
+		GarbleBatches:       e.garbler.batches.Load(),
+		GarbleCoalesced:     e.garbler.coalesced.Load(),
 	}
 	var ticketModels map[string]ticketModelCounters
 	if e.tickets != nil {

@@ -175,6 +175,12 @@ func TestExplicitPrecomputeAndBuffering(t *testing.T) {
 		t.Fatalf("buffer should be drained, have %d", c.Buffered())
 	}
 	st = eng.Stats()
+	// Server-Garbler offline phases route garbling through the engine's
+	// coalescer: one request per ReLU layer per pre-compute.
+	if st.GarbleRequests == 0 || st.GarbleBatches == 0 {
+		t.Fatalf("garbling coalescer saw %d requests in %d batches, want > 0",
+			st.GarbleRequests, st.GarbleBatches)
+	}
 	if st.TotalInferences != 3 || st.TotalPrecomputes != 3 {
 		t.Fatalf("stats %d inferences / %d precomputes, want 3/3", st.TotalInferences, st.TotalPrecomputes)
 	}
