@@ -12,9 +12,9 @@
 //
 //	pirun [-model cnn|mlp] [-seed N]
 //	pirun -serve ADDR [-models cnn,mlp] [-registry-budget BYTES] [-artifact-dir DIR] [-artifact-disk-budget BYTES]
-//	      [-pin-default] [-ticket-ttl D] [-ticket-budget BYTES] [-variant cg|sg] [-buffer N] [-budget N] [-workers N]
+//	      [-pin-default] [-ticket-ttl D] [-ticket-budget BYTES] [-ticket-dir DIR] [-variant cg|sg] [-buffer N] [-budget N] [-workers N]
 //	      [-fleet N] [-autoscale] [-max-replicas N] [-target-wait D] [-setup-workers N]
-//	pirun -connect ADDR [-model NAME] [-n N] [-reconnect N]
+//	pirun -connect ADDR [-model NAME] [-n N] [-reconnect N] [-preamble-dir DIR]
 //
 // A server hosts every model named in -models (default: just -model) from
 // one registry; built artifacts stay resident up to -registry-budget bytes
@@ -31,6 +31,11 @@
 // inference; point it at a server started with the same -seed. With
 // -reconnect N the client closes its session and reconnects N times
 // through a session preamble, printing the cold vs resumed connect times.
+// Resumption can be made restart-durable on both ends: -ticket-dir
+// persists the server's tickets, -preamble-dir persists the client's
+// preamble (OT seeds, derived HE keys, cached artifacts), so a reconnect
+// after both processes restart still takes the resumed fast path — no base
+// OTs, no keygen, no public-key transfer.
 //
 // With -fleet N (or -autoscale) the server side becomes a replicated
 // fleet: N engine replicas sharing one registry behind the fleet router
@@ -69,6 +74,8 @@ func main() {
 	pinDefault := flag.Bool("pin-default", false, "serve mode: pin the default model's artifact (never evicted, pre-built at start)")
 	ticketTTL := flag.Duration("ticket-ttl", 0, "serve mode: OT resumption ticket lifetime (0 = default 15m, negative disables resumption)")
 	ticketBudget := flag.Int64("ticket-budget", 0, "serve mode: resumption ticket cache byte budget (0 = default 4 MiB, negative unbounded)")
+	ticketDir := flag.String("ticket-dir", "", "serve mode: persist resumption tickets in this directory (0700; reconnects stay on the resumed fast path across server restarts)")
+	preambleDir := flag.String("preamble-dir", "", "connect mode: persist the session preamble in this directory (0700; reconnects resume across client restarts)")
 	seed := flag.Int64("seed", 42, "model weight seed")
 	serveAddr := flag.String("serve", "", "run a serving engine on this TCP address")
 	connectAddr := flag.String("connect", "", "connect a client session to a serving engine")
@@ -96,13 +103,13 @@ func main() {
 		runServe(serveOpts{
 			names: names, seed: *seed, addr: *serveAddr, variant: *variantFlag,
 			registryBudget: *registryBudget, artifactDir: *artifactDir, artifactDiskBudget: *artifactDiskBudget,
-			pinDefault: *pinDefault, ticketTTL: *ticketTTL, ticketBudget: *ticketBudget,
+			pinDefault: *pinDefault, ticketTTL: *ticketTTL, ticketBudget: *ticketBudget, ticketDir: *ticketDir,
 			buffer: *buffer, budget: *budget, workers: *workers,
 			fleet: *fleetN, autoscale: *autoscale, maxReplicas: *maxReplicas,
 			targetWait: *targetWait, setupWorkers: *setupWorkers,
 		})
 	case *connectAddr != "":
-		runConnect(buildModel(*modelName, *seed), *modelName, *connectAddr, *n, *reconnect)
+		runConnect(buildModel(*modelName, *seed), *modelName, *connectAddr, *n, *reconnect, *preambleDir)
 	default:
 		runLocal(buildModel(*modelName, *seed), *modelName)
 	}
@@ -138,6 +145,7 @@ type serveOpts struct {
 	pinDefault              bool
 	ticketTTL               time.Duration
 	ticketBudget            int64
+	ticketDir               string
 	buffer, budget, workers int
 	fleet, maxReplicas      int
 	setupWorkers            int
@@ -189,6 +197,7 @@ func runServe(o serveOpts) {
 			SetupWorkers:     o.setupWorkers,
 			TicketTTL:        o.ticketTTL,
 			TicketBudget:     o.ticketBudget,
+			TicketDir:        o.ticketDir,
 			PinDefaultModel:  o.pinDefault,
 		})
 	}
@@ -213,7 +222,11 @@ func runServe(o serveOpts) {
 			store.Dir(), humanBudget(o.artifactDiskBudget))
 	}
 	if o.ticketTTL >= 0 {
-		fmt.Printf("resumption: tickets on (reconnects skip base OTs)\n")
+		if o.ticketDir != "" {
+			fmt.Printf("resumption: tickets on, persisted in %s (reconnects skip base OTs, surviving restarts)\n", o.ticketDir)
+		} else {
+			fmt.Printf("resumption: tickets on (reconnects skip base OTs)\n")
+		}
 	} else {
 		fmt.Printf("resumption: disabled\n")
 	}
@@ -354,9 +367,33 @@ func humanBudget(b int64) string {
 // runConnect runs client sessions against a remote engine, requesting the
 // named registry entry. The first session connects cold through a session
 // preamble; with reconnects > 0 it then closes and reconnects that many
-// times, each resumed connect skipping the base OTs.
-func runConnect(model *privinf.Model, name, addr string, n, reconnects int) {
+// times, each resumed connect skipping the base OTs. With a -preamble-dir
+// the preamble is loaded from (and saved to) disk, so a freshly started
+// pirun process resumes where the last one left off — provided the server
+// persists its tickets too (-ticket-dir).
+func runConnect(model *privinf.Model, name, addr string, n, reconnects int, preambleDir string) {
 	p := serve.NewPreamble()
+	var pstore *serve.PreambleStore
+	if preambleDir != "" {
+		var err error
+		if pstore, err = serve.NewPreambleStore(preambleDir); err != nil {
+			log.Fatal(err)
+		}
+		if loaded, err := pstore.Load(name); err == nil {
+			p = loaded
+			fmt.Printf("preamble: loaded from %s\n", pstore.Path(name))
+		} else if !errors.Is(err, serve.ErrPreambleNotFound) {
+			fmt.Printf("preamble: %v (starting fresh)\n", err)
+		}
+	}
+	savePreamble := func() {
+		if pstore == nil {
+			return
+		}
+		if err := pstore.Save(name, p); err != nil {
+			fmt.Printf("preamble: save failed: %v\n", err)
+		}
+	}
 	dial := func() *serve.Client {
 		hadTicket := p.HasTicket() // snapshot: the handshake itself may store one
 		start := time.Now()
@@ -376,6 +413,7 @@ func runConnect(model *privinf.Model, name, addr string, n, reconnects int) {
 			tier = "artifact-warm"
 		}
 		fmt.Printf("connect (%s): %.0f ms\n", tier, time.Since(start).Seconds()*1000)
+		savePreamble()
 		return c
 	}
 

@@ -13,14 +13,19 @@
 //	artifact-warm the client kept its shared artifacts (circuits + matvec
 //	              plans) but no ticket: base OTs run again, model
 //	              processing does not.
-//	resumed       ticket + cached seeds: both sides expand fresh OT
-//	              extension streams locally — no base OTs, no extra
-//	              flights — and connect cost drops to HE keygen + one
+//	resumed       ticket + cached seeds + derived HE keys: both sides
+//	              expand fresh OT extension streams locally and the client
+//	              reuses its cached key pair — no base OTs, no keygen, no
+//	              public-key flight — and connect cost drops to about one
 //	              round trip.
+//	durable       both processes restart: the engine reloads its tickets
+//	              from -style TicketDir persistence, the client reloads its
+//	              preamble from a PreambleStore, and the very first connect
+//	              of the new processes still takes the resumed fast path.
 //
-// The example times all three tiers against one in-process engine, proves
-// the resumed session's inference is bit-identical to the cold session's,
-// and prints the engine's ticket-cache counters.
+// The example times all four tiers, proves the resumed and post-restart
+// sessions' inferences are bit-identical to the cold session's, and prints
+// the engine's ticket-cache counters.
 //
 //	go run ./examples/reconnect
 package main
@@ -28,6 +33,8 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"reflect"
 	"time"
 
@@ -39,11 +46,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng, err := privinf.NewLocalEngine(privinf.LocalEngineConfig{Models: map[string]*privinf.Model{"cnn": cnn}, Variant: privinf.ClientGarbler})
+	// Durable state for the restart leg: the engine persists its tickets
+	// under dir/tickets, the client its preamble under dir/preambles.
+	dir, err := os.MkdirTemp("", "reconnect")
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer eng.Close()
+	defer os.RemoveAll(dir)
+	engCfg := privinf.LocalEngineConfig{
+		Models:    map[string]*privinf.Model{"cnn": cnn},
+		Variant:   privinf.ClientGarbler,
+		TicketDir: filepath.Join(dir, "tickets"),
+	}
+	eng, err := privinf.NewLocalEngine(engCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	x := make([]uint64, cnn.InputLen())
 	for i := range x {
@@ -51,7 +69,7 @@ func main() {
 	}
 
 	p := privinf.NewPreamble()
-	connect := func(tier string) (*privinf.Session, time.Duration) {
+	connect := func(tier string, p *privinf.Preamble) (*privinf.Session, time.Duration) {
 		start := time.Now()
 		sess, err := eng.Connect("cnn", privinf.WithPreamble(p))
 		if err != nil {
@@ -64,7 +82,7 @@ func main() {
 	}
 
 	// Tier 1: cold. First connect of this client, full handshake.
-	cold, coldTime := connect("cold:")
+	cold, coldTime := connect("cold:", p)
 	coldRes, err := cold.Infer(x)
 	if err != nil || !coldRes.Verified {
 		log.Fatalf("cold inference failed: %v", err)
@@ -74,12 +92,12 @@ func main() {
 	// Tier 2: artifact-warm. Drop the ticket, keep the artifacts: the
 	// base OTs run again but circuits and plans are reused.
 	p.ForgetTicket()
-	warm, warmTime := connect("artifact-warm:")
+	warm, warmTime := connect("artifact-warm:", p)
 	warm.Close()
 
 	// Tier 3: resumed. The warm session's full handshake re-issued a
 	// ticket; this connect skips the base OTs entirely.
-	resumed, resumedTime := connect("resumed:")
+	resumed, resumedTime := connect("resumed:", p)
 	resumedRes, err := resumed.Infer(x)
 	if err != nil || !resumedRes.Verified {
 		log.Fatalf("resumed inference failed: %v", err)
@@ -92,12 +110,48 @@ func main() {
 	if !reflect.DeepEqual(coldRes.Output, resumedRes.Output) {
 		log.Fatal("resumed session's output diverged from the cold session's")
 	}
-	fmt.Printf("\nresumed output bit-identical to cold output (predicted class %d), verified against plaintext\n",
+
+	// Tier 4: durable. Persist the client's preamble, then "crash" both
+	// parties: close the engine (its live tickets have been written
+	// through to TicketDir) and throw away the in-memory preamble. A new
+	// engine over the same ticket directory and a preamble reloaded from
+	// disk resume as if neither process had restarted.
+	pstore, err := privinf.NewPreambleStore(filepath.Join(dir, "preambles"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pstore.Save("demo-client", p); err != nil {
+		log.Fatal(err)
+	}
+	eng.Close()
+	eng, err = privinf.NewLocalEngine(engCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+	p2, err := pstore.Load("demo-client")
+	if err != nil {
+		log.Fatal(err)
+	}
+	durable, durableTime := connect("durable:", p2)
+	if !durable.Resumed() {
+		log.Fatal("post-restart connect should have resumed from persisted state")
+	}
+	durableRes, err := durable.Infer(x)
+	if err != nil || !durableRes.Verified {
+		log.Fatalf("post-restart inference failed: %v", err)
+	}
+	durable.Close()
+	if !reflect.DeepEqual(coldRes.Output, durableRes.Output) {
+		log.Fatal("post-restart session's output diverged from the cold session's")
+	}
+
+	fmt.Printf("\nresumed and post-restart outputs bit-identical to cold output (predicted class %d), verified against plaintext\n",
 		resumedRes.Predicted)
-	fmt.Printf("speedup: resumed connect %.0fx faster than cold, %.0fx faster than artifact-warm\n",
-		float64(coldTime)/float64(resumedTime), float64(warmTime)/float64(resumedTime))
+	fmt.Printf("speedup: resumed connect %.0fx faster than cold, %.0fx faster than artifact-warm; post-restart resumed connect %.0fx faster than cold\n",
+		float64(coldTime)/float64(resumedTime), float64(warmTime)/float64(resumedTime), float64(coldTime)/float64(durableTime))
 
 	st := eng.Stats()
-	fmt.Printf("ticket cache: %d resident (%d B), issued %d, resumed %d, evicted %d\n",
-		st.Tickets.Tickets, st.Tickets.Bytes, st.Tickets.Issued, st.Tickets.Resumed, st.Tickets.Evicted)
+	fmt.Printf("ticket cache (restarted engine): %d resident (%d B), loaded %d, resumed %d, load errors %d\n",
+		st.Tickets.Tickets, st.Tickets.Bytes, st.Tickets.Loaded, st.Tickets.Resumed, st.Tickets.LoadErrors)
 }

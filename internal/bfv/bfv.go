@@ -36,6 +36,15 @@ type Plaintext struct {
 // caching.
 func (p Plaintext) SizeBytes() uint64 { return uint64(len(p.coeffs)) * 8 }
 
+// Degree returns the ring degree the secret key was generated for (0 for
+// a zero-valued key) — the compatibility check callers run before reusing
+// a deserialized key under a parameter set.
+func (sk SecretKey) Degree() int { return len(sk.s) }
+
+// Degree returns the ring degree the public key was generated for (0 for a
+// zero-valued key).
+func (pk PublicKey) Degree() int { return len(pk.b) }
+
 // KeyGen generates a fresh key pair. src may be nil (crypto/rand).
 func KeyGen(p Params, src io.Reader) (SecretKey, PublicKey) {
 	smp := newSampler(src)

@@ -162,6 +162,40 @@ func (pl *MatVecPlan) UnmarshalBinary(data []byte) error {
 	return nil
 }
 
+// MarshalBinary encodes the secret key (its NTT-domain coefficient
+// vector). A secret key at rest is key material: callers persisting one
+// (a client preamble store) own the file-permission and at-rest-protection
+// story — the codec itself is plaintext.
+func (sk SecretKey) MarshalBinary() ([]byte, error) {
+	n := len(sk.s)
+	out := make([]byte, 8+8*n)
+	binary.LittleEndian.PutUint64(out, uint64(n))
+	off := 8
+	for _, v := range sk.s {
+		binary.LittleEndian.PutUint64(out[off:], v)
+		off += 8
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a secret key produced by MarshalBinary.
+func (sk *SecretKey) UnmarshalBinary(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("bfv: secret key truncated")
+	}
+	n := int(binary.LittleEndian.Uint64(data))
+	if rem := len(data) - 8; n <= 0 || rem%8 != 0 || n != rem/8 {
+		return fmt.Errorf("bfv: secret key length %d inconsistent with degree %d", len(data), n)
+	}
+	sk.s = make([]uint64, n)
+	off := 8
+	for i := range sk.s {
+		sk.s[i] = binary.LittleEndian.Uint64(data[off:])
+		off += 8
+	}
+	return nil
+}
+
 // MarshalBinary encodes the public key.
 func (pk PublicKey) MarshalBinary() ([]byte, error) {
 	n := len(pk.b)

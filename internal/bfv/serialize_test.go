@@ -168,3 +168,66 @@ func TestEncodedMatrixRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestSecretKeyRoundTrip: the secret key — the one piece of HE key
+// material a durable client preamble persists — survives marshal →
+// unmarshal bit-exactly, and the reloaded key decrypts ciphertexts made
+// under the original's public half.
+func TestSecretKeyRoundTrip(t *testing.T) {
+	sk, pk := KeyGen(testParams, newSeeded(41))
+	raw, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got SecretKey
+	if err := got.UnmarshalBinary(raw); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sk, got) {
+		t.Fatal("secret key did not round-trip")
+	}
+	re, err := got.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(raw, re) {
+		t.Fatal("re-encoding differs from original")
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	m := randomMessage(rng, testParams, testParams.N)
+	ct := NewEncryptor(testParams, pk, newSeeded(43)).EncryptCoeffs(m)
+	dec := NewDecryptor(testParams, got).DecryptCoeffs(ct)
+	if !reflect.DeepEqual(m, dec) {
+		t.Fatal("reloaded secret key failed to decrypt")
+	}
+}
+
+// TestSecretKeyUnmarshalRejectsDamage: truncation, inconsistent length
+// headers and trailing bytes all error — a persisted key either reloads
+// exactly or not at all.
+func TestSecretKeyUnmarshalRejectsDamage(t *testing.T) {
+	sk, _ := KeyGen(testParams, newSeeded(44))
+	raw, err := sk.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":              {},
+		"short header":       raw[:7],
+		"header only":        raw[:8],
+		"half payload":       raw[:len(raw)/2],
+		"ragged payload":     raw[:len(raw)-3],
+		"one coeff short":    raw[:len(raw)-8],
+		"trailing byte":      append(append([]byte(nil), raw...), 1),
+		"trailing coeff":     append(append([]byte(nil), raw...), make([]byte, 8)...),
+		"zero degree":        binary.LittleEndian.AppendUint64(nil, 0),
+		"degree overclaimed": binary.LittleEndian.AppendUint64(nil, 1<<40),
+	}
+	for name, data := range cases {
+		var got SecretKey
+		if err := got.UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

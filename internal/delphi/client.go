@@ -89,11 +89,13 @@ func NewClientWithShared(conn transport.MsgConn, cfg Config, shared *ClientShare
 	return c, nil
 }
 
-// setupKeys generates the per-session HE keys and sends the public key —
-// the key-dependent setup work both the full and the resumed paths pay.
+// setupKeys obtains the session HE keys (fresh keygen, or the pair the
+// HEKeyGen seam supplies) and sends the public key — the key-dependent
+// setup work every full handshake pays. Resumed sessions with a cached
+// pair skip this entirely (SetupResumeKeys).
 func (c *Client) setupKeys() error {
 	var pk bfv.PublicKey
-	c.sk, pk = bfv.KeyGen(c.cfg.HEParams, c.entropy)
+	c.sk, pk = c.cfg.keyGen(c.cfg.HEParams, c.entropy)
 	c.enc = bfv.NewEncryptor(c.cfg.HEParams, pk, c.entropy)
 	c.dec = bfv.NewDecryptor(c.cfg.HEParams, c.sk)
 	raw, err := pk.MarshalBinary()

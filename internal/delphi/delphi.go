@@ -122,6 +122,14 @@ type Config struct {
 	// any replacement must be bit-identical to sequential garbling on the
 	// stream it draws from, which GarbleBatch guarantees.
 	GarbleFunc func(c *boolcirc.Circuit, src io.Reader, bases []uint64) []*garble.Garbled
+	// HEKeyGen generates (or returns) the client's session HE key pair.
+	// nil means bfv.KeyGen on the session's entropy — fresh per-session
+	// keys, the baseline. A preamble-carrying client injects a function
+	// here that returns keys derived from its cached master seed (see
+	// DeriveHEKeyPair), so the pair a full handshake sends is the same one
+	// later resumed sessions reuse without any key flight. Server sessions
+	// ignore the field.
+	HEKeyGen func(p bfv.Params, src io.Reader) (bfv.SecretKey, bfv.PublicKey)
 }
 
 // garbleBatch resolves the garbling seam: the injected GarbleFunc if any,
@@ -131,6 +139,15 @@ func (c Config) garbleBatch(circ *boolcirc.Circuit, src io.Reader, bases []uint6
 		return c.GarbleFunc(circ, src, bases)
 	}
 	return garble.GarbleBatch(circ, src, bases)
+}
+
+// keyGen resolves the HE keygen seam: the injected HEKeyGen if any, else
+// bfv.KeyGen.
+func (c Config) keyGen(p bfv.Params, src io.Reader) (bfv.SecretKey, bfv.PublicKey) {
+	if c.HEKeyGen != nil {
+		return c.HEKeyGen(p, src)
+	}
+	return bfv.KeyGen(p, src)
 }
 
 // DefaultConfig returns a Server-Garbler session over the model's field.

@@ -1,0 +1,142 @@
+package delphi
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"privinf/internal/bfv"
+	"privinf/internal/garble"
+	"privinf/internal/ot"
+)
+
+// HE key reuse across sessions. A full handshake's per-session BFV keygen
+// is cheap compute, but shipping the public key is a full N-coefficient
+// pair on the wire — and once OT resumption (ot/resume.go) removed the
+// base OTs, keygen plus the key flight is what dominates a resumed
+// connect. The fix mirrors the OT design: the client keeps a long-lived
+// master secret (a 32-byte seed in its preamble) and derives key pairs
+// from it under derivation nonces. One derived pair serves every resumed
+// session of one ticket generation, so a resumed connect runs zero keygen
+// and sends zero key bytes; each full handshake bumps the nonce and
+// derives a fresh pair, so no derivation nonce is ever reused for new key
+// material (the invariant docs/invariants.md states).
+//
+// Reusing a public key across sessions is safe in the semi-honest model
+// for the same reason any public-key reuse is: semantic security rests on
+// fresh encryption randomness, which every session still draws from its
+// own entropy source. The server never needs the public key after
+// validating it (it computes on received ciphertexts only), which is what
+// lets the resumed path skip the transfer outright.
+
+// HEKeyPair is a reusable client HE key pair: the unit a preamble caches
+// and a resumed session installs instead of running keygen. SK is secret
+// key material — a pair belongs to one client, like the OT states it is
+// cached alongside.
+type HEKeyPair struct {
+	SK bfv.SecretKey
+	PK bfv.PublicKey
+}
+
+// Validate checks the pair against a parameter set — the guard a session
+// runs before installing a deserialized or cached pair.
+func (kp HEKeyPair) Validate(p bfv.Params) error {
+	if kp.SK.Degree() != p.N || kp.PK.Degree() != p.N {
+		return fmt.Errorf("delphi: HE key pair degrees (sk=%d, pk=%d) != ring degree %d",
+			kp.SK.Degree(), kp.PK.Degree(), p.N)
+	}
+	return nil
+}
+
+// hekeyDeriveTag domain-separates the key-derivation hash from every other
+// use of the master seed.
+const hekeyDeriveTag = "privinf/he-derive/v1"
+
+// DeriveHEKeyPair deterministically derives a key pair from a master seed
+// under a derivation nonce: bfv.KeyGen run on an AES-CTR PRG keyed with
+// SHA-256(tag || seed || N || T || nonce). The same (seed, params, nonce)
+// always yields the same pair — that is what lets a persisted preamble
+// re-derive its keys bit-identically after a process restart — and
+// distinct nonces yield computationally independent pairs. Callers must
+// never reuse a nonce for new key material; the preamble bumps it on
+// every full handshake.
+func DeriveHEKeyPair(p bfv.Params, seed []byte, nonce uint64) (HEKeyPair, error) {
+	if len(seed) == 0 {
+		return HEKeyPair{}, fmt.Errorf("delphi: derive HE keys: empty master seed")
+	}
+	h := sha256.New()
+	h.Write([]byte(hekeyDeriveTag))
+	h.Write(seed)
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], uint64(p.N))
+	h.Write(w[:])
+	binary.LittleEndian.PutUint64(w[:], p.T)
+	h.Write(w[:])
+	binary.LittleEndian.PutUint64(w[:], nonce)
+	h.Write(w[:])
+	var prgSeed [garble.LabelSize]byte
+	copy(prgSeed[:], h.Sum(nil))
+	sk, pk := bfv.KeyGen(p, garble.NewPRG(prgSeed))
+	return HEKeyPair{SK: sk, PK: pk}, nil
+}
+
+// useKeys installs a reusable key pair in place of setupKeys' per-session
+// generation: same decryptor/encryptor wiring, no keygen, and nothing sent
+// — the peer must already hold (or not need) the public key. Encryption
+// randomness still comes from the session's own entropy, which is what
+// keeps reuse semantically secure.
+func (c *Client) useKeys(keys HEKeyPair) error {
+	if err := keys.Validate(c.cfg.HEParams); err != nil {
+		return err
+	}
+	c.sk = keys.SK
+	c.enc = bfv.NewEncryptor(c.cfg.HEParams, keys.PK, c.entropy)
+	c.dec = bfv.NewDecryptor(c.cfg.HEParams, keys.SK)
+	return nil
+}
+
+// SetupResumeKeys is SetupResume with the per-session HE keys replaced by
+// a cached reusable pair: no keygen runs and the public key does NOT cross
+// the wire, so the peer must run the matching SetupResumeKeyless. This is
+// the wire-v4 resumed fast path: OT streams expand from cached seeds and
+// the session's only setup cost is installing the pair.
+func (c *Client) SetupResumeKeys(res *OTResume, nonce []byte, keys HEKeyPair) error {
+	if err := c.useKeys(keys); err != nil {
+		return err
+	}
+	if res == nil {
+		return fmt.Errorf("delphi: client resume: nil OT state")
+	}
+	var err error
+	switch c.cfg.Variant {
+	case ServerGarbler:
+		c.otRecv, err = ot.ResumeReceiver(c.conn, res.Receiver, nonce)
+	case ClientGarbler:
+		c.otSend, err = ot.ResumeSender(c.conn, res.Sender, nonce)
+	}
+	if err != nil {
+		return fmt.Errorf("delphi: client OT resume: %w", err)
+	}
+	return nil
+}
+
+// SetupResumeKeyless is the server half of a key-reuse resumed session: no
+// public key is received (the server computes on ciphertexts only and
+// never needs it), and OT setup expands from cached material. Pairs with
+// the client's SetupResumeKeys.
+func (s *Server) SetupResumeKeyless(res *OTResume, nonce []byte) error {
+	if res == nil {
+		return fmt.Errorf("delphi: server resume: nil OT state")
+	}
+	var err error
+	switch s.cfg.Variant {
+	case ServerGarbler:
+		s.otSend, err = ot.ResumeSender(s.conn, res.Sender, nonce)
+	case ClientGarbler:
+		s.otRecv, err = ot.ResumeReceiver(s.conn, res.Receiver, nonce)
+	}
+	if err != nil {
+		return fmt.Errorf("delphi: server OT resume: %w", err)
+	}
+	return nil
+}

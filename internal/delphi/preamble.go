@@ -42,14 +42,19 @@ func NewClientShared(params bfv.Params, meta ModelMeta) (*ClientShared, error) {
 		cs.plans[i] = bfv.PlanMatVec(params, d.Out, d.In)
 	}
 	cs.circuits = buildCircuits(meta)
-	// Same accounting convention as SharedModel.computeSize: circuits
-	// dominate, plans count as one cache line apiece.
+	cs.computeSize()
+	return cs, nil
+}
+
+// computeSize fills the artifact's resident-footprint accounting. Same
+// convention as SharedModel.computeSize: circuits dominate, plans count as
+// one cache line apiece.
+func (cs *ClientShared) computeSize() {
 	const planBytes = 64
 	cs.size = uint64(len(cs.plans)) * planBytes
 	for _, c := range cs.circuits {
 		cs.size += c.SizeBytes()
 	}
-	return cs, nil
 }
 
 // Meta returns the public model metadata the artifact was built from.
@@ -103,6 +108,85 @@ func (r *OTResume) SizeBytes() int64 {
 		n += r.Receiver.SizeBytes()
 	}
 	return n
+}
+
+// otResumeFlag encodes which of the two states an OTResume carries.
+const (
+	otResumeSender   byte = 1 << 0
+	otResumeReceiver byte = 1 << 1
+)
+
+// MarshalBinary encodes the resumption state: a flags byte naming which
+// role states follow, then their fixed-size encodings. The bytes are
+// secret seed material — persistence (a ticket store, a preamble store)
+// owns framing, integrity, and at-rest protection.
+func (r *OTResume) MarshalBinary() ([]byte, error) {
+	var flags byte
+	size := 1
+	if r.Sender != nil {
+		flags |= otResumeSender
+		size += ot.SenderStateBytes
+	}
+	if r.Receiver != nil {
+		flags |= otResumeReceiver
+		size += ot.ReceiverStateBytes
+	}
+	out := make([]byte, 0, size)
+	out = append(out, flags)
+	if r.Sender != nil {
+		raw, err := r.Sender.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, raw...)
+	}
+	if r.Receiver != nil {
+		raw, err := r.Receiver.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, raw...)
+	}
+	return out, nil
+}
+
+// UnmarshalOTResume decodes state produced by OTResume.MarshalBinary,
+// rejecting unknown flags, short payloads and trailing bytes — a damaged
+// record errors instead of resuming from garbage seeds.
+func UnmarshalOTResume(data []byte) (*OTResume, error) {
+	if len(data) < 1 {
+		return nil, fmt.Errorf("delphi: OT resume state truncated")
+	}
+	flags := data[0]
+	if flags&^(otResumeSender|otResumeReceiver) != 0 {
+		return nil, fmt.Errorf("delphi: OT resume state has unknown flags %#x", flags)
+	}
+	rest := data[1:]
+	r := &OTResume{}
+	if flags&otResumeSender != 0 {
+		if len(rest) < ot.SenderStateBytes {
+			return nil, fmt.Errorf("delphi: OT resume state truncated")
+		}
+		r.Sender = &ot.SenderState{}
+		if err := r.Sender.UnmarshalBinary(rest[:ot.SenderStateBytes]); err != nil {
+			return nil, err
+		}
+		rest = rest[ot.SenderStateBytes:]
+	}
+	if flags&otResumeReceiver != 0 {
+		if len(rest) < ot.ReceiverStateBytes {
+			return nil, fmt.Errorf("delphi: OT resume state truncated")
+		}
+		r.Receiver = &ot.ReceiverState{}
+		if err := r.Receiver.UnmarshalBinary(rest[:ot.ReceiverStateBytes]); err != nil {
+			return nil, err
+		}
+		rest = rest[ot.ReceiverStateBytes:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("delphi: OT resume state has %d trailing bytes", len(rest))
+	}
+	return r, nil
 }
 
 // OTResume exports the client's resumable base-OT material after a

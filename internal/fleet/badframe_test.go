@@ -14,7 +14,7 @@ import (
 // codebase.
 const (
 	wireTagCtrl = 0x01
-	wireVersion = 3
+	wireVersion = 4
 )
 
 // TestRouterGarbageOpcodeRejected: a connection through the router that

@@ -300,3 +300,85 @@ func BenchmarkRegistrySpillReload(b *testing.B) {
 		run(b, store)
 	})
 }
+
+// BenchmarkSessionResumeColdProcess measures the durable-session tier: a
+// full restart of both parties per iteration — new engine over the same
+// TicketDir (ticket reload included), preamble reloaded from its store —
+// followed by the reconnect, which must still take the resumed fast path
+// (no base OTs, no BFV keygen, no public-key flight). This is the cost of
+// "the service restarted and a repeat client came back": engine
+// construction dominates, and the delta against BenchmarkSessionResume's
+// in-process resumed tier is what persistence itself costs.
+func BenchmarkSessionResumeColdProcess(b *testing.B) {
+	model, err := nn.DemoMLP(field.New(field.P20), 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{
+		Model:       model,
+		Variant:     delphi.ClientGarbler,
+		LPHEWorkers: len(model.Linear),
+		TicketDir:   b.TempDir(),
+	}
+	ps, err := NewPreambleStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Seed the durable state: one cold handshake, preamble saved, engine
+	// closed (flushing the ticket write-through).
+	eng, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln := transport.NewPipeListener()
+	go eng.Serve(ln)
+	p := NewPreamble()
+	conn, err := ln.Dial()
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := Connect(conn, WithPreamble(p))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Close()
+	if err := ps.Save("bench-client", p); err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ln := transport.NewPipeListener()
+		go eng.Serve(ln)
+		p2, err := ps.Load("bench-client")
+		if err != nil {
+			b.Fatal(err)
+		}
+		conn, err := ln.Dial()
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := Connect(conn, WithPreamble(p2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if !c.Resumed() {
+			b.Fatal("post-restart connect did not resume")
+		}
+		c.Close()
+		if err := eng.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}

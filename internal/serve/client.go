@@ -241,6 +241,21 @@ func connect(conn *transport.Conn, opts ConnectOptions) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Settle the session's HE keys against the resumption outcome before
+	// building the endpoint. A resumed session reuses the cached pair from
+	// the ticket's generation — the server validated its public key at
+	// ticket issue and keeps no copy, so neither keygen nor the key flight
+	// runs (wire v4). A full handshake with a preamble derives the next
+	// generation from the master seed (fresh derivation nonce) and sends
+	// its public key through the normal Setup path via Config.HEKeyGen.
+	var resumeKeys delphi.HEKeyPair
+	if w.Resumed {
+		keys, ok := opts.Preamble.resumeHEKeys(params)
+		if !ok {
+			return nil, fmt.Errorf("serve: server resumed a ticket this client holds no HE keys for")
+		}
+		resumeKeys = keys
+	}
 
 	c := &Client{
 		m:            newMux(conn),
@@ -252,6 +267,15 @@ func connect(conn *transport.Conn, opts ConnectOptions) (*Client, error) {
 		loopDone:     make(chan struct{}),
 	}
 	dcfg := delphi.Config{Variant: c.variant, HEParams: params}
+	if opts.Preamble != nil && !w.Resumed {
+		keys, err := opts.Preamble.freshHEKeys(params, entropy)
+		if err != nil {
+			return nil, err
+		}
+		dcfg.HEKeyGen = func(bfv.Params, io.Reader) (bfv.SecretKey, bfv.PublicKey) {
+			return keys.SK, keys.PK
+		}
+	}
 	if opts.Preamble != nil {
 		cs, err := opts.Preamble.sharedFor(w.Model, params, w.Meta)
 		if err != nil {
@@ -271,7 +295,7 @@ func connect(conn *transport.Conn, opts ConnectOptions) (*Client, error) {
 		}
 	}
 	if w.Resumed {
-		err = c.cli.SetupResume(state, joinNonce(nonce, w.Nonce))
+		err = c.cli.SetupResumeKeys(state, joinNonce(nonce, w.Nonce), resumeKeys)
 	} else {
 		err = c.cli.Setup()
 		if err == nil && opts.Preamble != nil && len(w.Ticket) > 0 {

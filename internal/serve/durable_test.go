@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"privinf/internal/delphi"
+)
+
+// Cross-restart battery for durable session state: each test crashes one
+// or both endpoints (server ticket cache → TicketDir, client preamble →
+// PreambleStore), reconnects, and requires the resumed fast path with
+// outputs bit-identical to the pre-crash cold session. Run under -race
+// these double as the persistence paths' concurrency tests.
+
+// durableConfig is the engine config every restart test shares: same model
+// seed, same ticket directory across "restarts".
+func durableConfig(t *testing.T, dir string, seed int64) Config {
+	t.Helper()
+	return Config{
+		Model:       testModel(t, seed),
+		Variant:     delphi.ClientGarbler,
+		LPHEWorkers: 2,
+		TicketDir:   dir,
+	}
+}
+
+// inferOnce runs one inference through a connected client.
+func inferOnce(t *testing.T, c *Client, x []uint64) []uint64 {
+	t.Helper()
+	out, _, _, err := c.Infer(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// heGeneration snapshots the preamble's HE derivation state: the nonce
+// and whether a derived pair is cached. A resumed connect must leave the
+// nonce untouched — a bump means keygen ran.
+func heGeneration(p *Preamble) (uint64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.heNonce, p.heKeys != nil
+}
+
+// TestEngineRestartKeepsResumedPath: server-only crash. The restarted
+// engine reloads its tickets from TicketDir and the client's very next
+// connect — unchanged in-memory preamble — takes the resumed fast path
+// with bit-identical output.
+func TestEngineRestartKeepsResumedPath(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableConfig(t, dir, 160)
+	model := cfg.Model
+	x := make([]uint64, model.InputLen())
+	for j := range x {
+		x[j] = uint64((j*5 + 1) % 16)
+	}
+	want := model.Forward(x)
+
+	eng1, ln1 := pipeEngine(t, cfg)
+	p := NewPreamble()
+	cold := connectPreamble(t, ln1, "", p)
+	coldOut := inferOnce(t, cold, x)
+	cold.Close()
+	if err := eng1.Close(); err != nil { // flushes ticket write-throughs
+		t.Fatal(err)
+	}
+
+	eng2, ln2 := pipeEngine(t, cfg)
+	st := eng2.Stats()
+	if st.Tickets.Loaded != 1 || st.Tickets.LoadErrors != 0 {
+		t.Fatalf("restarted engine loaded %d tickets (%d errors), want 1 clean",
+			st.Tickets.Loaded, st.Tickets.LoadErrors)
+	}
+	nonceBefore, hadKeys := heGeneration(p)
+	if !hadKeys {
+		t.Fatal("cold handshake cached no HE key generation")
+	}
+	c := connectPreamble(t, ln2, "", p)
+	defer c.Close()
+	if resumed, code := c.ResumeOutcome(); !resumed || code != "" {
+		t.Fatalf("post-restart connect resumed=%v reject=%q, want clean resume", resumed, code)
+	}
+	if nonceAfter, _ := heGeneration(p); nonceAfter != nonceBefore {
+		t.Fatalf("resumed connect bumped the HE nonce %d→%d: keygen ran", nonceBefore, nonceAfter)
+	}
+	out := inferOnce(t, c, x)
+	for j := range want {
+		if coldOut[j] != want[j] || out[j] != coldOut[j] {
+			t.Fatalf("output %d: cold %d, post-restart %d, plaintext %d", j, coldOut[j], out[j], want[j])
+		}
+	}
+	if st := eng2.Stats(); st.Tickets.Resumed != 1 {
+		t.Fatalf("restarted engine resumed counter = %d, want 1", st.Tickets.Resumed)
+	}
+}
+
+// TestClientRestartKeepsResumedPath: client-only crash. The preamble is
+// persisted, dropped, and reloaded from disk; the reconnect against the
+// still-running engine resumes with zero keygen and bit-identical output.
+func TestClientRestartKeepsResumedPath(t *testing.T) {
+	cfg := durableConfig(t, t.TempDir(), 161)
+	model := cfg.Model
+	x := make([]uint64, model.InputLen())
+	for j := range x {
+		x[j] = uint64((j*3 + 2) % 16)
+	}
+	_, ln := pipeEngine(t, cfg)
+
+	p := NewPreamble()
+	cold := connectPreamble(t, ln, "", p)
+	coldOut := inferOnce(t, cold, x)
+	cold.Close()
+
+	ps, err := NewPreambleStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Save("c", p); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ps.Load("c") // the "restarted" client's state
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nonceBefore, hadKeys := heGeneration(p2)
+	if !hadKeys {
+		t.Fatal("reloaded preamble carries no HE key generation")
+	}
+	c := connectPreamble(t, ln, "", p2)
+	defer c.Close()
+	if !c.Resumed() {
+		t.Fatal("reconnect from a reloaded preamble should resume")
+	}
+	if nonceAfter, _ := heGeneration(p2); nonceAfter != nonceBefore {
+		t.Fatal("resumed connect from disk state re-derived HE keys")
+	}
+	out := inferOnce(t, c, x)
+	for j := range coldOut {
+		if out[j] != coldOut[j] {
+			t.Fatalf("output %d: post-restart %d, cold session produced %d", j, out[j], coldOut[j])
+		}
+	}
+}
+
+// TestBothPartiesRestartResume is the tentpole acceptance test: both
+// processes die, both reload from disk, and the very first connect of the
+// new pair completes the fast path — ticket accepted, no BFV keygen, no
+// public-key flight — with output bit-identical to the cold session's.
+func TestBothPartiesRestartResume(t *testing.T) {
+	ticketDir := t.TempDir()
+	cfg := durableConfig(t, ticketDir, 162)
+	model := cfg.Model
+	x := make([]uint64, model.InputLen())
+	for j := range x {
+		x[j] = uint64((j*7 + 3) % 16)
+	}
+	want := model.Forward(x)
+
+	eng1, ln1 := pipeEngine(t, cfg)
+	p := NewPreamble()
+	cold := connectPreamble(t, ln1, "", p)
+	coldOut := inferOnce(t, cold, x)
+	cold.Close()
+
+	ps, err := NewPreambleStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Save("c", p); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both parties are new objects over the old directories.
+	eng2, ln2 := pipeEngine(t, cfg)
+	p2, err := ps.Load("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonceBefore, hadKeys := heGeneration(p2)
+	if !hadKeys {
+		t.Fatal("reloaded preamble carries no HE key generation")
+	}
+	c := connectPreamble(t, ln2, "", p2)
+	defer c.Close()
+	if resumed, code := c.ResumeOutcome(); !resumed || code != "" {
+		t.Fatalf("double-restart connect resumed=%v reject=%q, want clean resume", resumed, code)
+	}
+	if nonceAfter, _ := heGeneration(p2); nonceAfter != nonceBefore {
+		t.Fatal("double-restart resumed connect re-derived HE keys")
+	}
+	out := inferOnce(t, c, x)
+	for j := range want {
+		if coldOut[j] != want[j] || out[j] != coldOut[j] {
+			t.Fatalf("output %d: cold %d, post-restart %d, plaintext %d", j, coldOut[j], out[j], want[j])
+		}
+	}
+	st := eng2.Stats()
+	if st.Tickets.Loaded != 1 || st.Tickets.Resumed != 1 || st.Tickets.LoadErrors != 0 {
+		t.Fatalf("restarted engine ticket stats %+v, want loaded=1 resumed=1", st.Tickets)
+	}
+}
+
+// TestCorruptTicketFileFallsBack: a damaged record in TicketDir is counted
+// as a load error and deleted; the affected client falls back to a typed
+// unknown_ticket full handshake that still serves correct inferences and
+// re-issues a working ticket.
+func TestCorruptTicketFileFallsBack(t *testing.T) {
+	ticketDir := t.TempDir()
+	cfg := durableConfig(t, ticketDir, 163)
+	model := cfg.Model
+
+	eng1, ln1 := pipeEngine(t, cfg)
+	p := NewPreamble()
+	connectPreamble(t, ln1, "", p).Close()
+	if err := eng1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	files, err := filepath.Glob(filepath.Join(ticketDir, "*"+ticketSuffix))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("ticket dir holds %d records (%v), want 1", len(files), err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(files[0], data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2, ln2 := pipeEngine(t, cfg)
+	st := eng2.Stats()
+	if st.Tickets.Loaded != 0 || st.Tickets.LoadErrors != 1 {
+		t.Fatalf("corrupt record: loaded=%d loadErrors=%d, want 0/1", st.Tickets.Loaded, st.Tickets.LoadErrors)
+	}
+	if _, err := os.Stat(files[0]); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("corrupt record left on disk to fail every future load")
+	}
+
+	c := connectPreamble(t, ln2, "", p)
+	if resumed, code := c.ResumeOutcome(); resumed || code != resumeUnknownTicket {
+		t.Fatalf("resumed=%v reject=%q, want typed %q fallback", resumed, code, resumeUnknownTicket)
+	}
+	x := make([]uint64, model.InputLen())
+	for j := range x {
+		x[j] = uint64(j % 11)
+	}
+	out := inferOnce(t, c, x)
+	for j, w := range model.Forward(x) {
+		if out[j] != w {
+			t.Fatalf("fallback session output %d diverged", j)
+		}
+	}
+	c.Close()
+
+	// The fallback's fresh ticket works — and is durable again.
+	c2 := connectPreamble(t, ln2, "", p)
+	defer c2.Close()
+	if !c2.Resumed() {
+		t.Fatal("reconnect after fallback re-issue should resume")
+	}
+}
+
+// TestExpiredTicketOnDiskSwept: a record whose TTL lapsed while the engine
+// was down is swept at startup and counted expired — TTL semantics hold
+// across restarts.
+func TestExpiredTicketOnDiskSwept(t *testing.T) {
+	ticketDir := t.TempDir()
+	ts, err := newTicketStore(ticketDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testTicketRecord(t, 60, time.Now().Add(-time.Minute))
+	if err := ts.save(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	eng, _ := pipeEngine(t, durableConfig(t, ticketDir, 164))
+	st := eng.Stats()
+	if st.Tickets.Loaded != 0 || st.Tickets.Expired != 1 || st.Tickets.LoadErrors != 0 {
+		t.Fatalf("lapsed record: stats %+v, want expired=1 only", st.Tickets)
+	}
+	if _, err := os.Stat(ts.path(rec.id)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("lapsed record left on disk")
+	}
+}
+
+// TestCorruptPreambleFallsBackFresh: every damaged-preamble class surfaces
+// the right sentinel, and the documented fallback — NewPreamble, full
+// handshake — works against a live engine.
+func TestCorruptPreambleFallsBackFresh(t *testing.T) {
+	cfg := durableConfig(t, t.TempDir(), 165)
+	_, ln := pipeEngine(t, cfg)
+
+	ps, err := NewPreambleStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPreamble()
+	connectPreamble(t, ln, "", p).Close()
+	if err := ps.Save("c", p); err != nil {
+		t.Fatal(err)
+	}
+	corruptPreambleFile(t, ps, "c", func(b []byte) []byte {
+		b[storeHeaderBytes+32] ^= 0x80
+		return b
+	})
+	if _, err := ps.Load("c"); !errors.Is(err, ErrPreambleCorrupt) {
+		t.Fatalf("Load of damaged preamble = %v, want ErrPreambleCorrupt", err)
+	}
+
+	// The fallback the error contract prescribes: start fresh.
+	fresh := NewPreamble()
+	c := connectPreamble(t, ln, "", fresh)
+	defer c.Close()
+	if c.Resumed() {
+		t.Fatal("fresh preamble cannot resume")
+	}
+	if !fresh.HasTicket() {
+		t.Fatal("fresh-start handshake issued no new ticket")
+	}
+}
+
+// TestTicketDirRequiresResumption: persisting tickets with resumption
+// disabled is a configuration contradiction New rejects.
+func TestTicketDirRequiresResumption(t *testing.T) {
+	_, err := New(Config{
+		Model:     testModel(t, 166),
+		Variant:   delphi.ClientGarbler,
+		TicketTTL: -1,
+		TicketDir: t.TempDir(),
+	})
+	if err == nil {
+		t.Fatal("New accepted TicketDir with resumption disabled")
+	}
+}

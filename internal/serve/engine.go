@@ -107,6 +107,16 @@ type Config struct {
 	// bytes, evicting least-recently-resumed tickets past it. 0 uses
 	// DefaultTicketBudget; < 0 means unbounded.
 	TicketBudget int64
+	// TicketDir, when non-empty, backs the resumption-ticket cache with a
+	// disk store rooted there: live tickets are written through on a
+	// background writer and reloaded at construction, so repeat clients
+	// stay on the resumed fast path across an engine restart. Records
+	// whose TTL lapsed while the engine was down are swept; damaged
+	// records are deleted and counted (TicketStats.LoadErrors) and the
+	// affected clients fall back to a fresh handshake. Requires resumption
+	// enabled (TicketTTL >= 0). Ticket files hold secret OT seed material
+	// — the directory is created 0700 and files 0600.
+	TicketDir string
 	// PinDefaultModel exempts the default model's artifact from registry
 	// LRU eviction and pre-builds it at engine construction, so the
 	// highest-traffic entry never pays the cold-build latency spike.
@@ -287,6 +297,15 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.TicketTTL >= 0 {
 		e.tickets = newTicketCache(cfg.TicketTTL, cfg.TicketBudget, e.entropy)
+		if cfg.TicketDir != "" {
+			ts, err := newTicketStore(cfg.TicketDir)
+			if err != nil {
+				return nil, err
+			}
+			e.tickets.attachStore(ts)
+		}
+	} else if cfg.TicketDir != "" {
+		return nil, fmt.Errorf("serve: cfg.TicketDir requires resumption enabled (TicketTTL >= 0)")
 	}
 	if cfg.SetupWorkers > 0 {
 		e.setupSem = make(chan struct{}, cfg.SetupWorkers)
@@ -490,8 +509,10 @@ func (e *Engine) handle(conn *transport.Conn, addr string) {
 	}
 	if resume != nil {
 		// Both halves contribute to the per-session nonce, so neither party
-		// can force a stream replay on the other.
-		err = s.srv.SetupResume(resume, joinNonce(hello.Nonce, serverNonce))
+		// can force a stream replay on the other. Keyless: under wire v4 a
+		// resumed client reuses the key pair this engine validated at ticket
+		// issue, so no public key crosses the wire here.
+		err = s.srv.SetupResumeKeyless(resume, joinNonce(hello.Nonce, serverNonce))
 	} else {
 		err = s.srv.Setup()
 		if err == nil && newTicket != nil {
@@ -758,6 +779,11 @@ func (e *Engine) Close() error {
 	// restart over the same artifact directory finds every write-through
 	// the engine promised (the registry may be shared; waiting is safe).
 	e.reg.Flush()
+	// Same barrier for the ticket cache's background persistence: a
+	// restart over the same ticket directory must find every live ticket.
+	if e.tickets != nil {
+		e.tickets.flush()
+	}
 	return nil
 }
 

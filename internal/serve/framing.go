@@ -1,0 +1,226 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// Shared on-disk framing for the serve package's durable state: model
+// artifacts (ArtifactStore), resumption tickets (ticketStore) and client
+// preambles (PreambleStore) all persist as
+//
+//	magic (4 bytes) | format version (u32) | payload length (u64) |
+//	CRC-32C(payload) (u32) | payload
+//
+// written atomically (temp file + rename). Each store supplies its own
+// magic, version and typed sentinel errors through a frameSpec; the
+// helpers here implement the write/verify discipline once so every new
+// format inherits the same crash-safety and corruption story the
+// ArtifactStore established: a crashed writer never publishes a torn
+// file, and a reader distinguishes "not there" (a plain miss) from "there
+// but unusable" (corrupt / version-skewed), with every failure mode
+// falling back cleanly.
+
+// frameSpec is one durable format's identity: its magic, current version,
+// a label for error text, and the typed sentinels its readers surface.
+type frameSpec struct {
+	magic   [4]byte
+	version uint32
+	label   string
+	// Typed failure sentinels, matched with errors.Is by callers.
+	errNotFound error
+	errCorrupt  error
+	errVersion  error
+}
+
+// frameHeader builds the fixed header for a payload.
+func (sp frameSpec) frameHeader(payload []byte) [storeHeaderBytes]byte {
+	var header [storeHeaderBytes]byte
+	copy(header[0:4], sp.magic[:])
+	binary.LittleEndian.PutUint32(header[4:], sp.version)
+	binary.LittleEndian.PutUint64(header[8:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(header[16:], storeChecksum(payload))
+	return header
+}
+
+// writeFramed atomically publishes a framed payload at dst: temp file in
+// dir, header + payload writes, then rename. A reader either sees the old
+// complete file or the new complete file, never a torn write. The header
+// and payload go out as two writes rather than one concatenated buffer —
+// artifact payloads are multi-megabyte, so an extra full copy would be
+// paid on the hot write-through path. Temp files are created 0600, so a
+// published secret-material file (tickets, preambles) is never readable
+// beyond its owner.
+func (sp frameSpec) writeFramed(dir, name, dst string, payload []byte) error {
+	header := sp.frameHeader(payload)
+	tmp, err := os.CreateTemp(dir, "."+url.PathEscape(name)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("serve: %s: %w", sp.label, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(header[:]); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("serve: %s: write %q: %w", sp.label, name, err)
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("serve: %s: write %q: %w", sp.label, name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("serve: %s: write %q: %w", sp.label, name, err)
+	}
+	if err := os.Rename(tmpName, dst); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("serve: %s: publish %q: %w", sp.label, name, err)
+	}
+	return nil
+}
+
+// readFramed reads and verifies a framed file, returning the payload.
+// Absent files return the spec's not-found sentinel; damaged or
+// version-skewed files its corrupt / version sentinels. The checksum is
+// verified before a single payload byte reaches the caller's codec.
+func (sp frameSpec) readFramed(path, name string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %q", sp.errNotFound, name)
+		}
+		return nil, fmt.Errorf("serve: %s: read %q: %w", sp.label, name, err)
+	}
+	if len(data) < storeHeaderBytes {
+		return nil, fmt.Errorf("%w: %q: %d-byte file shorter than the %d-byte header",
+			sp.errCorrupt, name, len(data), storeHeaderBytes)
+	}
+	if [4]byte(data[0:4]) != sp.magic {
+		return nil, fmt.Errorf("%w: %q: bad magic", sp.errCorrupt, name)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != sp.version {
+		return nil, fmt.Errorf("%w: %q: file version %d, store speaks %d", sp.errVersion, name, v, sp.version)
+	}
+	plen := binary.LittleEndian.Uint64(data[8:])
+	if plen != uint64(len(data)-storeHeaderBytes) {
+		return nil, fmt.Errorf("%w: %q: header claims %d payload bytes, file carries %d",
+			sp.errCorrupt, name, plen, len(data)-storeHeaderBytes)
+	}
+	payload := data[storeHeaderBytes:]
+	if got := binary.LittleEndian.Uint32(data[16:]); got != storeChecksum(payload) {
+		return nil, fmt.Errorf("%w: %q: checksum mismatch", sp.errCorrupt, name)
+	}
+	return payload, nil
+}
+
+// escapedPath maps an arbitrary name into dir with the store's suffix,
+// URL-path-escaped so names with separators stay within the directory.
+func escapedPath(dir, name, suffix string) string {
+	return filepath.Join(dir, url.PathEscape(name)+suffix)
+}
+
+// sweepTempFiles removes orphaned atomic-write temp files (".<name>.tmp-*")
+// older than tempMaxAge from dir — the debris a writer crashed between
+// CreateTemp and Rename leaves behind. Published files always end in
+// publishedSuffix and are never touched. Best-effort: a file that vanishes
+// mid-sweep or cannot be removed is simply skipped. Returns the number
+// removed.
+func sweepTempFiles(dir, publishedSuffix string) int {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	cutoff := time.Now().Add(-tempMaxAge)
+	removed := 0
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasPrefix(name, ".") || !strings.Contains(name, ".tmp-") {
+			continue
+		}
+		if strings.HasSuffix(name, publishedSuffix) {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		if os.Remove(filepath.Join(dir, name)) == nil {
+			removed++
+		}
+	}
+	return removed
+}
+
+// binWriter appends little-endian fields to a growing buffer — the serve
+// package's codec writer for durable payloads (ticket records, preambles).
+type binWriter struct {
+	buf []byte
+}
+
+func (w *binWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+}
+
+// blob writes a length-prefixed byte string.
+func (w *binWriter) blob(b []byte) {
+	w.u64(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// binReader consumes little-endian fields with sticky error tracking, so a
+// truncated or hostile payload surfaces as one typed error instead of a
+// slice panic.
+type binReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+var errPayloadTruncated = errors.New("serve: codec: payload truncated")
+
+func (r *binReader) remaining() int { return len(r.buf) - r.off }
+
+func (r *binReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 8 {
+		r.err = errPayloadTruncated
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *binReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.remaining() < n {
+		r.err = errPayloadTruncated
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// blob reads a length-prefixed byte string written by binWriter.blob.
+func (r *binReader) blob() []byte {
+	n := r.u64()
+	if r.err == nil && n > uint64(r.remaining()) {
+		r.err = errPayloadTruncated
+		return nil
+	}
+	return r.take(int(n))
+}

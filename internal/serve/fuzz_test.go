@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"privinf/internal/bfv"
+	"privinf/internal/delphi"
+	"privinf/internal/field"
+	"privinf/internal/nn"
+	"privinf/internal/transport"
+)
+
+// demoModel/demoParams are the fuzz setups' model helpers — the same
+// shapes testModel/mustParams build, minus the *testing.T plumbing.
+func demoModel(seed int64) (*nn.Lowered, error) {
+	return nn.DemoMLP(field.New(field.P20), seed)
+}
+
+func demoParams(model *nn.Lowered) (bfv.Params, error) {
+	return bfv.NewParams(bfv.DefaultN, model.F.P())
+}
+
+// Go-native fuzz targets for every input surface the durable-session work
+// added: the ticket record codec (hostile disk bytes behind the frame
+// checksum), the preamble codec (the client's persisted state), and the
+// hello message (the one network input a pre-handshake peer controls).
+// CI's fuzz-smoke job runs each for a short budget; the seed corpus below
+// keeps plain `go test` exercising the interesting shapes.
+
+// FuzzTicketRecordUnmarshal: arbitrary bytes never panic the record codec,
+// and any accepted payload re-encodes to exactly the input — the codec
+// admits only its own canonical encoding.
+func FuzzTicketRecordUnmarshal(f *testing.F) {
+	rec := testTicketRecord(f, 70, time.Now().Add(time.Hour))
+	valid, err := marshalTicketRecord(rec)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)/2])
+	f.Add(append(append([]byte(nil), valid...), 0))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := unmarshalTicketRecord(data)
+		if err != nil {
+			return
+		}
+		re, err := marshalTicketRecord(rec)
+		if err != nil {
+			t.Fatalf("accepted payload failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("non-canonical payload accepted: %d bytes in, %d bytes re-encoded", len(data), len(re))
+		}
+	})
+}
+
+// FuzzPreambleUnmarshal: arbitrary bytes never panic the preamble codec,
+// and any accepted payload survives a marshal → unmarshal round trip (the
+// decoded state is self-consistent enough to persist again).
+func FuzzPreambleUnmarshal(f *testing.F) {
+	empty, err := NewPreamble().MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+
+	full := &Preamble{shared: map[string]*delphi.ClientShared{}}
+	id := make([]byte, ticketIDBytes)
+	for i := range id {
+		id[i] = byte(i)
+	}
+	full.storeTicket(id, testOTResume(f, 71))
+	model, err := demoModel(72)
+	if err != nil {
+		f.Fatal(err)
+	}
+	params, err := demoParams(model)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := full.freshHEKeys(params, &seqEntropy{}); err != nil {
+		f.Fatal(err)
+	}
+	cs, err := delphi.NewClientShared(params, delphi.MetaOf(model))
+	if err != nil {
+		f.Fatal(err)
+	}
+	full.shared["m"] = cs
+	fullEnc, err := full.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(fullEnc)
+	f.Add(fullEnc[:len(fullEnc)/2])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := UnmarshalPreamble(data)
+		if err != nil {
+			return
+		}
+		re, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted payload failed to re-encode: %v", err)
+		}
+		if _, err := UnmarshalPreamble(re); err != nil {
+			t.Fatalf("re-encoded payload rejected: %v", err)
+		}
+	})
+}
+
+// FuzzClientHello drives arbitrary hello bodies — the first JSON a peer
+// controls — through a live engine's handshake: whatever the bytes, the
+// engine must answer with exactly one control frame (a welcome or a typed
+// rejection), never hang, never panic, never crash the accept loop.
+func FuzzClientHello(f *testing.F) {
+	model, err := demoModel(73)
+	if err != nil {
+		f.Fatal(err)
+	}
+	eng, err := New(Config{Model: model, Variant: delphi.ClientGarbler, LPHEWorkers: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	ln := transport.NewPipeListener()
+	go eng.Serve(ln)
+	f.Cleanup(func() { eng.Close() })
+
+	f.Add([]byte(marshalJSON(helloMsg{Version: wireVersion})))
+	f.Add([]byte(marshalJSON(helloMsg{Version: wireVersion, Model: "nope"})))
+	f.Add([]byte(marshalJSON(helloMsg{Version: wireVersion, Ticket: make([]byte, ticketIDBytes), Nonce: make([]byte, ticketIDBytes)})))
+	f.Add([]byte(marshalJSON(helloMsg{Version: wireVersion, Ticket: make([]byte, ticketIDBytes)}))) // ticket, no nonce
+	f.Add([]byte(marshalJSON(helloMsg{Version: 2})))
+	f.Add([]byte("not json"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		conn, err := ln.Dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if err := transport.SendPreamble(conn, transport.Preamble{Version: wireVersion}); err != nil {
+			t.Fatal(err)
+		}
+		if err := sendCtrl(conn, opHello, body); err != nil {
+			t.Fatal(err)
+		}
+		op, reply, err := recvCtrl(conn)
+		if err != nil {
+			t.Fatalf("no handshake answer: %v", err)
+		}
+		switch op {
+		case opWelcome:
+			var w welcomeMsg
+			if err := unmarshalJSON(reply, &w); err != nil {
+				t.Fatalf("welcome body undecodable: %v", err)
+			}
+			if w.Resumed {
+				t.Fatal("engine resumed a ticket it never issued")
+			}
+		case opReject:
+			var rej rejectMsg
+			if err := unmarshalJSON(reply, &rej); err != nil {
+				t.Fatalf("reject body undecodable: %v", err)
+			}
+			if rej.Code == "" {
+				t.Fatal("rejection carries no typed code")
+			}
+		default:
+			t.Fatalf("handshake answered with opcode %d", op)
+		}
+	})
+}

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"crypto/rand"
 	"fmt"
+	"io"
 	"sync"
 
 	"privinf/internal/bfv"
@@ -18,19 +20,35 @@ import (
 //   - per-model shared client artifacts (delphi.ClientShared: ReLU
 //     circuits + matvec plans, no secrets), the client-side analog of the
 //     server's SharedModel, built once per model and reused across all of
-//     that client's sessions.
+//     that client's sessions; and
+//   - a master HE key seed plus the BFV key pair derived from it for the
+//     current ticket generation, so a resumed connect skips both the BFV
+//     keygen and the public-key flight (the server validated and discarded
+//     this pk at ticket issue — it computes only on ciphertexts).
 //
 // Pass one Preamble to every ConnectOpts/DialOpts call of a logical
 // client; it is updated in place after each handshake (fresh ticket on a
 // full handshake, artifact cache fills on first use of a model). Safe for
-// concurrent use. A Preamble holds secret OT correlation material — it
-// belongs to one client and must not be shared between mutually
-// distrusting parties.
+// concurrent use. A Preamble holds secret OT correlation material and HE
+// secret-key material — it belongs to one client and must not be shared
+// between mutually distrusting parties.
 type Preamble struct {
 	mu     sync.Mutex
 	ticket []byte
 	state  *delphi.OTResume
 	shared map[string]*delphi.ClientShared
+
+	// HE key reuse. heSeed is the client's long-lived 32-byte master seed,
+	// drawn once; per-generation keys are derived from it under heNonce, a
+	// strictly increasing counter — every full handshake bumps it and
+	// derives a fresh pair, so no derivation nonce is ever reused for new
+	// key material (see docs/invariants.md). heKeys/heParams cache the
+	// current generation's pair: valid exactly as long as the ticket the
+	// server issued against its public key.
+	heSeed   []byte
+	heNonce  uint64
+	heKeys   *delphi.HEKeyPair
+	heParams bfv.Params
 }
 
 // NewPreamble returns an empty preamble.
@@ -47,11 +65,15 @@ func (p *Preamble) HasTicket() bool {
 
 // ForgetTicket drops the resumption ticket (and its seed material) while
 // keeping the shared artifacts — the artifact-warm tier: the next connect
-// runs full base OTs but still skips circuit and plan construction.
+// runs full base OTs but still skips circuit and plan construction. The
+// cached HE key pair goes with the ticket (it belongs to that ticket's
+// generation); the master seed stays, so the next full handshake derives
+// the next generation instead of re-drawing entropy.
 func (p *Preamble) ForgetTicket() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.ticket, p.state = nil, nil
+	p.heKeys = nil
 }
 
 // SizeBytes reports the preamble's resident footprint: cached shared
@@ -65,6 +87,11 @@ func (p *Preamble) SizeBytes() uint64 {
 	}
 	for _, cs := range p.shared {
 		n += cs.SizeBytes()
+	}
+	n += uint64(len(p.heSeed))
+	if p.heKeys != nil {
+		// sk is one ring element, pk two, 8 bytes per coefficient.
+		n += uint64(p.heKeys.SK.Degree()) * 8 * 3
 	}
 	return n
 }
@@ -86,6 +113,51 @@ func (p *Preamble) storeTicket(ticket []byte, state *delphi.OTResume) {
 	defer p.mu.Unlock()
 	p.ticket = append([]byte(nil), ticket...)
 	p.state = state
+}
+
+// heSeedBytes is the master HE key seed length: 256 bits, matching the
+// derivation hash's block of extracted entropy.
+const heSeedBytes = 32
+
+// freshHEKeys derives the next generation's HE key pair for a full
+// handshake: draw the master seed if this preamble has none yet, bump the
+// derivation nonce (never reused), derive under params, and cache the pair
+// for the resumed sessions that follow. A nil entropy falls back to the
+// system RNG, mirroring randomID.
+func (p *Preamble) freshHEKeys(params bfv.Params, entropy io.Reader) (delphi.HEKeyPair, error) {
+	// Draw candidate seed material outside p.mu — entropy reads are I/O.
+	if entropy == nil {
+		entropy = rand.Reader
+	}
+	candidate := make([]byte, heSeedBytes)
+	if _, err := io.ReadFull(entropy, candidate); err != nil {
+		return delphi.HEKeyPair{}, fmt.Errorf("serve: preamble HE seed entropy: %w", err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.heSeed) == 0 {
+		p.heSeed = candidate
+	}
+	p.heNonce++
+	keys, err := delphi.DeriveHEKeyPair(params, p.heSeed, p.heNonce)
+	if err != nil {
+		return delphi.HEKeyPair{}, err
+	}
+	p.heKeys, p.heParams = &keys, params
+	return keys, nil
+}
+
+// resumeHEKeys returns the cached key pair for a resumed session under
+// params, or false when the preamble holds none (or holds one derived
+// under a different parameter set — a changed engine configuration means
+// the ticket will not resume either).
+func (p *Preamble) resumeHEKeys(params bfv.Params) (delphi.HEKeyPair, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.heKeys == nil || p.heParams.N != params.N || p.heParams.T != params.T {
+		return delphi.HEKeyPair{}, false
+	}
+	return *p.heKeys, true
 }
 
 // sharedFor returns the cached client artifact for a model name, building

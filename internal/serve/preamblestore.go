@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+
+	"privinf/internal/bfv"
+	"privinf/internal/delphi"
+)
+
+// PreambleStore is the client-side analog of the server's durable state: a
+// directory of persisted Preambles, one framed file per logical client
+// name. With both a ticket store on the engine and a preamble store on the
+// client, session resumption survives full process restarts of either or
+// both parties — a cold client process loads its preamble and reconnects
+// on the resumed fast path: no base OTs, no BFV keygen, no public-key
+// flight, no circuit builds.
+//
+// Files use the serve package's shared framing (see framing.go) and
+// atomic-write discipline, with typed failure sentinels: a missing file is
+// ErrPreambleNotFound (a plain miss — start fresh), a damaged one
+// ErrPreambleCorrupt, a version-skewed one ErrPreambleVersion. Every
+// failure mode falls back to NewPreamble and a full handshake.
+//
+// A persisted preamble holds the client's HE master seed, secret key and
+// OT correlation seeds in plaintext. Files are created 0600 in a 0700
+// directory; protecting the directory beyond filesystem permissions
+// (encryption at rest) is the deployment's responsibility — see
+// docs/invariants.md.
+type PreambleStore struct {
+	dir string
+}
+
+// Sentinel errors distinguishing the preamble store's failure modes; match
+// with errors.Is.
+var (
+	// ErrPreambleNotFound reports that no preamble is stored under the name.
+	ErrPreambleNotFound = errors.New("serve: preamble not found")
+	// ErrPreambleCorrupt reports a damaged file: truncation, framing
+	// inconsistency, checksum mismatch, or a payload the codec rejects.
+	ErrPreambleCorrupt = errors.New("serve: preamble corrupt")
+	// ErrPreambleVersion reports a file written under a different preamble
+	// format version.
+	ErrPreambleVersion = errors.New("serve: preamble format version mismatch")
+)
+
+// preambleFormatVersion is bumped whenever the framing or payload layout
+// changes; readers reject any other version and the client falls back to a
+// full handshake.
+const preambleFormatVersion = 1
+
+// preambleSuffix is the extension every published preamble file carries.
+const preambleSuffix = ".pipre"
+
+var preambleMagic = [4]byte{'P', 'I', 'P', 'B'}
+
+var preambleFrame = frameSpec{
+	magic:       preambleMagic,
+	version:     preambleFormatVersion,
+	label:       "preamble store",
+	errNotFound: ErrPreambleNotFound,
+	errCorrupt:  ErrPreambleCorrupt,
+	errVersion:  ErrPreambleVersion,
+}
+
+// NewPreambleStore opens (creating if necessary) a preamble store rooted
+// at dir and sweeps orphaned temp files from crashed atomic writes. The
+// directory is created 0700: every file holds secret key material.
+func NewPreambleStore(dir string) (*PreambleStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("serve: preamble store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("serve: preamble store: %w", err)
+	}
+	ps := &PreambleStore{dir: dir}
+	sweepTempFiles(dir, preambleSuffix)
+	return ps, nil
+}
+
+// Dir returns the store's root directory.
+func (ps *PreambleStore) Dir() string { return ps.dir }
+
+// Path returns the file path a client name maps to (URL-path-escaped, like
+// artifact names).
+func (ps *PreambleStore) Path(name string) string {
+	return escapedPath(ps.dir, name, preambleSuffix)
+}
+
+// Save atomically persists a snapshot of the preamble under name,
+// replacing any previous version. Call it after a successful connect (the
+// handshake may have refreshed the ticket or derived new keys).
+func (ps *PreambleStore) Save(name string, p *Preamble) error {
+	if p == nil {
+		return fmt.Errorf("serve: preamble store: nil preamble %q", name)
+	}
+	payload, err := p.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("serve: preamble store: encode %q: %w", name, err)
+	}
+	return preambleFrame.writeFramed(ps.dir, name, ps.Path(name), payload)
+}
+
+// Load reads, verifies and decodes the preamble stored under name. Absent
+// files return ErrPreambleNotFound; damaged or incompatible files return
+// errors matching ErrPreambleCorrupt or ErrPreambleVersion. Callers treat
+// every error the same way: start from NewPreamble.
+func (ps *PreambleStore) Load(name string) (*Preamble, error) {
+	payload, err := preambleFrame.readFramed(ps.Path(name), name)
+	if err != nil {
+		return nil, err
+	}
+	p, err := UnmarshalPreamble(payload)
+	if err != nil {
+		// The checksum held, so the payload is intact but semantically
+		// unusable — still a corrupt-class failure for fallback purposes.
+		return nil, fmt.Errorf("%w: %q: %v", ErrPreambleCorrupt, name, err)
+	}
+	return p, nil
+}
+
+// Forget deletes the stored preamble for name, if any.
+func (ps *PreambleStore) Forget(name string) error {
+	err := os.Remove(ps.Path(name))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// MarshalBinary encodes a snapshot of the preamble for UnmarshalPreamble:
+// the ticket/OT-state pair, the HE master seed, derivation nonce and
+// cached key pair, and the per-model shared artifacts (sorted by name for
+// a deterministic encoding). Integrity and versioning belong to the
+// enclosing frame.
+func (p *Preamble) MarshalBinary() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var w binWriter
+	w.blob(p.ticket)
+	if p.state != nil {
+		raw, err := p.state.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		w.u64(1)
+		w.blob(raw)
+	} else {
+		w.u64(0)
+	}
+	w.blob(p.heSeed)
+	w.u64(p.heNonce)
+	if p.heKeys != nil {
+		w.u64(1)
+		w.u64(uint64(p.heParams.N))
+		w.u64(p.heParams.T)
+		sk, err := p.heKeys.SK.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		pk, err := p.heKeys.PK.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		w.blob(sk)
+		w.blob(pk)
+	} else {
+		w.u64(0)
+	}
+	names := make([]string, 0, len(p.shared))
+	for name := range p.shared {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w.u64(uint64(len(names)))
+	for _, name := range names {
+		raw, err := p.shared[name].MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		w.blob([]byte(name))
+		w.blob(raw)
+	}
+	return w.buf, nil
+}
+
+// UnmarshalPreamble decodes a payload produced by Preamble.MarshalBinary,
+// rejecting truncated fields, hostile lengths, inconsistent key material
+// and trailing bytes. A decoded preamble is immediately usable: artifacts
+// are revalidated and rebuilt through the delphi codec, and a cached key
+// pair is degree-checked against its recorded parameter set.
+func UnmarshalPreamble(data []byte) (*Preamble, error) {
+	r := binReader{buf: data}
+	p := NewPreamble()
+	if ticket := r.blob(); len(ticket) > 0 {
+		if r.err == nil && len(ticket) != ticketIDBytes {
+			return nil, fmt.Errorf("serve: preamble ticket is %d bytes, want %d", len(ticket), ticketIDBytes)
+		}
+		p.ticket = append([]byte(nil), ticket...)
+	}
+	if hasState := r.u64(); r.err == nil && hasState != 0 {
+		if hasState != 1 {
+			return nil, fmt.Errorf("serve: preamble OT-state flag %d", hasState)
+		}
+		raw := r.blob()
+		if r.err != nil {
+			return nil, r.err
+		}
+		state, err := delphi.UnmarshalOTResume(raw)
+		if err != nil {
+			return nil, err
+		}
+		p.state = state
+	}
+	if seed := r.blob(); len(seed) > 0 {
+		if r.err == nil && len(seed) != heSeedBytes {
+			return nil, fmt.Errorf("serve: preamble HE seed is %d bytes, want %d", len(seed), heSeedBytes)
+		}
+		p.heSeed = append([]byte(nil), seed...)
+	}
+	p.heNonce = r.u64()
+	if hasKeys := r.u64(); r.err == nil && hasKeys != 0 {
+		if hasKeys != 1 {
+			return nil, fmt.Errorf("serve: preamble HE-keys flag %d", hasKeys)
+		}
+		n := int(r.u64())
+		t := r.u64()
+		skRaw := r.blob()
+		pkRaw := r.blob()
+		if r.err != nil {
+			return nil, r.err
+		}
+		params, err := bfv.NewParams(n, t)
+		if err != nil {
+			return nil, fmt.Errorf("serve: preamble HE params: %w", err)
+		}
+		var keys delphi.HEKeyPair
+		if err := keys.SK.UnmarshalBinary(skRaw); err != nil {
+			return nil, err
+		}
+		if err := keys.PK.UnmarshalBinary(pkRaw); err != nil {
+			return nil, err
+		}
+		if err := keys.Validate(params); err != nil {
+			return nil, err
+		}
+		p.heKeys, p.heParams = &keys, params
+	}
+	numShared := int(r.u64())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if numShared < 0 || numShared > r.remaining()/16 {
+		return nil, fmt.Errorf("serve: preamble claims %d shared artifacts for %d remaining bytes", numShared, r.remaining())
+	}
+	for i := 0; i < numShared; i++ {
+		name := r.blob()
+		raw := r.blob()
+		if r.err != nil {
+			return nil, r.err
+		}
+		if len(name) == 0 {
+			return nil, fmt.Errorf("serve: preamble shared artifact %d has empty name", i)
+		}
+		cs, err := delphi.UnmarshalClientShared(raw)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := p.shared[string(name)]; dup {
+			return nil, fmt.Errorf("serve: preamble shared artifact %q duplicated", name)
+		}
+		p.shared[string(name)] = cs
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("serve: preamble has %d trailing bytes", r.remaining())
+	}
+	// A ticket without its OT state (or vice versa) cannot resume; reject
+	// the pairing violation rather than persist a half-usable credential.
+	if (len(p.ticket) > 0) != (p.state != nil) {
+		return nil, fmt.Errorf("serve: preamble ticket/OT-state pairing violated")
+	}
+	return p, nil
+}

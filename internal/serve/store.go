@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -121,37 +120,12 @@ const tempMaxAge = time.Hour
 // artifactSuffix is the extension every published artifact file carries.
 const artifactSuffix = ".piart"
 
-// sweepTemp removes orphaned atomic-write temp files (".<name>.tmp-*")
-// older than tempMaxAge — the debris a writer crashed between CreateTemp
-// and Rename leaves behind. Best-effort: a file that vanishes mid-sweep or
-// cannot be removed is simply skipped. Returns the number removed.
+// sweepTemp removes orphaned atomic-write temp files older than
+// tempMaxAge. A published artifact always ends in artifactSuffix; a model
+// whose escaped name happens to start with "." and contain ".tmp-" must
+// not be mistaken for crash debris.
 func (st *ArtifactStore) sweepTemp() int {
-	entries, err := os.ReadDir(st.dir)
-	if err != nil {
-		return 0
-	}
-	cutoff := time.Now().Add(-tempMaxAge)
-	removed := 0
-	for _, ent := range entries {
-		name := ent.Name()
-		if ent.IsDir() || !strings.HasPrefix(name, ".") || !strings.Contains(name, ".tmp-") {
-			continue
-		}
-		// A published artifact always ends in artifactSuffix; a model whose
-		// escaped name happens to start with "." and contain ".tmp-" must
-		// not be mistaken for crash debris.
-		if strings.HasSuffix(name, artifactSuffix) {
-			continue
-		}
-		info, err := ent.Info()
-		if err != nil || info.ModTime().After(cutoff) {
-			continue
-		}
-		if os.Remove(filepath.Join(st.dir, name)) == nil {
-			removed++
-		}
-	}
-	return removed
+	return sweepTempFiles(st.dir, artifactSuffix)
 }
 
 // Sweep deletes least-recently-modified artifact files until the
@@ -237,8 +211,20 @@ func (st *ArtifactStore) Remove(name string) error {
 	return nil
 }
 
+// artifactFrame is the ArtifactStore's on-disk framing identity (see
+// framing.go — tickets and preambles share the write/verify discipline).
+var artifactFrame = frameSpec{
+	magic:       storeMagic,
+	version:     storeFormatVersion,
+	label:       "artifact store",
+	errNotFound: ErrArtifactNotFound,
+	errCorrupt:  ErrArtifactCorrupt,
+	errVersion:  ErrArtifactVersion,
+}
+
 // Save serializes the artifact and atomically publishes it under name,
-// replacing any previous version.
+// replacing any previous version. Write-then-rename: a reader either sees
+// the old complete file or the new complete file, never a torn write.
 func (st *ArtifactStore) Save(name string, art *delphi.SharedModel) error {
 	if art == nil {
 		return fmt.Errorf("serve: artifact store: nil artifact %q", name)
@@ -247,39 +233,8 @@ func (st *ArtifactStore) Save(name string, art *delphi.SharedModel) error {
 	if err != nil {
 		return fmt.Errorf("serve: artifact store: encode %q: %w", name, err)
 	}
-	var header [storeHeaderBytes]byte
-	copy(header[0:4], storeMagic[:])
-	binary.LittleEndian.PutUint32(header[4:], storeFormatVersion)
-	binary.LittleEndian.PutUint64(header[8:], uint64(len(payload)))
-	binary.LittleEndian.PutUint32(header[16:], storeChecksum(payload))
-
-	// Write-then-rename: a reader either sees the old complete file or the
-	// new complete file, never a torn write. The header and payload go out
-	// as two writes rather than one concatenated buffer — the payload is
-	// multi-megabyte for real models and runs inside the single-flight
-	// window, so an extra full copy here would be paid by every waiter.
-	tmp, err := os.CreateTemp(st.dir, "."+url.PathEscape(name)+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("serve: artifact store: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(header[:]); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("serve: artifact store: write %q: %w", name, err)
-	}
-	if _, err := tmp.Write(payload); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("serve: artifact store: write %q: %w", name, err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("serve: artifact store: write %q: %w", name, err)
-	}
-	if err := os.Rename(tmpName, st.Path(name)); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("serve: artifact store: publish %q: %w", name, err)
+	if err := artifactFrame.writeFramed(st.dir, name, st.Path(name), payload); err != nil {
+		return err
 	}
 	if st.diskBudget > 0 {
 		// Keep the directory under its budget; the just-published file is
@@ -296,31 +251,9 @@ func (st *ArtifactStore) Save(name string, art *delphi.SharedModel) error {
 // form). Absent files return ErrArtifactNotFound; damaged or incompatible
 // files return errors matching ErrArtifactCorrupt or ErrArtifactVersion.
 func (st *ArtifactStore) Load(name string, model *nn.Lowered) (*delphi.SharedModel, error) {
-	data, err := os.ReadFile(st.Path(name))
+	payload, err := artifactFrame.readFramed(st.Path(name), name)
 	if err != nil {
-		if errors.Is(err, fs.ErrNotExist) {
-			return nil, fmt.Errorf("%w: %q", ErrArtifactNotFound, name)
-		}
-		return nil, fmt.Errorf("serve: artifact store: read %q: %w", name, err)
-	}
-	if len(data) < storeHeaderBytes {
-		return nil, fmt.Errorf("%w: %q: %d-byte file shorter than the %d-byte header",
-			ErrArtifactCorrupt, name, len(data), storeHeaderBytes)
-	}
-	if [4]byte(data[0:4]) != storeMagic {
-		return nil, fmt.Errorf("%w: %q: bad magic", ErrArtifactCorrupt, name)
-	}
-	if v := binary.LittleEndian.Uint32(data[4:]); v != storeFormatVersion {
-		return nil, fmt.Errorf("%w: %q: file version %d, store speaks %d", ErrArtifactVersion, name, v, storeFormatVersion)
-	}
-	plen := binary.LittleEndian.Uint64(data[8:])
-	if plen != uint64(len(data)-storeHeaderBytes) {
-		return nil, fmt.Errorf("%w: %q: header claims %d payload bytes, file carries %d",
-			ErrArtifactCorrupt, name, plen, len(data)-storeHeaderBytes)
-	}
-	payload := data[storeHeaderBytes:]
-	if got := binary.LittleEndian.Uint32(data[16:]); got != storeChecksum(payload) {
-		return nil, fmt.Errorf("%w: %q: checksum mismatch", ErrArtifactCorrupt, name)
+		return nil, err
 	}
 	art, err := delphi.UnmarshalSharedModel(payload, model)
 	if err != nil {

@@ -50,8 +50,31 @@ type ticketCache struct {
 	// the session's other secret material.
 	entropy io.Reader
 
+	// store is the optional disk half (nil = memory-only): live tickets are
+	// written through so a restarted engine keeps serving the resumed fast
+	// path. Disk writes ride a lazily started background worker — the same
+	// idiom as the registry's spill writer — so insert and redeem never
+	// block on I/O (and never perform I/O under tc.mu). persistQ is the
+	// pending jobs, persistActive whether a worker is draining it,
+	// pendingPersists the queued+in-flight count flush waits on.
+	store           *ticketStore
+	persistQ        []ticketPersistJob
+	persistActive   bool
+	pendingPersists int
+	persistDone     *sync.Cond // signalled when pendingPersists reaches zero
+
 	issued, resumed, expired, unknown, evicted uint64
+	loaded, loadErrors, persisted, persistErrs uint64
 	perModel                                   map[string]*ticketModelCounters
+}
+
+// ticketPersistJob is one deferred disk operation: a write-through of a
+// live ticket (payload pre-encoded under the lock — pure CPU on a few KiB)
+// or a deletion (nil payload) of a dropped one. Jobs apply in queue order,
+// so the file always converges to the cache's final state for that id.
+type ticketPersistJob struct {
+	id      []byte
+	payload []byte // nil = delete the record
 }
 
 // ticketModelCounters partition the cache's traffic by the model the
@@ -80,7 +103,7 @@ func newTicketCache(ttl time.Duration, budget int64, entropy io.Reader) *ticketC
 	if entropy == nil {
 		entropy = rand.Reader
 	}
-	return &ticketCache{
+	tc := &ticketCache{
 		ttl:      ttl,
 		budget:   budget,
 		entries:  map[string]*ticketEntry{},
@@ -89,6 +112,8 @@ func newTicketCache(ttl time.Duration, budget int64, entropy io.Reader) *ticketC
 		entropy:  entropy,
 		perModel: map[string]*ticketModelCounters{},
 	}
+	tc.persistDone = sync.NewCond(&tc.mu)
+	return tc
 }
 
 func (tc *ticketCache) model(name string) *ticketModelCounters {
@@ -149,9 +174,11 @@ func (tc *ticketCache) insert(id []byte, state *delphi.OTResume, model string) {
 	// outlive their TTL just because the holder never reconnects and the
 	// byte budget never bites. Inserts happen at most once per full
 	// handshake (~0.6 s of base OTs each), so a linear scan is free.
+	// Not-Before, not After: a ticket is dead AT its expiry instant, the
+	// same boundary redeem enforces.
 	now := tc.now()
 	for _, old := range tc.entries {
-		if now.After(old.expires) {
+		if !now.Before(old.expires) {
 			tc.drop(old)
 			tc.expired++
 		}
@@ -176,6 +203,7 @@ func (tc *ticketCache) insert(id []byte, state *delphi.OTResume, model string) {
 			tc.evicted++
 		}
 	}
+	tc.enqueueSave(e)
 }
 
 // redeem exchanges a presented ticket for its cached seed material. On
@@ -192,7 +220,12 @@ func (tc *ticketCache) redeem(id []byte, model string) (*delphi.OTResume, string
 		tc.model(model).rejected++
 		return nil, resumeUnknownTicket
 	}
-	if tc.now().After(e.expires) {
+	// A ticket is dead AT its expiry instant: a lookup at exactly t = TTL
+	// is a typed expiry, not a hit. The not-Before form (rather than
+	// After) pins that boundary — it must hold identically in the eager
+	// insert prune and the store's load sweep, or a ticket that would be
+	// rejected live could resurrect through a restart.
+	if !tc.now().Before(e.expires) {
 		tc.drop(e)
 		tc.expired++
 		tc.model(model).rejected++
@@ -202,6 +235,9 @@ func (tc *ticketCache) redeem(id []byte, model string) (*delphi.OTResume, string
 	tc.lru.MoveToFront(e.elem)
 	tc.resumed++
 	tc.model(model).resumed++
+	// The slid expiry is durable state: re-persist so a restart honors the
+	// refreshed window rather than the stale one on disk.
+	tc.enqueueSave(e)
 	return e.state, ""
 }
 
@@ -216,11 +252,134 @@ func (tc *ticketCache) remove(id []byte) {
 	}
 }
 
-// drop unlinks an entry. Caller holds tc.mu.
+// drop unlinks an entry and queues the deletion of its disk record —
+// however a ticket dies (expiry, eviction, explicit removal), its secret
+// seeds leave the disk with it. Caller holds tc.mu.
 func (tc *ticketCache) drop(e *ticketEntry) {
 	delete(tc.entries, e.id)
 	tc.lru.Remove(e.elem)
 	tc.bytes -= e.size
+	if tc.store != nil {
+		tc.enqueuePersist(ticketPersistJob{id: []byte(e.id)})
+	}
+}
+
+// enqueueSave queues a write-through of a live entry. The payload is
+// encoded here, under tc.mu — pure CPU over a few KiB, no I/O — so the
+// worker writes a snapshot even if the entry mutates afterwards. Caller
+// holds tc.mu.
+func (tc *ticketCache) enqueueSave(e *ticketEntry) {
+	if tc.store == nil {
+		return
+	}
+	payload, err := marshalTicketRecord(ticketRecord{id: []byte(e.id), expires: e.expires, state: e.state})
+	if err != nil {
+		tc.persistErrs++
+		return
+	}
+	tc.enqueuePersist(ticketPersistJob{id: []byte(e.id), payload: payload})
+}
+
+// enqueuePersist queues one disk job and ensures a worker is draining the
+// queue. Caller holds tc.mu.
+func (tc *ticketCache) enqueuePersist(job ticketPersistJob) {
+	tc.persistQ = append(tc.persistQ, job)
+	tc.pendingPersists++
+	if !tc.persistActive {
+		tc.persistActive = true
+		//lint:allow goroutineleak persistActive gates one worker at a time and flush joins it via pendingPersists; it exits when the queue drains
+		go tc.persistWorker()
+	}
+}
+
+// persistWorker drains the persist queue, touching the disk outside tc.mu,
+// and exits when the queue empties (no long-lived goroutine per cache).
+// Outcomes fold into the persist counters; flush waits on pendingPersists.
+func (tc *ticketCache) persistWorker() {
+	tc.mu.Lock()
+	for len(tc.persistQ) > 0 {
+		job := tc.persistQ[0]
+		tc.persistQ = tc.persistQ[1:]
+		store := tc.store
+		tc.mu.Unlock()
+		var err error
+		if job.payload == nil {
+			err = store.remove(job.id)
+		} else {
+			err = store.savePayload(job.id, job.payload)
+		}
+		tc.mu.Lock()
+		if err != nil {
+			tc.persistErrs++
+		} else {
+			tc.persisted++
+		}
+		tc.pendingPersists--
+		if tc.pendingPersists == 0 {
+			tc.persistDone.Broadcast()
+		}
+	}
+	tc.persistActive = false
+	tc.mu.Unlock()
+}
+
+// flush blocks until every queued background disk write has completed —
+// the barrier clean shutdown (and tests) use before trusting the store's
+// contents or the persist counters.
+func (tc *ticketCache) flush() {
+	tc.mu.Lock()
+	for tc.pendingPersists > 0 {
+		tc.persistDone.Wait()
+	}
+	tc.mu.Unlock()
+}
+
+// attachStore wires the disk half in and reloads its surviving records:
+// the restarted engine's live tickets, minus those whose TTL lapsed while
+// it was down (swept, counted expired) and those that fail verification
+// (deleted, counted as load errors — the affected clients fall back to a
+// fresh handshake). Loaded entries join the LRU behind anything already
+// live and are evicted past the byte budget like any others. The load runs
+// before tc.store is installed, outside tc.mu — startup I/O never blocks
+// under the cache lock.
+func (tc *ticketCache) attachStore(ts *ticketStore) {
+	tc.mu.Lock()
+	now := tc.now()
+	tc.mu.Unlock()
+	recs, st := ts.loadAll(now)
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.store = ts
+	tc.loaded += uint64(st.loaded)
+	tc.loadErrors += uint64(st.corrupt)
+	tc.expired += uint64(st.expired)
+	for _, rec := range recs {
+		if _, ok := tc.entries[string(rec.id)]; ok {
+			// A live entry outranks its own stale disk copy.
+			continue
+		}
+		e := &ticketEntry{
+			id:      string(rec.id),
+			state:   rec.state,
+			expires: rec.expires,
+			size:    rec.state.SizeBytes(),
+		}
+		tc.entries[e.id] = e
+		e.elem = tc.lru.PushBack(e)
+		tc.bytes += e.size
+	}
+	if tc.budget > 0 {
+		for tc.bytes > tc.budget {
+			back := tc.lru.Back()
+			// Same over-budget-singleton tolerance as insert: the budget
+			// never empties the cache outright.
+			if back == nil || tc.lru.Len() == 1 {
+				break
+			}
+			tc.drop(back.Value.(*ticketEntry))
+			tc.evicted++
+		}
+	}
 }
 
 // TicketStats is a resumption-cache metrics snapshot.
@@ -233,25 +392,37 @@ type TicketStats struct {
 	Bytes   int64
 	// Issued counts tickets handed out on full handshakes; Resumed counts
 	// successful redemptions (base OTs skipped); Expired counts lapsed
-	// tickets (typed rejection at redeem, or pruned eagerly on the next
-	// insert) and Unknown the never-issued/evicted rejections; Evicted
-	// counts budget-pressure drops.
+	// tickets (typed rejection at redeem, pruned eagerly on the next
+	// insert, or swept at load for lapsing while the engine was down) and
+	// Unknown the never-issued/evicted rejections; Evicted counts
+	// budget-pressure drops.
 	Issued, Resumed, Expired, Unknown, Evicted uint64
+	// Durability counters (all zero without a ticket store). Loaded counts
+	// records reloaded across a restart; LoadErrors counts on-disk records
+	// deleted for failing verification; Persisted counts completed
+	// background disk operations (write-throughs and deletions) and
+	// PersistErrors the ones that failed (the ticket stays live in memory
+	// either way).
+	Loaded, LoadErrors, Persisted, PersistErrors uint64
 }
 
 func (tc *ticketCache) stats() (TicketStats, map[string]ticketModelCounters) {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
 	st := TicketStats{
-		TTL:     tc.ttl,
-		Budget:  tc.budget,
-		Tickets: len(tc.entries),
-		Bytes:   tc.bytes,
-		Issued:  tc.issued,
-		Resumed: tc.resumed,
-		Expired: tc.expired,
-		Unknown: tc.unknown,
-		Evicted: tc.evicted,
+		TTL:           tc.ttl,
+		Budget:        tc.budget,
+		Tickets:       len(tc.entries),
+		Bytes:         tc.bytes,
+		Issued:        tc.issued,
+		Resumed:       tc.resumed,
+		Expired:       tc.expired,
+		Unknown:       tc.unknown,
+		Evicted:       tc.evicted,
+		Loaded:        tc.loaded,
+		LoadErrors:    tc.loadErrors,
+		Persisted:     tc.persisted,
+		PersistErrors: tc.persistErrs,
 	}
 	models := make(map[string]ticketModelCounters, len(tc.perModel))
 	for name, c := range tc.perModel {

@@ -1,0 +1,210 @@
+package serve
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"privinf/internal/delphi"
+)
+
+// ticketStore is the disk half of the resumption-ticket cache: a directory
+// of framed ticket records, one file per ticket, named by the hex of the
+// ticket identifier. It gives the ticketCache the same restart story the
+// ArtifactStore gives the registry — an engine restart reloads its live
+// tickets in O(read) and repeat clients stay on the resumed fast path
+// through the crash — under the identical framing, atomic-write and typed
+// corruption discipline (see framing.go).
+//
+// Records hold secret OT correlation seeds, so files are created 0600 and
+// the directory 0700. Loading sweeps records whose TTL lapsed while the
+// engine was down and deletes files that fail verification (corrupt or
+// version-skewed records can never become redeemable again — removing them
+// converts a permanent load error into a clean miss).
+type ticketStore struct {
+	dir string
+}
+
+// Sentinel errors distinguishing the ticket store's failure modes; match
+// with errors.Is.
+var (
+	// ErrTicketNotFound reports that no record is stored under the ticket id.
+	ErrTicketNotFound = errors.New("serve: ticket record not found")
+	// ErrTicketCorrupt reports a damaged record file: truncation, framing
+	// inconsistency, checksum mismatch, or a payload the codec rejects.
+	ErrTicketCorrupt = errors.New("serve: ticket record corrupt")
+	// ErrTicketVersion reports a record written under a different ticket
+	// format version.
+	ErrTicketVersion = errors.New("serve: ticket record format version mismatch")
+)
+
+// ticketFormatVersion is bumped whenever the record framing or payload
+// layout changes; readers reject (and the load sweep deletes) any other
+// version.
+const ticketFormatVersion = 1
+
+// ticketSuffix is the extension every published ticket record carries.
+const ticketSuffix = ".pitk"
+
+var ticketMagic = [4]byte{'P', 'I', 'T', 'K'}
+
+var ticketFrame = frameSpec{
+	magic:       ticketMagic,
+	version:     ticketFormatVersion,
+	label:       "ticket store",
+	errNotFound: ErrTicketNotFound,
+	errCorrupt:  ErrTicketCorrupt,
+	errVersion:  ErrTicketVersion,
+}
+
+// newTicketStore opens (creating if necessary) a ticket store rooted at
+// dir and sweeps orphaned temp files from crashed atomic writes. The
+// directory is created 0700: every record holds secret seed material.
+func newTicketStore(dir string) (*ticketStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("serve: ticket store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("serve: ticket store: %w", err)
+	}
+	ts := &ticketStore{dir: dir}
+	sweepTempFiles(dir, ticketSuffix)
+	return ts, nil
+}
+
+// ticketRecord is one persisted ticket: its identifier, absolute expiry,
+// and the cached OT seed material.
+type ticketRecord struct {
+	id      []byte
+	expires time.Time
+	state   *delphi.OTResume
+}
+
+// marshalTicketRecord encodes a record payload (the frame supplies
+// integrity): expiry unix-nanos, then the length-prefixed id and OT state.
+func marshalTicketRecord(rec ticketRecord) ([]byte, error) {
+	if rec.state == nil {
+		return nil, fmt.Errorf("serve: ticket store: nil OT state")
+	}
+	raw, err := rec.state.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	var w binWriter
+	w.u64(uint64(rec.expires.UnixNano()))
+	w.blob(rec.id)
+	w.blob(raw)
+	return w.buf, nil
+}
+
+// unmarshalTicketRecord decodes a record payload, rejecting truncated
+// fields, hostile lengths and trailing bytes.
+func unmarshalTicketRecord(payload []byte) (ticketRecord, error) {
+	r := binReader{buf: payload}
+	expires := int64(r.u64())
+	id := r.blob()
+	raw := r.blob()
+	if r.err != nil {
+		return ticketRecord{}, r.err
+	}
+	if r.remaining() != 0 {
+		return ticketRecord{}, fmt.Errorf("serve: ticket record has %d trailing bytes", r.remaining())
+	}
+	if len(id) != ticketIDBytes {
+		return ticketRecord{}, fmt.Errorf("serve: ticket record id is %d bytes, want %d", len(id), ticketIDBytes)
+	}
+	state, err := delphi.UnmarshalOTResume(raw)
+	if err != nil {
+		return ticketRecord{}, err
+	}
+	return ticketRecord{
+		id:      append([]byte(nil), id...),
+		expires: time.Unix(0, expires),
+		state:   state,
+	}, nil
+}
+
+// path returns the file a ticket id maps to.
+func (ts *ticketStore) path(id []byte) string {
+	return filepath.Join(ts.dir, hex.EncodeToString(id)+ticketSuffix)
+}
+
+// save atomically publishes one ticket record, replacing any previous
+// version (a redeem that slid the expiry re-persists the same ticket).
+func (ts *ticketStore) save(rec ticketRecord) error {
+	payload, err := marshalTicketRecord(rec)
+	if err != nil {
+		return err
+	}
+	return ts.savePayload(rec.id, payload)
+}
+
+// savePayload publishes a pre-encoded record payload — the background
+// persist worker encodes under the cache lock and writes here outside it.
+func (ts *ticketStore) savePayload(id, payload []byte) error {
+	name := hex.EncodeToString(id)
+	return ticketFrame.writeFramed(ts.dir, name, ts.path(id), payload)
+}
+
+// remove deletes the record for a ticket id, if any.
+func (ts *ticketStore) remove(id []byte) error {
+	err := os.Remove(ts.path(id))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// ticketLoadStats is what loadAll found on disk.
+type ticketLoadStats struct {
+	// loaded records returned to the cache; expired records swept for
+	// lapsing while the engine was down; corrupt records (framing, version
+	// or codec failures) deleted so they cannot fail every future load.
+	loaded, expired, corrupt int
+}
+
+// loadAll reads every record in the store, sweeping lapsed and unusable
+// files: a record whose expiry is at or before now is deleted (TTL holds
+// across restarts — the same not-Before boundary redeem applies), and a
+// record that fails verification is deleted and counted rather than
+// surfaced (the cache falls back to fresh handshakes for that client).
+func (ts *ticketStore) loadAll(now time.Time) ([]ticketRecord, ticketLoadStats) {
+	var st ticketLoadStats
+	entries, err := os.ReadDir(ts.dir)
+	if err != nil {
+		return nil, st
+	}
+	var recs []ticketRecord
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ticketSuffix) {
+			continue
+		}
+		path := filepath.Join(ts.dir, name)
+		key := strings.TrimSuffix(name, ticketSuffix)
+		payload, err := ticketFrame.readFramed(path, key)
+		if err != nil {
+			st.corrupt++
+			os.Remove(path)
+			continue
+		}
+		rec, err := unmarshalTicketRecord(payload)
+		if err != nil {
+			st.corrupt++
+			os.Remove(path)
+			continue
+		}
+		if !now.Before(rec.expires) {
+			st.expired++
+			os.Remove(path)
+			continue
+		}
+		recs = append(recs, rec)
+		st.loaded++
+	}
+	return recs, st
+}

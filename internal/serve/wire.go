@@ -31,7 +31,12 @@ const (
 	// may carry an OT resumption ticket plus a client nonce, and welcomes
 	// answer with the typed resumption outcome, a fresh ticket, and the
 	// server nonce.
-	wireVersion = 3
+	// wireVersion 4 removed the HE public-key flight from resumed sessions:
+	// an accepted ticket means the client reuses the key pair the server
+	// already validated at ticket issue, so after a Resumed welcome the
+	// first data frames are protocol traffic, not the public key. Full
+	// handshakes still carry the key flight unchanged.
+	wireVersion = 4
 
 	tagData byte = 0x00
 	tagCtrl byte = 0x01

@@ -131,17 +131,35 @@ type LocalEngine struct {
 }
 
 // Preamble is a client's reusable session-preamble state: the OT
-// resumption ticket from its last full handshake plus per-model shared
-// client artifacts (ReLU circuits + matvec plans, no secrets). Pass one to
+// resumption ticket from its last full handshake, per-model shared client
+// artifacts (ReLU circuits + matvec plans, no secrets), and the HE key
+// material derived for the current ticket generation. Pass one to
 // LocalEngine.Connect via WithPreamble (or serve.Connect/serve.Dial via
 // serve.WithPreamble for remote engines) on every connect of a logical
 // client: the first session runs a full handshake and fills it, every
-// later session resumes — skipping the
-// ~0.6 s of public-key base OTs and all client-side model processing.
+// later session resumes — skipping the ~0.6 s of public-key base OTs, the
+// BFV keygen and public-key transfer, and all client-side model
+// processing.
 type Preamble = serve.Preamble
 
 // NewPreamble returns an empty session preamble.
 func NewPreamble() *Preamble { return serve.NewPreamble() }
+
+// PreambleStore persists Preambles to disk, one framed and checksummed
+// file per logical client name, so session resumption survives client
+// process restarts: load the preamble, reconnect, and the session takes
+// the resumed fast path with zero keygen and zero base OTs. Damaged,
+// truncated or version-skewed files fail with typed errors
+// (serve.ErrPreambleNotFound / ErrPreambleCorrupt / ErrPreambleVersion) —
+// fall back to NewPreamble and a full handshake. Files hold secret key
+// material and are created 0600 in a 0700 directory.
+type PreambleStore = serve.PreambleStore
+
+// NewPreambleStore opens (creating if necessary) a preamble store rooted
+// at dir.
+func NewPreambleStore(dir string) (*PreambleStore, error) {
+	return serve.NewPreambleStore(dir)
+}
 
 // LocalEngineConfig parameterizes NewLocalEngine.
 type LocalEngineConfig struct {
@@ -165,6 +183,13 @@ type LocalEngineConfig struct {
 	// files past it, so a rotating model population cannot grow the
 	// directory without bound. Requires ArtifactDir.
 	ArtifactDiskBudget int64
+	// TicketDir, when non-empty, persists the engine's OT resumption
+	// tickets: live tickets are written through to disk and reloaded at
+	// construction, so repeat clients stay on the resumed fast path across
+	// a full engine restart (pair with a client-side PreambleStore for
+	// restart-durable resumption of both parties). Ticket files hold
+	// secret OT seed material; the directory is created 0700.
+	TicketDir string
 	// Entropy seeds all cryptographic randomness; nil means crypto/rand.
 	Entropy io.Reader
 }
@@ -211,6 +236,7 @@ func NewLocalEngine(cfg LocalEngineConfig) (*LocalEngine, error) {
 		Registry:    reg,
 		Variant:     variant,
 		LPHEWorkers: maxLinear,
+		TicketDir:   cfg.TicketDir,
 		Entropy:     entropy,
 	})
 	if err != nil {
