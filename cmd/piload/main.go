@@ -19,20 +19,33 @@
 //	piload [-fleet N | -addr HOST:PORT] [-sessions N] [-rate R | -burst]
 //	       [-model cnn|mlp] [-seed N] [-infer K] [-reconnect N]
 //	       [-setup-workers N] [-spill F] [-assert-p99-connect D]
+//	       [-debug-addr HOST:PORT] [-assert-metrics a,b,...]
 //
 // -assert-p99-connect D exits nonzero when the cold p99 connect latency
 // exceeds D — the CI smoke gate.
+//
+// -debug-addr starts the observability endpoint (/metrics, /statusz,
+// /debug/pprof) and ends the run with a /metrics scrape that splits the
+// connect cost by phase — full vs resumed setup, then the offline HE /
+// garbling / OT legs — from the process-wide phase histograms.
+// -assert-metrics lists metric families that must appear in that scrape
+// (implying -debug-addr 127.0.0.1:0 when unset); a missing family exits
+// nonzero, which is how CI asserts the instrumentation stays wired.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"math/rand"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -55,7 +68,23 @@ func main() {
 	spill := flag.Float64("spill", fleet.DefaultSpillFactor, "in-process fleet: router least-load spill factor")
 	assertP99 := flag.Duration("assert-p99-connect", 0, "exit nonzero when cold p99 connect exceeds this (0 disables)")
 	arrivalSeed := flag.Int64("arrival-seed", 1, "Poisson arrival schedule seed")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /statusz and /debug/pprof on this address and end the run with a phase-split scrape (\"\" disables)")
+	assertMetrics := flag.String("assert-metrics", "", "comma-separated metric families the end-of-run scrape must contain (implies -debug-addr 127.0.0.1:0); exit nonzero when one is missing")
 	flag.Parse()
+
+	if *assertMetrics != "" && *debugAddr == "" {
+		*debugAddr = "127.0.0.1:0"
+	}
+	var debug *serve.DebugServer
+	if *debugAddr != "" {
+		d, err := serve.NewDebugServer(*debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer d.Close()
+		debug = d
+		fmt.Printf("debug server: http://%s/metrics\n", d.Addr())
+	}
 
 	model := buildModel(*modelName, *seed)
 	dial := dialer(*addr, *modelName, *fleetN, *setupWorkers, *spill, model)
@@ -159,6 +188,18 @@ func main() {
 		}
 	}
 
+	exitCode := 0
+	if debug != nil {
+		body, err := scrapeMetrics(debug.Addr())
+		if err != nil {
+			log.Fatalf("piload: end-of-run scrape: %v", err)
+		}
+		metricsReport(body, *modelName)
+		if *assertMetrics != "" && !assertFamilies(body, strings.Split(*assertMetrics, ",")) {
+			exitCode = 1
+		}
+	}
+
 	if failures > 0 {
 		os.Exit(1)
 	}
@@ -169,6 +210,115 @@ func main() {
 		}
 		fmt.Printf("OK: cold p99 connect within %v\n", *assertP99)
 	}
+	os.Exit(exitCode)
+}
+
+// scrapeMetrics fetches the debug server's Prometheus exposition.
+func scrapeMetrics(addr string) (string, error) {
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("/metrics status %d", resp.StatusCode)
+	}
+	return string(b), nil
+}
+
+// parseProm reads a Prometheus text exposition into series values
+// (full "name{labels}" keys) and per-family sample counts (histogram
+// suffixes folded into their family).
+func parseProm(body string) (series map[string]float64, families map[string]int) {
+	series = map[string]float64{}
+	families = map[string]int{}
+	types := map[string]bool{}
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			if parts := strings.Fields(line); len(parts) == 4 {
+				types[parts[2]] = true
+				if _, ok := families[parts[2]]; !ok {
+					families[parts[2]] = 0
+				}
+			}
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		key := line[:sp]
+		v, err := strconv.ParseFloat(strings.TrimSpace(line[sp+1:]), 64)
+		if err != nil {
+			continue // +Inf bucket and the like: presence matters, value does not
+		}
+		series[key] = v
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			if trimmed, ok := strings.CutSuffix(name, sfx); ok && types[trimmed] {
+				name = trimmed
+				break
+			}
+		}
+		families[name]++
+	}
+	return series, families
+}
+
+// metricsReport prints the per-phase latency split the scrape carries:
+// full vs resumed setup, then the offline legs and online inference for
+// the loaded model — process-wide histogram means, complementing the
+// client-observed percentiles above.
+func metricsReport(body, model string) {
+	series, _ := parseProm(body)
+	h := func(label, name, sel string) {
+		count := series[name+"_count"+sel]
+		if count == 0 {
+			return
+		}
+		mean := series[name+"_sum"+sel] / count
+		fmt.Printf("  %s n=%-5.0f mean %8.1fms\n", label, count, mean*1000)
+	}
+	byModel := fmt.Sprintf(`{model=%q}`, model)
+	fmt.Println("\nserver phase histograms (/metrics):")
+	h("setup (full)     ", "pi_setup_seconds", `{tier="full"}`)
+	h("setup (resumed)  ", "pi_setup_seconds", `{tier="resumed"}`)
+	h("offline HE       ", "pi_offline_he_seconds", byModel)
+	h("offline garble   ", "pi_offline_garble_seconds", byModel)
+	h("offline OT       ", "pi_offline_ot_seconds", byModel)
+	h("offline total    ", "pi_offline_seconds", byModel)
+	h("online inference ", "pi_online_seconds", byModel)
+}
+
+// assertFamilies hard-checks that every requested metric family appears
+// in the scrape with at least one sample.
+func assertFamilies(body string, names []string) bool {
+	_, families := parseProm(body)
+	ok := true
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if n, present := families[name]; !present || n == 0 {
+			fmt.Printf("FAIL: /metrics missing family %s\n", name)
+			ok = false
+		}
+	}
+	if ok {
+		fmt.Printf("OK: all %d asserted metric families present\n", len(names))
+	}
+	return ok
 }
 
 // routerStats is set by the in-process dialer so the report can include

@@ -90,7 +90,17 @@ func main() {
 	maxReplicas := flag.Int("max-replicas", 8, "serve mode: autoscaler replica ceiling")
 	targetWait := flag.Duration("target-wait", fleet.DefaultTargetWait, "serve mode: autoscaler queueing-delay target")
 	setupWorkers := flag.Int("setup-workers", 0, "serve mode: concurrent full session setups per replica (0 unbounded)")
+	debugAddr := flag.String("debug-addr", "", "observability endpoint address (any mode): Prometheus /metrics, JSON /statusz, and /debug/pprof; \":0\" picks a free port")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		dbg, err := serve.NewDebugServer(*debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer dbg.Close()
+		log.Printf("pirun: debug endpoint on http://%s (/metrics, /statusz, /debug/pprof/)", dbg.Addr())
+	}
 
 	switch {
 	case *serveAddr != "" && *connectAddr != "":

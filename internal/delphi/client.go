@@ -9,6 +9,7 @@ import (
 	"privinf/internal/boolcirc"
 	"privinf/internal/field"
 	"privinf/internal/garble"
+	"privinf/internal/obs"
 	"privinf/internal/ot"
 	"privinf/internal/ss"
 	"privinf/internal/transport"
@@ -165,6 +166,7 @@ func (c *Client) RunOffline() (OfflineReport, error) {
 	rep.Duration = time.Since(start)
 	rep.BytesSent = c.conn.SentBytes() - sent0
 	rep.BytesRecv = c.conn.RecvBytes() - recv0
+	recordClientOffline(rep)
 	return rep, nil
 }
 
@@ -342,6 +344,7 @@ func (c *Client) RunOnline(x []uint64) ([]uint64, OnlineReport, error) {
 
 	width := c.f.Bits()
 	for layer := 0; layer < c.meta.NumReLULayers(); layer++ {
+		layerSpan := obs.StartSpan(obsClientOnlineLayer)
 		units := c.meta.Dims[layer].Out
 		switch c.cfg.Variant {
 		case ServerGarbler:
@@ -386,6 +389,7 @@ func (c *Client) RunOnline(x []uint64) ([]uint64, OnlineReport, error) {
 				return nil, rep, fmt.Errorf("delphi: online OT layer %d: %w", layer, err)
 			}
 		}
+		layerSpan.End()
 	}
 
 	// Final layer: receive the server's share and reconstruct.
@@ -404,5 +408,8 @@ func (c *Client) RunOnline(x []uint64) ([]uint64, OnlineReport, error) {
 	rep.Duration = time.Since(start)
 	rep.BytesSent = c.conn.SentBytes() - sent0
 	rep.BytesRecv = c.conn.RecvBytes() - recv0
+	if obs.Enabled() {
+		obsClientOnline.Record(rep.Duration)
+	}
 	return out, rep, nil
 }

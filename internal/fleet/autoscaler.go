@@ -7,6 +7,8 @@ import (
 	"sort"
 	"time"
 
+	"privinf/internal/cost"
+	"privinf/internal/obs"
 	"privinf/internal/serve"
 )
 
@@ -45,10 +47,15 @@ type AutoscalerConfig struct {
 	// shrink it N times over.
 	ArtifactBytes int64
 	// ServiceTime optionally maps a model name to its expected online
-	// latency — the cost model's profile, used until measured MeanOnline
-	// telemetry exists (cold fleets). Nil models fall back to
-	// DefaultServiceTime.
+	// latency, used until measured online-latency telemetry exists (cold
+	// fleets). Nil models fall back to Profiles, then DefaultServiceTime.
 	ServiceTime func(model string) time.Duration
+	// Profiles optionally maps model names to cost-model scenarios; when
+	// ServiceTime is nil, a cold fleet seeds each model's expected
+	// service time from its profile's analytic online latency
+	// (Scenario.Compute().Online()) instead of DefaultServiceTime, so
+	// the first sizing decision reflects the model actually deployed.
+	Profiles map[string]cost.Scenario
 	// DrainTimeout bounds a scale-down drain; 0 uses DefaultDrainTimeout.
 	DrainTimeout time.Duration
 }
@@ -68,8 +75,15 @@ type ModelLoad struct {
 	Model string
 	// Arrival is the measured inference arrival rate, per second.
 	Arrival float64
-	// Service is the expected per-inference online latency.
+	// Service is the expected per-inference online latency: the mean of
+	// this period's slice of the model's online-latency histogram, or a
+	// profile/default estimate when the window is empty.
 	Service time.Duration
+	// ServiceP50 and ServiceP99 are the measured window's latency
+	// quantiles (0 when the window is empty) — tail context the mean
+	// hides.
+	ServiceP50 time.Duration
+	ServiceP99 time.Duration
 	// Backlog is the queue depth observed at period end (requests accepted
 	// but unfinished); the planner treats it as extra arrivals to drain.
 	Backlog int
@@ -103,6 +117,11 @@ type Autoscaler struct {
 	// replica's history dies with it (its retired sessions' counts would
 	// otherwise re-arrive as a phantom burst).
 	prev map[int]map[string]uint64
+	// prevOnline holds each model's last-seen online-latency histogram
+	// snapshot (serve.OnlineLatency); a period's service-time measurement
+	// is the snapshot delta. First sighting records a baseline and
+	// measures nothing, mirroring prev.
+	prevOnline map[string]obs.HistogramSnapshot
 	// below counts consecutive periods with desired < current.
 	below int
 }
@@ -134,7 +153,18 @@ func NewAutoscaler(cfg AutoscalerConfig) (*Autoscaler, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = DefaultDrainTimeout
 	}
-	return &Autoscaler{cfg: cfg, prev: map[int]map[string]uint64{}}, nil
+	if cfg.ServiceTime == nil && len(cfg.Profiles) > 0 {
+		profiled := make(map[string]time.Duration, len(cfg.Profiles))
+		for m, sc := range cfg.Profiles {
+			profiled[m] = time.Duration(sc.Compute().Online() * float64(time.Second))
+		}
+		cfg.ServiceTime = func(model string) time.Duration { return profiled[model] }
+	}
+	return &Autoscaler{
+		cfg:        cfg,
+		prev:       map[int]map[string]uint64{},
+		prevOnline: map[string]obs.HistogramSnapshot{},
+	}, nil
 }
 
 // Run executes control periods until ctx ends.
@@ -173,6 +203,7 @@ func (a *Autoscaler) Tick(ctx context.Context) (Decision, error) {
 			return d, err
 		}
 		d.ScaledUp = true
+		obsScale.With(actionUp).Inc()
 	case d.Desired < d.Current:
 		a.below++
 		if a.below >= a.cfg.ShrinkAfter {
@@ -186,6 +217,7 @@ func (a *Autoscaler) Tick(ctx context.Context) (Decision, error) {
 					return d, fmt.Errorf("fleet: scale-down drain: %w", err)
 				}
 				d.ScaledDown = true
+				obsScale.With(actionDown).Inc()
 			}
 		}
 	default:
@@ -196,8 +228,9 @@ func (a *Autoscaler) Tick(ctx context.Context) (Decision, error) {
 	return d, nil
 }
 
-// measure reads every in-process replica's per-model telemetry and turns
-// lifetime counters into this period's arrival rates.
+// measure reads every in-process replica's per-model telemetry, turns
+// lifetime counters into this period's arrival rates, and reads each
+// model's service time off its online-latency histogram window.
 func (a *Autoscaler) measure(reps []*Replica) []ModelLoad {
 	period := a.cfg.Period.Seconds()
 	agg := map[string]*ModelLoad{}
@@ -223,13 +256,23 @@ func (a *Autoscaler) measure(reps []*Replica) []ModelLoad {
 			}
 			last[ms.Name] = ms.Inferences
 			l.Backlog += ms.QueueDepth
-			if ms.MeanOnline > l.Service {
-				l.Service = ms.MeanOnline // worst replica's measured mean
-			}
 		}
 	}
 	loads := make([]ModelLoad, 0, len(agg))
 	for _, l := range agg {
+		// Service time comes from the model's online-latency histogram:
+		// this period's window is the snapshot delta against the last
+		// tick's baseline. The histogram is process-wide, so one window
+		// covers every in-process replica serving the model.
+		snap := serve.OnlineLatency(l.Model).Snapshot()
+		if prev, seen := a.prevOnline[l.Model]; seen {
+			if delta := snap.Sub(prev); delta.Total() > 0 {
+				l.Service = delta.Mean()
+				l.ServiceP50 = delta.P50()
+				l.ServiceP99 = delta.P99()
+			}
+		}
+		a.prevOnline[l.Model] = snap
 		if l.Service <= 0 {
 			if a.cfg.ServiceTime != nil {
 				l.Service = a.cfg.ServiceTime(l.Model)

@@ -8,7 +8,9 @@ import (
 	"testing"
 	"time"
 
+	"privinf/internal/cost"
 	"privinf/internal/delphi"
+	"privinf/internal/device"
 	"privinf/internal/field"
 	"privinf/internal/nn"
 	"privinf/internal/serve"
@@ -423,5 +425,62 @@ func TestAutoscalerLifecycle(t *testing.T) {
 	defer c2.Close()
 	if _, _, _, err := c2.Infer(testInput(model, 9)); err != nil {
 		t.Fatalf("inference after scale-down: %v", err)
+	}
+}
+
+// TestAutoscalerColdProfileSizing: before any measurement window exists,
+// the autoscaler prices each model at its cost-model profile's analytic
+// online latency (AutoscalerConfig.Profiles), so a cold fleet sizes
+// against the model actually deployed instead of the generic default.
+func TestAutoscalerColdProfileSizing(t *testing.T) {
+	model := testModel(t, 57)
+	r, _ := startFleet(t, model, 1)
+	profile := cost.Scenario{
+		Arch:    nn.NewResNet18(nn.TinyImageNet),
+		Proto:   cost.ClientGarbler,
+		Client:  device.Atom,
+		Server:  device.EPYC,
+		LinkBps: 1e9,
+		LPHE:    true,
+	}
+	a, err := NewAutoscaler(AutoscalerConfig{
+		Router:      r,
+		Spawn:       func() (*serve.Engine, error) { return newEngine(t, model), nil },
+		MinReplicas: 1,
+		MaxReplicas: 8,
+		Profiles:    map[string]cost.Scenario{serve.DefaultModelName: profile},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The first tick has no histogram window (it only records the
+	// baseline), so the measured load must carry the profile's latency.
+	d, err := a.Tick(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Duration(profile.Compute().Online() * float64(time.Second))
+	var got time.Duration
+	for _, l := range d.Loads {
+		if l.Model == serve.DefaultModelName {
+			got = l.Service
+		}
+	}
+	if got != want {
+		t.Fatalf("cold service time %v, want profile online latency %v", got, want)
+	}
+
+	// Sizing before the first measurement window reflects the profile: at
+	// one inference per second a model this heavy saturates every fleet
+	// size, so the planner returns MaxReplicas — where the generic
+	// DefaultServiceTime would have kept the fleet at one replica.
+	loads := []ModelLoad{{Model: serve.DefaultModelName, Arrival: 1, Service: got}}
+	if n, _, _ := PlanReplicas(loads, 1, 8, DefaultTargetWait); n != 8 {
+		t.Fatalf("cold plan sized %d replicas, want 8 (saturated by profile service time)", n)
+	}
+	loads[0].Service = DefaultServiceTime
+	if n, _, _ := PlanReplicas(loads, 1, 8, DefaultTargetWait); n != 1 {
+		t.Fatalf("default service time sized %d replicas, want 1", n)
 	}
 }

@@ -1,0 +1,45 @@
+package fleet
+
+import (
+	"privinf/internal/obs"
+)
+
+// Metric names the fleet front tier publishes on the process-wide obs
+// registry. Names are package-level constants registered exactly once
+// (obsreg analyzer). Placement tiers mirror the router's three-tier
+// policy; autoscaler actions mirror Decision.ScaledUp/ScaledDown.
+const (
+	metricRouterConnectsTotal   = "pi_router_connects_total"
+	metricRouterRetriesTotal    = "pi_router_retries_total"
+	metricRouterPlacementsTotal = "pi_router_placements_total"
+	metricReplicaLoad           = "pi_replica_load"
+	metricFleetReplicas         = "pi_fleet_replicas"
+	metricScaleActionsTotal     = "pi_autoscaler_actions_total"
+)
+
+// Placement-tier label values (see Router.place): sticky (ticket →
+// issuing replica), hashed (rendezvous primary), spill (least-load
+// spill off an overloaded primary), fallback (later candidate after a
+// failed attempt), no_backend (no live replica could take it).
+const (
+	tierSticky    = "sticky"
+	tierHashed    = "hashed"
+	tierSpill     = "spill"
+	tierFallback  = "fallback"
+	tierNoBackend = "no_backend"
+)
+
+// Autoscaler action label values.
+const (
+	actionUp   = "up"
+	actionDown = "down"
+)
+
+var (
+	obsConnects   = obs.Default().Counter(metricRouterConnectsTotal, "Inbound connections accepted by the fleet router.")
+	obsRetries    = obs.Default().Counter(metricRouterRetriesTotal, "Placement attempts beyond a connection's first (a candidate replica died mid-handshake).")
+	obsPlacements = obs.Default().CounterVec(metricRouterPlacementsTotal, "Placement decisions by tier: sticky, hashed, spill, fallback, no_backend.", "tier")
+	obsRepLoad    = obs.Default().GaugeVec(metricReplicaLoad, "Live proxied sessions per replica (router-assigned replica ID).", "replica")
+	obsReplicas   = obs.Default().Gauge(metricFleetReplicas, "Replicas currently in the routing set.")
+	obsScale      = obs.Default().CounterVec(metricScaleActionsTotal, "Autoscaler resize actions: up (replica spawned), down (replica drained and removed).", "action")
+)

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -74,9 +75,19 @@ type Replica struct {
 	addr string
 	dial func() (*transport.Conn, error)
 
+	// idLabel is the replica's obs gauge label (ID, stringified once).
+	idLabel string
+
 	// load counts live proxied sessions (handshaking included).
 	load atomic.Int64
 	live atomic.Bool
+}
+
+// addLoad moves the replica's live-session count and its obs gauge
+// together.
+func (r *Replica) addLoad(d int64) {
+	r.load.Add(d)
+	obsRepLoad.With(r.idLabel).Add(d)
 }
 
 // Engine returns the replica's in-process engine, nil for TCP backends.
@@ -162,8 +173,10 @@ func (r *Router) add(rep *Replica) error {
 	}
 	rep.ID = r.nextID
 	r.nextID++
+	rep.idLabel = strconv.Itoa(rep.ID)
 	rep.live.Store(true)
 	r.replicas = append(r.replicas, rep)
+	obsReplicas.Add(1)
 	return nil
 }
 
@@ -183,6 +196,7 @@ func (r *Router) Remove(ctx context.Context, rep *Replica) error {
 	for i, t := range r.replicas {
 		if t == rep {
 			r.replicas = append(r.replicas[:i], r.replicas[i+1:]...)
+			obsReplicas.Add(-1)
 			break
 		}
 	}
@@ -283,6 +297,7 @@ func (r *Router) Close() error {
 	r.fronts = nil
 	r.tickets = map[string]*Replica{}
 	r.closed = true
+	obsReplicas.Add(-int64(len(reps)))
 	r.mu.Unlock()
 	for _, ln := range fronts {
 		ln.Close()
@@ -307,6 +322,7 @@ func (r *Router) Close() error {
 // in placement order, splice on success.
 func (r *Router) handle(conn *transport.Conn) {
 	r.connects.Add(1)
+	obsConnects.Inc()
 	hello, err := serve.PeekClientHello(conn)
 	if err != nil {
 		conn.Close()
@@ -321,16 +337,17 @@ func (r *Router) handle(conn *transport.Conn) {
 		tried++
 		if tried > 1 {
 			r.retries.Add(1)
+			obsRetries.Inc()
 		}
-		rep.load.Add(1)
+		rep.addLoad(1)
 		back, welcome, err := r.open(conn, hello, rep)
 		if err != nil {
-			rep.load.Add(-1)
+			rep.addLoad(-1)
 			continue // replica died mid-handshake: retry on the next one
 		}
 		if !welcome {
 			// Typed rejection forwarded to the client; nothing to splice.
-			rep.load.Add(-1)
+			rep.addLoad(-1)
 			back.Close()
 			conn.Close()
 			return
@@ -339,6 +356,7 @@ func (r *Router) handle(conn *transport.Conn) {
 		return
 	}
 	r.noBackend.Add(1)
+	obsPlacements.With(tierNoBackend).Inc()
 	serve.RejectNoBackend(conn, "fleet: no live replica could take the session")
 	conn.Close()
 }
@@ -390,6 +408,7 @@ func (r *Router) place(hello *serve.ClientHello, skip int) *Replica {
 			order = append(order, rep)
 			if skip == 0 {
 				r.sticky.Add(1)
+				obsPlacements.With(tierSticky).Inc()
 				return rep
 			}
 		}
@@ -408,6 +427,7 @@ func (r *Router) place(hello *serve.ClientHello, skip int) *Replica {
 	})
 
 	primary := r.hashed(hello.Model)
+	spilled := false
 	total := int64(0)
 	for _, rep := range r.replicas {
 		total += rep.load.Load()
@@ -419,6 +439,7 @@ func (r *Router) place(hello *serve.ClientHello, skip int) *Replica {
 				r.spills.Add(1)
 			}
 			primary = spill
+			spilled = true
 		}
 	}
 	if !seen(primary) {
@@ -432,7 +453,16 @@ func (r *Router) place(hello *serve.ClientHello, skip int) *Replica {
 	if skip >= len(order) {
 		return nil
 	}
-	return order[skip]
+	rep := order[skip]
+	switch {
+	case rep != primary:
+		obsPlacements.With(tierFallback).Inc()
+	case spilled:
+		obsPlacements.With(tierSpill).Inc()
+	default:
+		obsPlacements.With(tierHashed).Inc()
+	}
+	return rep
 }
 
 // hashed is rendezvous (highest-random-weight) hashing of the model name
@@ -475,7 +505,7 @@ func (r *Router) learn(hello *serve.ClientHello, w *serve.WelcomeInfo, rep *Repl
 // splice forwards the already-received welcome frame and then copies
 // frames in both directions until either side closes.
 func (r *Router) splice(cli, back *transport.Conn, rep *Replica) {
-	defer rep.load.Add(-1)
+	defer rep.addLoad(-1)
 	halt := func() { cli.Close(); back.Close() }
 	done := make(chan struct{})
 	go func() {

@@ -191,6 +191,7 @@ func Analyzers() []*Analyzer {
 		OpTag,
 		FrameRetain,
 		GoroutineLeak,
+		ObsReg,
 	}
 }
 

@@ -29,6 +29,10 @@ func TestGoroutineLeakFixture(t *testing.T) {
 	runFixture(t, "testdata/src/goroutineleak/serve", GoroutineLeak)
 }
 
+func TestObsRegFixture(t *testing.T) {
+	runFixture(t, "testdata/src/obsreg/metrics", ObsReg)
+}
+
 func TestByName(t *testing.T) {
 	for _, a := range Analyzers() {
 		if ByName(a.Name) != a {

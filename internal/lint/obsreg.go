@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// obsRegMethods are the obs registry methods that register a metric
+// family under a name (the first argument).
+var obsRegMethods = map[string]bool{
+	"Counter":      true,
+	"Gauge":        true,
+	"Histogram":    true,
+	"CounterVec":   true,
+	"GaugeVec":     true,
+	"HistogramVec": true,
+}
+
+// ObsReg enforces metric-name hygiene on the obs registry: every family
+// registered through Counter/Gauge/Histogram (and their Vec variants) is
+// named by a package-level string constant, and each constant is the name
+// argument of exactly one registration site. Literal or computed names
+// (fmt.Sprintf and friends) make the series vocabulary unsearchable —
+// there is no one place to read the names a package exports — and two
+// sites registering the same name either collide at runtime (kind
+// mismatch panics) or silently share a family the authors believed was
+// theirs alone.
+var ObsReg = &Analyzer{
+	Name: "obsreg",
+	Doc: "obs metric families must be registered under package-level string constants " +
+		"(no literals, no fmt.Sprintf), each constant at exactly one registration site",
+	Run: runObsReg,
+}
+
+func runObsReg(pass *Pass) error {
+	// sites collects each name constant's registration positions across
+	// the package; more than one is a duplicate-registration finding.
+	sites := map[types.Object][]token.Pos{}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !obsRegMethods[sel.Sel.Name] {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "obs" {
+				return true // same method name on some unrelated type
+			}
+			if len(call.Args) > 0 {
+				checkMetricName(pass, sel.Sel.Name, call.Args[0], sites)
+			}
+			return true
+		})
+	}
+
+	var dups []types.Object
+	for obj, poss := range sites {
+		if len(poss) > 1 {
+			dups = append(dups, obj)
+		}
+	}
+	sort.Slice(dups, func(i, j int) bool { return dups[i].Name() < dups[j].Name() })
+	for _, obj := range dups {
+		poss := sites[obj]
+		sort.Slice(poss, func(i, j int) bool { return poss[i] < poss[j] })
+		for _, p := range poss[1:] {
+			pass.Reportf(p, "metric name constant %s is registered more than once; each family gets exactly one registration site", obj.Name())
+		}
+	}
+	return nil
+}
+
+// checkMetricName validates one registration's name argument and records
+// constant-named sites for the exactly-once check.
+func checkMetricName(pass *Pass, method string, arg ast.Expr, sites map[types.Object][]token.Pos) {
+	var obj types.Object
+	switch e := arg.(type) {
+	case *ast.Ident:
+		obj = pass.Info.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.Info.Uses[e.Sel] // a constant from another package
+	case *ast.BasicLit:
+		pass.Reportf(arg.Pos(), "obs %s name must be a package-level string constant, not a string literal", method)
+		return
+	default:
+		pass.Reportf(arg.Pos(), "obs %s name must be a package-level string constant, not a computed expression", method)
+		return
+	}
+	c, ok := obj.(*types.Const)
+	if !ok {
+		pass.Reportf(arg.Pos(), "obs %s name must be a package-level string constant, not a variable", method)
+		return
+	}
+	if c.Pkg() == nil || c.Parent() != c.Pkg().Scope() {
+		pass.Reportf(arg.Pos(), "obs %s name constant %s must be declared at package level, not inside a function", method, c.Name())
+		return
+	}
+	sites[c] = append(sites[c], arg.Pos())
+}

@@ -1,0 +1,48 @@
+// Package metrics is the obsreg fixture: obs metric families must be
+// registered under package-level string constants, each constant at
+// exactly one registration site — no literals, no computed names.
+package metrics
+
+import (
+	"fmt"
+
+	"privinf/internal/lint/testdata/src/obsreg/obs"
+)
+
+// The package's series vocabulary, in one greppable block.
+const (
+	metricGoodTotal      = "pi_good_total"
+	metricGoodDepth      = "pi_good_depth"
+	metricGoodVecSeconds = "pi_good_vec_seconds"
+	metricDupTotal       = "pi_dup_total"
+)
+
+// Good: package-level constants, one registration site each.
+var (
+	goodCounter = obs.Default().Counter(metricGoodTotal, "Counted things.")
+	goodGauge   = obs.Default().Gauge(metricGoodDepth, "Current depth.")
+	goodVec     = obs.Default().HistogramVec(metricGoodVecSeconds, "Timed things.", "model")
+)
+
+// Bad: a literal name has no greppable constant.
+var litCounter = obs.Default().Counter("pi_literal_total", "Literal-named.") // want "not a string literal"
+
+// Bad: a computed name cannot be found before the process runs.
+var sprintfGauge = obs.Default().Gauge(fmt.Sprintf("pi_%s_depth", "queue"), "Sprintf-named.") // want "not a computed expression"
+
+// Bad: two sites registering one constant silently share a family.
+var (
+	dupA = obs.Default().Counter(metricDupTotal, "First site.")
+	dupB = obs.Default().Counter(metricDupTotal, "Second site.") // want "registered more than once"
+)
+
+// Bad: a runtime-chosen name defeats the static vocabulary.
+func makeCounter(name string) *obs.Counter {
+	return obs.Default().Counter(name, "Runtime-named.") // want "not a variable"
+}
+
+// Bad: a function-local constant hides the name from the package block.
+func localConst() *obs.Histogram {
+	const name = "pi_local_seconds"
+	return obs.Default().Histogram(name, "Locally-named.") // want "declared at package level"
+}

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value. Prefer Add with balanced
+// deltas over Set when several components share one gauge (e.g. every
+// engine in a test process bumping the same buffer-depth gauge): the
+// deltas compose, a Set from one component clobbers the others.
+type Gauge struct{ v atomic.Int64 }
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add applies a signed delta.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one registered metric name: its metadata plus the
+// label-value-keyed children. Unlabeled metrics are a family with an
+// empty label key and a single child under the empty value.
+type family struct {
+	name  string
+	help  string
+	label string // label key, "" for unlabeled
+	kind  metricKind
+
+	mu       sync.RWMutex
+	children map[string]any // label value -> *Counter | *Gauge | *Histogram
+}
+
+func (f *family) child(value string, make func() any) any {
+	f.mu.RLock()
+	c, ok := f.children[value]
+	f.mu.RUnlock()
+	if ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[value]; ok {
+		return c
+	}
+	c = make()
+	f.children[value] = c
+	return c
+}
+
+// Registry holds named metric families. Registration is idempotent:
+// asking for an existing name with the same kind and label key returns
+// the existing family (several engines in one process share series on
+// the Default registry); a kind or label mismatch panics, since that
+// is a metric-naming bug the obsreg analyzer exists to prevent.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// defaultRegistry is the process-wide registry every serving layer
+// publishes onto; serve.DebugServer exposes it at /metrics.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+func (r *Registry) register(name, help, label string, kind metricKind) *family {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		f, ok = r.families[name]
+		if !ok {
+			f = &family{name: name, help: help, label: label, kind: kind, children: map[string]any{}}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind || f.label != label {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s(label=%q), was %s(label=%q)",
+			name, kind, label, f.kind, f.label))
+	}
+	return f
+}
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, "", kindCounter)
+	return f.child("", func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, "", kindGauge)
+	return f.child("", func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram registers (or returns) an unlabeled histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	f := r.register(name, help, "", kindHistogram)
+	return f.child("", func() any { return NewHistogram() }).(*Histogram)
+}
+
+// CounterVec is a counter family keyed by one label.
+type CounterVec struct{ f *family }
+
+// CounterVec registers (or returns) a counter family with one label key.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, label, kindCounter)}
+}
+
+// With returns the counter for a label value, creating it on first use.
+func (v *CounterVec) With(value string) *Counter {
+	return v.f.child(value, func() any { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a gauge family keyed by one label.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or returns) a gauge family with one label key.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, label, kindGauge)}
+}
+
+// With returns the gauge for a label value, creating it on first use.
+func (v *GaugeVec) With(value string) *Gauge {
+	return v.f.child(value, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a histogram family keyed by one label.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers (or returns) a histogram family with one
+// label key.
+func (r *Registry) HistogramVec(name, help, label string) *HistogramVec {
+	return &HistogramVec{f: r.register(name, help, label, kindHistogram)}
+}
+
+// With returns the histogram for a label value, creating it on first
+// use.
+func (v *HistogramVec) With(value string) *Histogram {
+	return v.f.child(value, func() any { return NewHistogram() }).(*Histogram)
+}
+
+// Sample is one exported series value inside a family.
+type Sample struct {
+	// Label is the label value ("" for unlabeled metrics).
+	Label string
+	// Value holds the counter count or gauge level; unset for
+	// histograms.
+	Value float64
+	// Hist holds the bucket snapshot for histogram samples.
+	Hist *HistogramSnapshot
+}
+
+// Family is an exported snapshot of one metric family.
+type Family struct {
+	Name    string
+	Help    string
+	Kind    string
+	Label   string // label key, "" for unlabeled
+	Samples []Sample
+}
+
+// Gather snapshots every family, sorted by name (and samples by label
+// value) so exports are deterministic.
+func (r *Registry) Gather() []Family {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]Family, 0, len(fams))
+	for _, f := range fams {
+		ef := Family{Name: f.name, Help: f.help, Kind: f.kind.String(), Label: f.label}
+		f.mu.RLock()
+		values := make([]string, 0, len(f.children))
+		for v := range f.children {
+			values = append(values, v)
+		}
+		sort.Strings(values)
+		for _, v := range values {
+			switch c := f.children[v].(type) {
+			case *Counter:
+				ef.Samples = append(ef.Samples, Sample{Label: v, Value: float64(c.Value())})
+			case *Gauge:
+				ef.Samples = append(ef.Samples, Sample{Label: v, Value: float64(c.Value())})
+			case *Histogram:
+				s := c.Snapshot()
+				ef.Samples = append(ef.Samples, Sample{Label: v, Hist: &s})
+			}
+		}
+		f.mu.RUnlock()
+		out = append(out, ef)
+	}
+	return out
+}

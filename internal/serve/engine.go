@@ -26,6 +26,7 @@ import (
 
 	"privinf/internal/delphi"
 	"privinf/internal/nn"
+	"privinf/internal/obs"
 	"privinf/internal/transport"
 )
 
@@ -439,6 +440,17 @@ func (e *Engine) handle(conn *transport.Conn, addr string) {
 	} else if e.tickets != nil {
 		newTicket = e.tickets.reserve()
 	}
+	// Establishment tier for the resume-tier counter: a redeemed ticket,
+	// a typed resume rejection that fell back to the full path, or a
+	// plain full handshake.
+	tier := tierFull
+	switch {
+	case resume != nil:
+		tier = tierResumed
+	case resumeReject != "":
+		tier = resumeReject
+	}
+	obsResume.With(tier).Inc()
 	// Full setups (artifact resolve + base OTs + HE keygen) are the
 	// engine's admission-controlled work: at most SetupWorkers run at
 	// once, excess cold connects queue here. Resumed sessions skip the
@@ -463,6 +475,7 @@ func (e *Engine) handle(conn *transport.Conn, addr string) {
 		if errors.Is(err, ErrUnknownModel) {
 			sendReject(conn, rejectUnknownModel, err.Error())
 		} else {
+			obsHandshakes.With(outcomeEngineErr).Inc()
 			sendCtrl(conn, opErr, []byte(err.Error()))
 		}
 		return
@@ -502,8 +515,14 @@ func (e *Engine) handle(conn *transport.Conn, addr string) {
 		LPHEWorkers: e.cfg.LPHEWorkers,
 		GarbleFunc:  e.garbler.submit,
 	}
+	setupTier := tierFull
+	if resume != nil {
+		setupTier = tierResumed
+	}
+	setupSpan := obs.StartSpan(obsSetup.With(setupTier))
 	s.srv, err = delphi.NewServerShared(dataConn{s.m}, dcfg, artifact, e.entropy)
 	if err != nil {
+		obsHandshakes.With(outcomeSetupError).Inc()
 		s.fail(err)
 		return
 	}
@@ -520,15 +539,18 @@ func (e *Engine) handle(conn *transport.Conn, addr string) {
 		}
 	}
 	if err != nil {
+		obsHandshakes.With(outcomeSetupError).Inc()
 		s.fail(err)
 		return
 	}
+	setupSpan.End()
 	releaseSetup()
 
 	if !e.addSession(s) {
 		s.m.close(errors.New("serve: engine closed"))
 		return
 	}
+	obsHandshakes.With(outcomeOK).Inc()
 	e.sched.register(s)
 	defer func() {
 		e.sched.unregister(s)
@@ -547,6 +569,7 @@ func (e *Engine) addSession(s *session) bool {
 	e.nextID++
 	s.id = e.nextID
 	e.sessions[s.id] = s
+	obsSessions.Add(1)
 	return true
 }
 
@@ -554,6 +577,7 @@ func (e *Engine) removeSession(s *session) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	delete(e.sessions, s.id)
+	obsSessions.Add(-1)
 	s.statMu.Lock()
 	e.retiredPrecomputes += s.precomputes
 	e.retiredInferences += s.inferences
@@ -707,6 +731,7 @@ func (s *session) precompute(cause byte) error {
 	s.precomputes++
 	s.offlineTotal += rep.Duration
 	s.statMu.Unlock()
+	recordOffline(s.model, rep.HEDuration, rep.GCDuration, rep.OTDuration, rep.Duration)
 	s.eng.sched.added(s)
 	if cause == causeRequested {
 		return sendCtrl(s.m.conn, opPrecomputeAck, marshalJSON(rep))
@@ -733,6 +758,9 @@ func (s *session) handleInfer() error {
 	s.inferences++
 	s.onlineTotal += rep.Duration
 	s.statMu.Unlock()
+	if obs.Enabled() {
+		obsOnline.With(s.model).Record(rep.Duration)
+	}
 	s.eng.sched.consumed(s)
 	return sendCtrl(s.m.conn, opInferAck, marshalJSON(rep))
 }

@@ -140,8 +140,11 @@ func (b *batchGarbler) serve(group []garbleReq) {
 	out := garble.GarbleBatch(group[0].circ, garble.NewPRG(seed), bases)
 	b.requests.Add(uint64(len(group)))
 	b.batches.Add(1)
+	obsGarbleRequest.Add(uint64(len(group)))
+	obsGarbleBatch.Inc()
 	if len(group) > 1 {
 		b.coalesced.Add(uint64(len(group)))
+		obsGarbleCoalesced.Add(uint64(len(group)))
 	}
 	off := 0
 	for _, r := range group {

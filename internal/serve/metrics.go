@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"privinf/internal/obs"
+	"time"
+)
+
+// Metric names the serving engine publishes on the process-wide obs
+// registry (obs.Default). Names are package-level constants registered
+// exactly once — the obsreg analyzer enforces this shape repo-wide.
+// The phase histograms mirror the paper's runtime decomposition:
+// offline-HE (linear-layer share generation), garbling, OT extension,
+// and the online phase; docs/observability.md maps each to the paper's
+// figures.
+const (
+	metricOfflineHESeconds     = "pi_offline_he_seconds"
+	metricOfflineGarbleSeconds = "pi_offline_garble_seconds"
+	metricOfflineOTSeconds     = "pi_offline_ot_seconds"
+	metricOfflineSeconds       = "pi_offline_seconds"
+	metricOnlineSeconds        = "pi_online_seconds"
+	metricSetupSeconds         = "pi_setup_seconds"
+	metricHandshakesTotal      = "pi_handshakes_total"
+	metricResumeTotal          = "pi_resume_total"
+	metricSessionsActive       = "pi_sessions_active"
+	metricPrecomputeBuffered   = "pi_precompute_buffered"
+	metricTicketsTotal         = "pi_tickets_total"
+	metricRegistryTotal        = "pi_registry_total"
+	metricGarbleTotal          = "pi_garble_total"
+)
+
+// Handshake outcome and resume-tier label values that have no wire
+// code of their own (rejections reuse the rejectMsg / resumeReject
+// codes verbatim).
+const (
+	outcomeOK         = "ok"
+	outcomeSetupError = "setup_error"
+	outcomeEngineErr  = "engine_error"
+	tierFull          = "full"
+	tierResumed       = "resumed"
+)
+
+// The engine's obs instruments. These are process-wide: every engine
+// in the process (a fleet's replicas, a test's engines) shares them,
+// which is exactly the aggregate view a scrape wants. Per-engine
+// introspection stays on Engine.Stats, whose counters live in the
+// engine structs.
+var (
+	obsOfflineHE     = obs.Default().HistogramVec(metricOfflineHESeconds, "Offline HE linear-layer share generation latency by model.", "model")
+	obsOfflineGarble = obs.Default().HistogramVec(metricOfflineGarbleSeconds, "Offline ReLU circuit garbling latency by model.", "model")
+	obsOfflineOT     = obs.Default().HistogramVec(metricOfflineOTSeconds, "Offline OT-extension transfer latency by model.", "model")
+	obsOffline       = obs.Default().HistogramVec(metricOfflineSeconds, "End-to-end offline (pre-compute) phase latency by model.", "model")
+	obsOnline        = obs.Default().HistogramVec(metricOnlineSeconds, "Online inference phase latency by model.", "model")
+	obsSetup         = obs.Default().HistogramVec(metricSetupSeconds, "Session setup latency by tier (full = base OTs + HE keygen, resumed = ticket seed expansion).", "tier")
+	obsHandshakes    = obs.Default().CounterVec(metricHandshakesTotal, "Handshake outcomes: ok, typed rejection codes, or setup/engine errors.", "outcome")
+	obsResume        = obs.Default().CounterVec(metricResumeTotal, "Session establishment tiers: resumed (ticket redeemed), full (base OTs), or a resume-reject code that fell back to full.", "tier")
+	obsSessions      = obs.Default().Gauge(metricSessionsActive, "Currently connected sessions.")
+	obsBuffered      = obs.Default().Gauge(metricPrecomputeBuffered, "Buffered pre-computes across all sessions (the client-storage commitment).")
+	obsTickets       = obs.Default().CounterVec(metricTicketsTotal, "Resumption ticket cache events: issued, resumed, expired, unknown, evicted.", "event")
+	obsRegistry      = obs.Default().CounterVec(metricRegistryTotal, "Model artifact registry events: hit, miss, eviction, spill, reload, load_error, spill_error.", "event")
+	obsGarble        = obs.Default().CounterVec(metricGarbleTotal, "Garble coalescer events: request (per-layer garbling request), batch (GarbleBatch pass), coalesced (request that shared a pass).", "event")
+)
+
+// Registry / ticket / garbler counter children, resolved once so hot
+// paths skip the label lookup.
+var (
+	obsRegistryHit        = obsRegistry.With("hit")
+	obsRegistryMiss       = obsRegistry.With("miss")
+	obsRegistryEviction   = obsRegistry.With("eviction")
+	obsRegistrySpill      = obsRegistry.With("spill")
+	obsRegistryReload     = obsRegistry.With("reload")
+	obsRegistryLoadError  = obsRegistry.With("load_error")
+	obsRegistrySpillError = obsRegistry.With("spill_error")
+
+	obsTicketIssued  = obsTickets.With("issued")
+	obsTicketResumed = obsTickets.With("resumed")
+	obsTicketExpired = obsTickets.With("expired")
+	obsTicketUnknown = obsTickets.With("unknown")
+	obsTicketEvicted = obsTickets.With("evicted")
+
+	obsGarbleRequest   = obsGarble.With("request")
+	obsGarbleBatch     = obsGarble.With("batch")
+	obsGarbleCoalesced = obsGarble.With("coalesced")
+)
+
+// recordOffline files one offline report into the per-model phase
+// histograms.
+func recordOffline(model string, he, gc, ot, total time.Duration) {
+	if !obs.Enabled() {
+		return
+	}
+	obsOfflineHE.With(model).Record(he)
+	obsOfflineGarble.With(model).Record(gc)
+	obsOfflineOT.With(model).Record(ot)
+	obsOffline.With(model).Record(total)
+}
+
+// OnlineLatency returns the process-wide online-phase latency
+// histogram for a model — the distribution a fleet autoscaler's
+// sizing consumes (windowed via HistogramSnapshot.Sub) in place of
+// lifetime counter deltas.
+func OnlineLatency(model string) *obs.Histogram {
+	return obsOnline.With(model)
+}

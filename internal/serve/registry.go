@@ -243,6 +243,7 @@ func (r *Registry) Get(name string) (*delphi.SharedModel, error) {
 		if e.art != nil {
 			e.hits++
 			r.hits++
+			obsRegistryHit.Inc()
 			r.lru.MoveToFront(e.elem)
 			art := e.art
 			r.mu.Unlock()
@@ -264,6 +265,7 @@ func (r *Registry) Get(name string) (*delphi.SharedModel, error) {
 		e.ready = make(chan struct{})
 		e.misses++
 		r.misses++
+		obsRegistryMiss.Inc()
 		r.mu.Unlock()
 
 		res := r.resolve(e)
@@ -274,6 +276,7 @@ func (r *Registry) Get(name string) (*delphi.SharedModel, error) {
 		if res.loadFailed {
 			e.loadErrors++
 			r.loadErrors++
+			obsRegistryLoadError.Inc()
 		}
 		if res.err != nil {
 			r.mu.Unlock()
@@ -282,6 +285,7 @@ func (r *Registry) Get(name string) (*delphi.SharedModel, error) {
 		if res.reloaded {
 			e.reloads++
 			r.reloads++
+			obsRegistryReload.Inc()
 		}
 		e.art = res.art
 		e.size = int64(res.art.SizeBytes())
@@ -375,10 +379,12 @@ func (r *Registry) spillWorker() {
 		if err != nil {
 			job.entry.spillErrors++
 			r.spillErrors++
+			obsRegistrySpillError.Inc()
 		} else {
 			job.entry.spilled = true
 			job.entry.spills++
 			r.spills++
+			obsRegistrySpill.Inc()
 		}
 		r.pendingSpills--
 		if r.pendingSpills == 0 {
@@ -440,6 +446,7 @@ func (r *Registry) evictOver(hold *regEntry) []spillJob {
 		e.size = 0
 		e.evictions++
 		r.evictions++
+		obsRegistryEviction.Inc()
 	}
 	return jobs
 }

@@ -86,6 +86,9 @@ func (sc *scheduler) unregister(s *session) {
 		s.granted = false
 		sc.inflight--
 	}
+	// The departing session takes its buffered pre-computes with it;
+	// keep the global depth gauge in step with used().
+	obsBuffered.Add(-int64(s.bufCount))
 	sc.kick()
 }
 
@@ -95,6 +98,7 @@ func (sc *scheduler) added(s *session) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	s.bufCount++
+	obsBuffered.Add(1)
 }
 
 // grantDone retires a scheduled grant, successful or not.
@@ -114,6 +118,7 @@ func (sc *scheduler) consumed(s *session) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
 	s.bufCount--
+	obsBuffered.Add(-1)
 	sc.kick()
 }
 

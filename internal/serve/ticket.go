@@ -181,6 +181,7 @@ func (tc *ticketCache) insert(id []byte, state *delphi.OTResume, model string) {
 		if !now.Before(old.expires) {
 			tc.drop(old)
 			tc.expired++
+			obsTicketExpired.Inc()
 		}
 	}
 	if old, ok := tc.entries[e.id]; ok {
@@ -193,6 +194,7 @@ func (tc *ticketCache) insert(id []byte, state *delphi.OTResume, model string) {
 	tc.bytes += e.size
 	tc.issued++
 	tc.model(model).issued++
+	obsTicketIssued.Inc()
 	if tc.budget > 0 {
 		for tc.bytes > tc.budget {
 			back := tc.lru.Back()
@@ -201,6 +203,7 @@ func (tc *ticketCache) insert(id []byte, state *delphi.OTResume, model string) {
 			}
 			tc.drop(back.Value.(*ticketEntry))
 			tc.evicted++
+			obsTicketEvicted.Inc()
 		}
 	}
 	tc.enqueueSave(e)
@@ -217,6 +220,7 @@ func (tc *ticketCache) redeem(id []byte, model string) (*delphi.OTResume, string
 	e, ok := tc.entries[string(id)]
 	if !ok {
 		tc.unknown++
+		obsTicketUnknown.Inc()
 		tc.model(model).rejected++
 		return nil, resumeUnknownTicket
 	}
@@ -228,6 +232,7 @@ func (tc *ticketCache) redeem(id []byte, model string) (*delphi.OTResume, string
 	if !tc.now().Before(e.expires) {
 		tc.drop(e)
 		tc.expired++
+		obsTicketExpired.Inc()
 		tc.model(model).rejected++
 		return nil, resumeExpiredTicket
 	}
@@ -235,6 +240,7 @@ func (tc *ticketCache) redeem(id []byte, model string) (*delphi.OTResume, string
 	tc.lru.MoveToFront(e.elem)
 	tc.resumed++
 	tc.model(model).resumed++
+	obsTicketResumed.Inc()
 	// The slid expiry is durable state: re-persist so a restart honors the
 	// refreshed window rather than the stale one on disk.
 	tc.enqueueSave(e)
@@ -353,6 +359,7 @@ func (tc *ticketCache) attachStore(ts *ticketStore) {
 	tc.loaded += uint64(st.loaded)
 	tc.loadErrors += uint64(st.corrupt)
 	tc.expired += uint64(st.expired)
+	obsTicketExpired.Add(uint64(st.expired))
 	for _, rec := range recs {
 		if _, ok := tc.entries[string(rec.id)]; ok {
 			// A live entry outranks its own stale disk copy.
@@ -378,6 +385,7 @@ func (tc *ticketCache) attachStore(ts *ticketStore) {
 			}
 			tc.drop(back.Value.(*ticketEntry))
 			tc.evicted++
+			obsTicketEvicted.Inc()
 		}
 	}
 }

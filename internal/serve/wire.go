@@ -197,6 +197,7 @@ func (e *HandshakeError) Unwrap() error {
 }
 
 func sendReject(c transport.MsgConn, code, message string) error {
+	obsHandshakes.With(code).Inc()
 	return sendCtrl(c, opReject, marshalJSON(rejectMsg{Code: code, Message: message}))
 }
 

@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+
+	"privinf/internal/obs"
 )
 
 // Multi-client simulation (§5.2's discussion): several clients, each with
@@ -73,8 +75,20 @@ type mcState struct {
 
 // RunMultiClient runs one multi-client simulation.
 func RunMultiClient(cfg MultiClientConfig) (Stats, error) {
+	st, snap, err := runMultiClient(cfg)
+	if err != nil {
+		return st, err
+	}
+	st.P50Latency = snap.P50().Seconds()
+	st.P99Latency = snap.P99().Seconds()
+	return st, nil
+}
+
+// runMultiClient executes one simulation, returning the stats alongside
+// the latency histogram snapshot RunManyMultiClient merges across seeds.
+func runMultiClient(cfg MultiClientConfig) (Stats, obs.HistogramSnapshot, error) {
 	if err := cfg.Validate(); err != nil {
-		return Stats{}, err
+		return Stats{}, obs.HistogramSnapshot{}, err
 	}
 	if cfg.HorizonSeconds <= 0 {
 		cfg.HorizonSeconds = DefaultHorizon
@@ -100,12 +114,12 @@ func RunMultiClient(cfg MultiClientConfig) (Stats, error) {
 	n := len(st.latencies)
 	out := Stats{Requests: n, MeanOnline: cfg.OnlineSeconds}
 	if n == 0 {
-		return out, nil
+		return out, obs.HistogramSnapshot{}, nil
 	}
 	out.MeanLatency = mean(st.latencies)
 	out.MeanQueueWait = mean(st.qwaits)
 	out.MeanOffline = mean(st.offwaits)
-	return out, nil
+	return out, latencySnapshot(st.latencies), nil
 }
 
 // refill starts pipelines for the neediest clients while server slots and
@@ -182,10 +196,11 @@ func RunManyMultiClient(cfg MultiClientConfig, runs int) (Stats, error) {
 		runs = 1
 	}
 	var agg Stats
+	var merged obs.HistogramSnapshot
 	for i := 0; i < runs; i++ {
 		c := cfg
 		c.Seed = cfg.Seed + int64(i)*104729
-		st, err := RunMultiClient(c)
+		st, snap, err := runMultiClient(c)
 		if err != nil {
 			return Stats{}, err
 		}
@@ -194,11 +209,14 @@ func RunManyMultiClient(cfg MultiClientConfig, runs int) (Stats, error) {
 		agg.MeanQueueWait += st.MeanQueueWait
 		agg.MeanOffline += st.MeanOffline
 		agg.MeanOnline += st.MeanOnline
+		merged.Merge(snap)
 	}
 	f := float64(runs)
 	agg.MeanLatency /= f
 	agg.MeanQueueWait /= f
 	agg.MeanOffline /= f
 	agg.MeanOnline /= f
+	agg.P50Latency = merged.P50().Seconds()
+	agg.P99Latency = merged.P99().Seconds()
 	return agg, nil
 }

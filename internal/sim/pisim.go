@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"privinf/internal/cost"
 	"privinf/internal/device"
+	"privinf/internal/obs"
 )
 
 // Mode selects the offline scheduling strategy (§5.2).
@@ -77,6 +79,23 @@ type Stats struct {
 	MeanQueueWait float64 // waiting behind earlier inferences
 	MeanOffline   float64 // waiting for / running the offline phase
 	MeanOnline    float64 // online phase (constant per config)
+	// P50Latency and P99Latency are arrival→completion quantiles in
+	// seconds, read off an obs histogram (≤6.25% relative error). The
+	// RunMany aggregates merge the runs' histograms before extracting,
+	// so they are true distribution quantiles — never averages of
+	// per-run quantiles, which would be meaningless.
+	P50Latency float64
+	P99Latency float64
+}
+
+// latencySnapshot buckets latencies (seconds) into an obs histogram
+// snapshot — the mergeable form quantile aggregation needs.
+func latencySnapshot(lat []float64) obs.HistogramSnapshot {
+	h := obs.NewHistogram()
+	for _, l := range lat {
+		h.Record(time.Duration(l * float64(time.Second)))
+	}
+	return h.Snapshot()
 }
 
 type request struct {
@@ -101,8 +120,20 @@ type piState struct {
 
 // Run executes one simulation and returns its statistics.
 func Run(cfg Config) (Stats, error) {
+	st, snap, err := run(cfg)
+	if err != nil {
+		return st, err
+	}
+	st.P50Latency = snap.P50().Seconds()
+	st.P99Latency = snap.P99().Seconds()
+	return st, nil
+}
+
+// run executes one simulation, returning the stats alongside the latency
+// histogram snapshot RunMany merges across seeds.
+func run(cfg Config) (Stats, obs.HistogramSnapshot, error) {
 	if err := cfg.Validate(); err != nil {
-		return Stats{}, err
+		return Stats{}, obs.HistogramSnapshot{}, err
 	}
 	if cfg.HorizonSeconds <= 0 {
 		cfg.HorizonSeconds = DefaultHorizon
@@ -126,12 +157,12 @@ func Run(cfg Config) (Stats, error) {
 	n := len(st.latencies)
 	out := Stats{Requests: n, MeanOnline: cfg.OnlineSeconds}
 	if n == 0 {
-		return out, nil
+		return out, obs.HistogramSnapshot{}, nil
 	}
 	out.MeanLatency = mean(st.latencies)
 	out.MeanQueueWait = mean(st.qwaits)
 	out.MeanOffline = mean(st.offwaits)
-	return out, nil
+	return out, latencySnapshot(st.latencies), nil
 }
 
 func mean(xs []float64) float64 {
@@ -212,10 +243,11 @@ func RunMany(cfg Config, runs int) (Stats, error) {
 		runs = 1
 	}
 	var agg Stats
+	var merged obs.HistogramSnapshot
 	for i := 0; i < runs; i++ {
 		c := cfg
 		c.Seed = cfg.Seed + int64(i)*7919
-		st, err := Run(c)
+		st, snap, err := run(c)
 		if err != nil {
 			return Stats{}, err
 		}
@@ -224,12 +256,15 @@ func RunMany(cfg Config, runs int) (Stats, error) {
 		agg.MeanQueueWait += st.MeanQueueWait
 		agg.MeanOffline += st.MeanOffline
 		agg.MeanOnline += st.MeanOnline
+		merged.Merge(snap)
 	}
 	f := float64(runs)
 	agg.MeanLatency /= f
 	agg.MeanQueueWait /= f
 	agg.MeanOffline /= f
 	agg.MeanOnline /= f
+	agg.P50Latency = merged.P50().Seconds()
+	agg.P99Latency = merged.P99().Seconds()
 	return agg, nil
 }
 

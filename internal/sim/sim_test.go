@@ -74,6 +74,37 @@ func TestLowRateLatencyIsOnlineOnly(t *testing.T) {
 	}
 }
 
+func TestStatsLatencyQuantiles(t *testing.T) {
+	// P50/P99 come off the obs histogram: at a low rate the typical
+	// request is online-only, so the median sits at the (constant)
+	// online time within the histogram's 6.25% bucket error — while the
+	// p99 is free to catch the rare arrival collision the mean hides.
+	cfg := baseCfg()
+	cfg.ArrivalsPerMinute = 1.0 / 180
+	st, err := RunMany(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.P50Latency < cfg.OnlineSeconds || st.P50Latency > cfg.OnlineSeconds*1.0625*1.05 {
+		t.Errorf("low-rate p50 latency %.2f s, want ~%.2f s (online only)", st.P50Latency, cfg.OnlineSeconds)
+	}
+	if st.P99Latency < st.P50Latency {
+		t.Errorf("p99 %.2f s below p50 %.2f s", st.P99Latency, st.P50Latency)
+	}
+
+	cfg.ArrivalsPerMinute = 1.0 / 30 // offline waits stretch the tail
+	st, err = RunMany(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.P99Latency <= st.P50Latency {
+		t.Errorf("loaded p99 %.2f s not above p50 %.2f s", st.P99Latency, st.P50Latency)
+	}
+	if st.P50Latency > st.MeanLatency*1.0625 && st.P99Latency < st.MeanLatency {
+		t.Errorf("quantiles p50=%.2f p99=%.2f do not bracket mean %.2f", st.P50Latency, st.P99Latency, st.MeanLatency)
+	}
+}
+
 func TestOverloadGrowsQueue(t *testing.T) {
 	// Above the sustainable rate the queue dominates latency (Figure 7
 	// right side).

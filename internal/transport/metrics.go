@@ -1,0 +1,27 @@
+package transport
+
+import (
+	"privinf/internal/obs"
+)
+
+// Metric names the transport publishes on the process-wide obs registry.
+// Per-Conn accounting (SentBytes/RecvBytes) stays on the Conn — these are
+// the process totals an operator scrapes. Names are package-level
+// constants registered exactly once (obsreg analyzer).
+const (
+	metricSentBytesTotal   = "pi_wire_sent_bytes_total"
+	metricRecvBytesTotal   = "pi_wire_recv_bytes_total"
+	metricSentFramesTotal  = "pi_wire_sent_frames_total"
+	metricRecvFramesTotal  = "pi_wire_recv_frames_total"
+	metricWireWriteSeconds = "pi_wire_write_seconds"
+	metricWireReadSeconds  = "pi_wire_read_seconds"
+)
+
+var (
+	obsSentBytes  = obs.Default().Counter(metricSentBytesTotal, "Bytes written to the wire across all connections, framing included.")
+	obsRecvBytes  = obs.Default().Counter(metricRecvBytesTotal, "Bytes read from the wire across all connections, framing included.")
+	obsSentFrames = obs.Default().Counter(metricSentFramesTotal, "Frames written to the wire across all connections.")
+	obsRecvFrames = obs.Default().Counter(metricRecvFramesTotal, "Frames read from the wire across all connections.")
+	obsWireWrite  = obs.Default().Histogram(metricWireWriteSeconds, "Time to write one frame to the underlying stream (lock wait excluded).")
+	obsWireRead   = obs.Default().Histogram(metricWireReadSeconds, "Time to read one frame, including blocking for the peer's data.")
+)

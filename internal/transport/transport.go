@@ -13,6 +13,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"privinf/internal/obs"
 )
 
 // frameOverhead is the per-message framing cost in bytes.
@@ -103,6 +105,7 @@ func (c *Conn) send(payload, prefix []byte) error {
 	n := len(prefix) + len(payload)
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	span := obs.StartSpan(obsWireWrite) // inside the lock: measures the write, not queueing on wmu
 	if c.vec && len(payload) >= writevMin {
 		// Assemble only header || prefix; the payload rides as the second
 		// iovec, uncopied.
@@ -121,7 +124,10 @@ func (c *Conn) send(payload, prefix []byte) error {
 		if err != nil {
 			return fmt.Errorf("transport: send frame: %w", err)
 		}
+		span.End()
 		c.sent.Add(uint64(n + frameOverhead))
+		obsSentBytes.Add(uint64(n + frameOverhead))
+		obsSentFrames.Inc()
 		return nil
 	}
 	if cap(c.wbuf) < frameOverhead+n {
@@ -136,7 +142,10 @@ func (c *Conn) send(payload, prefix []byte) error {
 	if _, err := c.w.Write(f); err != nil {
 		return fmt.Errorf("transport: send frame: %w", err)
 	}
+	span.End()
 	c.sent.Add(uint64(n + frameOverhead))
+	obsSentBytes.Add(uint64(n + frameOverhead))
+	obsSentFrames.Inc()
 	return nil
 }
 
@@ -144,6 +153,7 @@ func (c *Conn) send(payload, prefix []byte) error {
 func (c *Conn) Recv() ([]byte, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
+	span := obs.StartSpan(obsWireRead)
 	var hdr [frameOverhead]byte
 	//lint:allow lockio rmu IS the read path: it keeps header and payload reads of one frame contiguous on the stream
 	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
@@ -158,7 +168,10 @@ func (c *Conn) Recv() ([]byte, error) {
 	if _, err := io.ReadFull(c.r, payload); err != nil {
 		return nil, fmt.Errorf("transport: recv payload: %w", err)
 	}
+	span.End()
 	c.recv.Add(uint64(n) + frameOverhead)
+	obsRecvBytes.Add(uint64(n) + frameOverhead)
+	obsRecvFrames.Inc()
 	return payload, nil
 }
 

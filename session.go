@@ -128,6 +128,9 @@ type LocalEngine struct {
 	ln      *transport.PipeListener
 	entropy io.Reader
 	models  map[string]*Model
+	// debug is the optional observability endpoint
+	// (LocalEngineConfig.DebugAddr); nil when not configured.
+	debug *serve.DebugServer
 }
 
 // Preamble is a client's reusable session-preamble state: the OT
@@ -192,6 +195,12 @@ type LocalEngineConfig struct {
 	TicketDir string
 	// Entropy seeds all cryptographic randomness; nil means crypto/rand.
 	Entropy io.Reader
+	// DebugAddr, when non-empty, starts a serve.DebugServer on the
+	// address: Prometheus text metrics at /metrics, a JSON snapshot at
+	// /statusz, and net/http/pprof under /debug/pprof/. Use ":0" to pick
+	// a free port (LocalEngine.DebugAddr reports the bound address). The
+	// endpoint is closed with the engine.
+	DebugAddr string
 }
 
 // NewLocalEngineConfig starts an in-process multi-model engine.
@@ -242,13 +251,20 @@ func NewLocalEngine(cfg LocalEngineConfig) (*LocalEngine, error) {
 	if err != nil {
 		return nil, err
 	}
+	var dbg *serve.DebugServer
+	if cfg.DebugAddr != "" {
+		if dbg, err = serve.NewDebugServer(cfg.DebugAddr); err != nil {
+			eng.Close()
+			return nil, err
+		}
+	}
 	ln := transport.NewPipeListener()
 	go eng.Serve(ln)
 	kept := make(map[string]*Model, len(models))
 	for name, m := range models {
 		kept[name] = m
 	}
-	return &LocalEngine{eng: eng, ln: ln, entropy: entropy, models: kept}, nil
+	return &LocalEngine{eng: eng, ln: ln, entropy: entropy, models: kept, debug: dbg}, nil
 }
 
 // ConnectOption configures LocalEngine.Connect.
@@ -300,8 +316,23 @@ func (e *LocalEngine) ConnectPreamble(name string, p *Preamble) (*Session, error
 // counts, buffer fill, registry hit/miss/eviction counters).
 func (e *LocalEngine) Stats() serve.Stats { return e.eng.Stats() }
 
-// Close tears down the engine and every open session.
-func (e *LocalEngine) Close() error { return e.eng.Close() }
+// DebugAddr returns the bound address of the engine's observability
+// endpoint, or "" when LocalEngineConfig.DebugAddr was not set.
+func (e *LocalEngine) DebugAddr() string {
+	if e.debug == nil {
+		return ""
+	}
+	return e.debug.Addr()
+}
+
+// Close tears down the engine, its debug endpoint, and every open
+// session.
+func (e *LocalEngine) Close() error {
+	if e.debug != nil {
+		e.debug.Close()
+	}
+	return e.eng.Close()
+}
 
 // Precompute runs one offline phase, adding a pre-compute to both parties'
 // buffers. Returns the client's and server's offline reports.
